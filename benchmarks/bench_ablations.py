@@ -1,0 +1,93 @@
+"""Ablation benchmarks for the design choices the paper asserts.
+
+The paper states several micro-architectural choices without measuring
+them ("for best performance, priority ... is given to ring packets";
+send-and-receive-in-one-cycle flow control; response-over-request
+ordering).  Each ablation here flips one choice on a fixed saturating
+configuration and reports both the runtime (benchmark) and the measured
+latency delta (stored in ``benchmark.extra_info``), quantifying the
+paper's claims.
+"""
+
+import pytest
+
+from repro.core.config import RingSystemConfig, SimulationParams, WorkloadConfig
+from repro.core.simulation import simulate
+
+WORKLOAD = WorkloadConfig(locality=1.0, miss_rate=0.04, outstanding=4)
+PARAMS = SimulationParams(batch_cycles=800, batches=4, seed=31)
+BASE = RingSystemConfig(topology="3:8", cache_line_bytes=32)
+
+
+def _run(benchmark, config, params=PARAMS, workload=WORKLOAD):
+    result = benchmark.pedantic(
+        lambda: simulate(config, workload, params), rounds=1, iterations=1
+    )
+    benchmark.extra_info["avg_latency"] = round(result.avg_latency, 2)
+    benchmark.extra_info["transactions"] = result.remote_transactions
+    return result
+
+
+class TestArbitrationAblations:
+    def test_paper_baseline(self, benchmark):
+        _run(benchmark, BASE)
+
+    def test_injection_priority_over_transit(self, benchmark):
+        """Flipping the paper's transit-first rule."""
+        ablated = _run(benchmark, RingSystemConfig(
+            topology="3:8", cache_line_bytes=32, transit_priority=False))
+        baseline = simulate(BASE, WORKLOAD, PARAMS)
+        # Injection-first still has to work, just (typically) worse for
+        # transit latency; record the ratio rather than hard-asserting.
+        benchmark.extra_info["latency_vs_baseline"] = round(
+            ablated.avg_latency / baseline.avg_latency, 3
+        )
+
+    def test_request_priority_over_response(self, benchmark):
+        ablated = _run(benchmark, RingSystemConfig(
+            topology="3:8", cache_line_bytes=32, response_priority=False))
+        assert ablated.remote_transactions > 100
+
+
+class TestFlowControlAblation:
+    def test_conservative_flow_control(self, benchmark):
+        """Occupancy-at-cycle-start flow control vs the paper's bypass.
+
+        Conservative admission halves the throughput of single-slot
+        pipelines and inflates latency under load; it is also unable to
+        rotate a completely full ring (tests/properties).  Light load
+        keeps it away from that wedge so the latency cost is isolated.
+        """
+        params = SimulationParams(
+            batch_cycles=800, batches=4, seed=31, flow_control="conservative",
+            deadlock_threshold=5000,
+        )
+        workload = WorkloadConfig(locality=1.0, miss_rate=0.02, outstanding=2)
+        conservative = _run(
+            benchmark,
+            RingSystemConfig(topology="2:8", cache_line_bytes=32),
+            params=params,
+            workload=workload,
+        )
+        bypass = simulate(
+            RingSystemConfig(topology="2:8", cache_line_bytes=32),
+            workload,
+            SimulationParams(batch_cycles=800, batches=4, seed=31),
+        )
+        assert conservative.avg_latency >= bypass.avg_latency
+        benchmark.extra_info["latency_vs_bypass"] = round(
+            conservative.avg_latency / bypass.avg_latency, 3
+        )
+
+
+class TestMemoryLatencySensitivity:
+    @pytest.mark.parametrize("memory_latency", [0, 10, 25])
+    def test_memory_latency(self, benchmark, memory_latency):
+        """DESIGN.md claims the (unstated-in-paper) memory latency is an
+        additive constant; the recorded latencies let EXPERIMENTS.md
+        verify the deltas track the constant under light load."""
+        config = RingSystemConfig(
+            topology="2:8", cache_line_bytes=32, memory_latency=memory_latency
+        )
+        workload = WorkloadConfig(locality=1.0, miss_rate=0.01, outstanding=1)
+        _run(benchmark, config, workload=workload)

@@ -1,0 +1,80 @@
+"""Benchmarks for the analytic and workload tooling around the simulator.
+
+Times the non-simulation machinery a user leans on between runs: the
+exact link-load model (O(P^2) route walks), trace capture/replay, and
+the precision-driven sequential batch-means front end.
+"""
+
+from repro.analysis.bandwidth import mesh_link_loads, ring_link_loads
+from repro.core.adaptive import simulate_to_precision
+from repro.core.config import MeshSystemConfig, RingSystemConfig, WorkloadConfig
+from repro.workload.mmrp import RegionTargetSelector
+from repro.workload.trace import record_mmrp_trace, trace_miss_sources
+
+WORKLOAD = WorkloadConfig(locality=1.0, miss_rate=0.04, outstanding=4)
+
+
+def test_ring_link_load_model(benchmark):
+    config = RingSystemConfig(topology="3:3:8", cache_line_bytes=32)
+    report = benchmark.pedantic(
+        lambda: ring_link_loads(config, WORKLOAD), rounds=2, iterations=1
+    )
+    benchmark.extra_info["peak_global_demand"] = round(
+        report.peak_utilization("global"), 3
+    )
+
+
+def test_mesh_link_load_model(benchmark):
+    config = MeshSystemConfig(side=8, cache_line_bytes=32, buffer_flits=4)
+    report = benchmark.pedantic(
+        lambda: mesh_link_loads(config, WORKLOAD), rounds=2, iterations=1
+    )
+    benchmark.extra_info["peak_demand"] = round(report.peak_utilization(), 3)
+
+
+def test_trace_capture(benchmark):
+    selector = RegionTargetSelector.for_ring(24, WORKLOAD.locality)
+
+    trace = benchmark.pedantic(
+        lambda: record_mmrp_trace(24, 5000, WORKLOAD, selector, seed=7),
+        rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info["misses"] = len(trace)
+
+
+def test_trace_replay(benchmark):
+    from repro.core.config import SimulationParams
+    from repro.core.simulation import simulate
+
+    selector = RegionTargetSelector.for_ring(8, WORKLOAD.locality)
+    trace = record_mmrp_trace(8, 2000, WORKLOAD, selector, seed=7)
+    config = RingSystemConfig(topology="8", cache_line_bytes=32)
+    params = SimulationParams(batch_cycles=800, batches=3, seed=1)
+
+    result = benchmark.pedantic(
+        lambda: simulate(config, WORKLOAD, params,
+                         miss_sources=trace_miss_sources(trace)),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["completed"] = result.remote_transactions
+
+
+def test_adaptive_convergence(benchmark):
+    config = RingSystemConfig(topology="6", cache_line_bytes=32)
+
+    adaptive = benchmark.pedantic(
+        lambda: simulate_to_precision(
+            config,
+            WorkloadConfig(miss_rate=0.02, outstanding=2),
+            relative_precision=0.1,
+            batch_cycles=800,
+            max_batches=20,
+            seed=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["batches"] = adaptive.batches_run
+    assert adaptive.converged

@@ -1,0 +1,57 @@
+"""Microbenchmarks of the simulation kernel's hot paths.
+
+These time raw simulated-cycles-per-second on fixed systems, separating
+kernel performance from experiment orchestration.  Useful to see how
+close Python gets on flit-level simulation and to catch regressions in
+the propose/resolve/commit loop.
+"""
+
+from repro.core.config import MeshSystemConfig, RingSystemConfig, WorkloadConfig
+from repro.core.engine import Engine
+from repro.core.pm import MetricsHub
+from repro.core.simulation import build_network
+
+WORKLOAD = WorkloadConfig(locality=1.0, miss_rate=0.04, outstanding=4)
+CYCLES = 1500
+
+
+def _build_engine(config):
+    metrics = MetricsHub()
+    network = build_network(config, WORKLOAD, metrics, seed=3)
+    engine = Engine()
+    network.register(engine)
+    return engine
+
+
+def test_single_ring_cycles_per_second(benchmark):
+    engine = _build_engine(RingSystemConfig(topology="8", cache_line_bytes=32))
+    benchmark.pedantic(lambda: engine.run(CYCLES), rounds=3, iterations=1)
+    benchmark.extra_info["components"] = len(engine.components)
+
+
+def test_three_level_ring_cycles_per_second(benchmark):
+    engine = _build_engine(RingSystemConfig(topology="3:3:8", cache_line_bytes=32))
+    benchmark.pedantic(lambda: engine.run(CYCLES), rounds=3, iterations=1)
+    benchmark.extra_info["components"] = len(engine.components)
+
+
+def test_double_speed_ring_cycles_per_second(benchmark):
+    engine = _build_engine(
+        RingSystemConfig(topology="3:3:8", cache_line_bytes=32, global_ring_speed=2)
+    )
+    benchmark.pedantic(lambda: engine.run(CYCLES), rounds=3, iterations=1)
+
+
+def test_mesh_8x8_cycles_per_second(benchmark):
+    engine = _build_engine(
+        MeshSystemConfig(side=8, cache_line_bytes=32, buffer_flits=4)
+    )
+    benchmark.pedantic(lambda: engine.run(CYCLES), rounds=3, iterations=1)
+    benchmark.extra_info["components"] = len(engine.components)
+
+
+def test_mesh_one_flit_buffers_cycles_per_second(benchmark):
+    engine = _build_engine(
+        MeshSystemConfig(side=6, cache_line_bytes=128, buffer_flits=1)
+    )
+    benchmark.pedantic(lambda: engine.run(CYCLES), rounds=3, iterations=1)

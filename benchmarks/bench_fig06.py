@@ -1,0 +1,15 @@
+"""Benchmark: single-ring latency sweep (Figure 6).
+
+Latency vs ring size for the no-locality workload; the knee past the
+sustainable size (12/8/6/4 nodes by cache line) is the paper's first
+result.
+
+The benchmark runs the full experiment at BENCH scale; see
+EXPERIMENTS.md for paper-vs-measured results at full scale.
+"""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_fig6(benchmark, bench_scale):
+    run_experiment_benchmark(benchmark, "fig6", bench_scale)

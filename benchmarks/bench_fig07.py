@@ -1,0 +1,14 @@
+"""Benchmark: 2-level hierarchy latency sweep (Figure 7).
+
+Latency steepens when the global ring joins the path and again past
+three local rings (bisection saturation).
+
+The benchmark runs the full experiment at BENCH scale; see
+EXPERIMENTS.md for paper-vs-measured results at full scale.
+"""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_fig7(benchmark, bench_scale):
+    run_experiment_benchmark(benchmark, "fig7", bench_scale)

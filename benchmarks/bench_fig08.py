@@ -1,0 +1,14 @@
+"""Benchmark: 2-level ring utilization (Figure 8).
+
+Global ring utilization approaches capacity at three local rings while
+local rings idle: bisection-bandwidth limited.
+
+The benchmark runs the full experiment at BENCH scale; see
+EXPERIMENTS.md for paper-vs-measured results at full scale.
+"""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_fig8(benchmark, bench_scale):
+    run_experiment_benchmark(benchmark, "fig8", bench_scale)

@@ -1,0 +1,14 @@
+"""Benchmark: 3-level hierarchy latency sweep (Figure 9).
+
+Same two-knee shape one level up; 3-level systems support 108/72/54/36
+nodes by cache line.
+
+The benchmark runs the full experiment at BENCH scale; see
+EXPERIMENTS.md for paper-vs-measured results at full scale.
+"""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_fig9(benchmark, bench_scale_wide):
+    run_experiment_benchmark(benchmark, "fig9", bench_scale_wide)

@@ -1,0 +1,13 @@
+"""Benchmark: 3-level global ring utilization (Figure 10).
+
+The global ring saturates beyond three second-level rings.
+
+The benchmark runs the full experiment at BENCH scale; see
+EXPERIMENTS.md for paper-vs-measured results at full scale.
+"""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_fig10(benchmark, bench_scale_wide):
+    run_experiment_benchmark(benchmark, "fig10", bench_scale_wide)

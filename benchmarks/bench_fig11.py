@@ -1,0 +1,14 @@
+"""Benchmark: hierarchy-depth benefit (Figure 11).
+
+Each extra ring level shifts the latency curve right; the benefit grows
+with memory locality (R=0.2 vs R=1.0).
+
+The benchmark runs the full experiment at BENCH scale; see
+EXPERIMENTS.md for paper-vs-measured results at full scale.
+"""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_fig11(benchmark, bench_scale_wide):
+    run_experiment_benchmark(benchmark, "fig11", bench_scale_wide)

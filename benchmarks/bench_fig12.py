@@ -1,0 +1,14 @@
+"""Benchmark: mesh latency by buffer depth (Figure 12).
+
+Mesh latency grows moderately with size; cl-sized > 4-flit > 1-flit
+buffers in performance.
+
+The benchmark runs the full experiment at BENCH scale; see
+EXPERIMENTS.md for paper-vs-measured results at full scale.
+"""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_fig12(benchmark, bench_scale):
+    run_experiment_benchmark(benchmark, "fig12", bench_scale)

@@ -1,0 +1,14 @@
+"""Benchmark: mesh network utilization (Figure 13).
+
+Utilization peaks at small systems (16/9/9/4 nodes by cache line) and
+declines monotonically.
+
+The benchmark runs the full experiment at BENCH scale; see
+EXPERIMENTS.md for paper-vs-measured results at full scale.
+"""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_fig13(benchmark, bench_scale):
+    run_experiment_benchmark(benchmark, "fig13", bench_scale)

@@ -1,0 +1,14 @@
+"""Benchmark: ring vs mesh with 4-flit buffers (Figure 14).
+
+The headline comparison: cross-overs at 16/25/27/36 nodes for
+16/32/64/128B cache lines.
+
+The benchmark runs the full experiment at BENCH scale; see
+EXPERIMENTS.md for paper-vs-measured results at full scale.
+"""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_fig14(benchmark, bench_scale):
+    run_experiment_benchmark(benchmark, "fig14", bench_scale)

@@ -1,0 +1,13 @@
+"""Benchmark: ring vs mesh with cl-sized buffers (Figure 15).
+
+Deep mesh buffers pull the cross-over down to 16-30 nodes.
+
+The benchmark runs the full experiment at BENCH scale; see
+EXPERIMENTS.md for paper-vs-measured results at full scale.
+"""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_fig15(benchmark, bench_scale):
+    run_experiment_benchmark(benchmark, "fig15", bench_scale)

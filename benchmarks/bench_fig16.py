@@ -1,0 +1,13 @@
+"""Benchmark: ring vs mesh with 1-flit buffers (Figure 16).
+
+Shallow mesh buffers let rings win at every size up to 121 nodes.
+
+The benchmark runs the full experiment at BENCH scale; see
+EXPERIMENTS.md for paper-vs-measured results at full scale.
+"""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_fig16(benchmark, bench_scale):
+    run_experiment_benchmark(benchmark, "fig16", bench_scale)

@@ -1,0 +1,13 @@
+"""Benchmark: locality comparison (Figure 17).
+
+With R <= 0.3 rings beat meshes at all sizes for 32B+ lines, by ~20-30%.
+
+The benchmark runs the full experiment at BENCH scale; see
+EXPERIMENTS.md for paper-vs-measured results at full scale.
+"""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_fig17(benchmark, bench_scale):
+    run_experiment_benchmark(benchmark, "fig17", bench_scale)

@@ -1,0 +1,14 @@
+"""Benchmark: locality with cl-sized mesh buffers (Figure 18).
+
+Even against the best mesh configuration, locality pushes the cross-over
+past ~45 processors.
+
+The benchmark runs the full experiment at BENCH scale; see
+EXPERIMENTS.md for paper-vs-measured results at full scale.
+"""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_fig18(benchmark, bench_scale):
+    run_experiment_benchmark(benchmark, "fig18", bench_scale)

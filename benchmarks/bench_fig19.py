@@ -1,0 +1,14 @@
+"""Benchmark: double-speed global ring latency (Figure 19).
+
+A 2x global ring sustains five second-level rings instead of three
+(Section 6).
+
+The benchmark runs the full experiment at BENCH scale; see
+EXPERIMENTS.md for paper-vs-measured results at full scale.
+"""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_fig19(benchmark, bench_scale_wide):
+    run_experiment_benchmark(benchmark, "fig19", bench_scale_wide)

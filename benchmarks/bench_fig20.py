@@ -1,0 +1,13 @@
+"""Benchmark: double-speed global ring utilization (Figure 20).
+
+The 2x global ring's utilization climbs more slowly and linearly.
+
+The benchmark runs the full experiment at BENCH scale; see
+EXPERIMENTS.md for paper-vs-measured results at full scale.
+"""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_fig20(benchmark, bench_scale_wide):
+    run_experiment_benchmark(benchmark, "fig20", bench_scale_wide)

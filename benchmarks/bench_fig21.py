@@ -1,0 +1,14 @@
+"""Benchmark: mesh vs double-speed rings (Figure 21).
+
+With the 2x global ring, 128B-line rings beat meshes by 10-20% even
+without locality.
+
+The benchmark runs the full experiment at BENCH scale; see
+EXPERIMENTS.md for paper-vs-measured results at full scale.
+"""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_fig21(benchmark, bench_scale_wide):
+    run_experiment_benchmark(benchmark, "fig21", bench_scale_wide)

@@ -1,0 +1,14 @@
+"""Benchmark: NIC buffer memory requirements (analytic Table 1).
+
+Pure arithmetic; benchmarks the tabulation path and guards the exact
+paper byte counts.
+
+The benchmark runs the full experiment at BENCH scale; see
+EXPERIMENTS.md for paper-vs-measured results at full scale.
+"""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_table1(benchmark, bench_scale):
+    run_experiment_benchmark(benchmark, "table1", bench_scale)

@@ -1,0 +1,14 @@
+"""Benchmark: optimal-topology search (Table 2).
+
+Simulates every design-rule hierarchy for representative (P, cl) cells
+and ranks them by measured latency.
+
+The benchmark runs the full experiment at BENCH scale; see
+EXPERIMENTS.md for paper-vs-measured results at full scale.
+"""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_table2(benchmark, bench_scale):
+    run_experiment_benchmark(benchmark, "table2", bench_scale)

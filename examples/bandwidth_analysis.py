@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The paper's bisection-bandwidth argument, computed and verified.
+
+For a growing 2-level hierarchy this script prints, side by side:
+
+* the *analytic* open-loop demand on the hottest global-ring link
+  (``repro.analysis.bandwidth``), and
+* the *simulated* global-ring utilization and latency.
+
+The paper's design rule — a global ring sustains three local rings —
+appears as the analytic demand crossing link capacity between two and
+three rings, right where simulated utilization saturates and latency
+breaks upward.
+
+Run:  python examples/bandwidth_analysis.py
+"""
+
+from repro import RingSystemConfig, SimulationParams, WorkloadConfig, simulate
+from repro.analysis.bandwidth import ring_link_loads
+
+CACHE_LINE = 32
+LOCAL_RING = 8  # the single-ring maximum for 32B lines
+
+
+def main() -> None:
+    workload = WorkloadConfig(locality=1.0, miss_rate=0.04, outstanding=4)
+    params = SimulationParams(batch_cycles=1500, batches=4, seed=13)
+    print(f"2-level hierarchies of {LOCAL_RING}-PM local rings, "
+          f"{CACHE_LINE}B lines, C=0.04, T=4\n")
+    print(f"{'rings':>6} {'nodes':>6} {'analytic demand':>16} "
+          f"{'simulated util':>15} {'latency':>9}")
+    for fan in (2, 3, 4, 5):
+        config = RingSystemConfig(
+            topology=(fan, LOCAL_RING), cache_line_bytes=CACHE_LINE
+        )
+        demand = ring_link_loads(config, workload).peak_utilization("global")
+        result = simulate(config, workload, params)
+        print(
+            f"{fan:>6} {fan * LOCAL_RING:>6} {demand:>15.2f}x "
+            f"{result.utilization_percent('global'):>14.1f}% "
+            f"{result.avg_latency:>9.1f}"
+        )
+    print(
+        "\nDemand is open-loop (what the processors would offer if never "
+        "blocked); utilization saturates near 100% once demand exceeds "
+        "1x, and the latency knee follows — the paper's rule of three."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Find the ring/mesh cross-over point (paper Figure 14, one cache line).
+
+Sweeps hierarchical rings at the paper's Table 2 system sizes and
+meshes at perfect squares, then locates where the mesh's scalable
+bisection bandwidth overtakes the ring's faster, wider channels.
+
+The paper reports cross-overs at 16/25/27/36 nodes for 16/32/64/128-byte
+cache lines (4-flit mesh buffers, R=1.0, T=4).
+
+Run:  python examples/ring_vs_mesh_crossover.py [cache_line_bytes]
+"""
+
+import sys
+
+from repro import (
+    MeshSystemConfig,
+    PAPER_TABLE2,
+    RingSystemConfig,
+    SimulationParams,
+    WorkloadConfig,
+    simulate,
+)
+from repro.analysis.crossover import crossover_point
+from repro.analysis.sweeps import Series
+
+
+def main() -> None:
+    cache_line = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    workload = WorkloadConfig(locality=1.0, miss_rate=0.04, outstanding=4)
+    params = SimulationParams(batch_cycles=1500, batches=4, seed=7)
+
+    ring_series = Series("ring")
+    print(f"cache line: {cache_line}B   (paper cross-overs: 16B->16, 32B->25, "
+          "64B->27, 128B->36 nodes)\n")
+    print(f"{'nodes':>6} {'system':>10} {'latency':>10}")
+    for nodes, branching in sorted(PAPER_TABLE2[cache_line].items()):
+        if nodes > 72:
+            continue
+        result = simulate(
+            RingSystemConfig(topology=branching, cache_line_bytes=cache_line),
+            workload,
+            params,
+        )
+        ring_series.add(nodes, result.avg_latency)
+        label = ":".join(map(str, branching))
+        print(f"{nodes:>6} {'ring ' + label:>10} {result.avg_latency:>10.1f}")
+
+    mesh_series = Series("mesh")
+    for side in (2, 3, 4, 5, 6, 7, 8):
+        result = simulate(
+            MeshSystemConfig(side=side, cache_line_bytes=cache_line, buffer_flits=4),
+            workload,
+            params,
+        )
+        mesh_series.add(side * side, result.avg_latency)
+        print(f"{side * side:>6} {f'mesh {side}x{side}':>10} "
+              f"{result.avg_latency:>10.1f}")
+
+    crossing = crossover_point(ring_series, mesh_series)
+    if crossing is None:
+        print("\nno cross-over in range: rings win throughout")
+    else:
+        print(f"\ncross-over at ~{crossing:.0f} nodes")
+
+
+if __name__ == "__main__":
+    main()

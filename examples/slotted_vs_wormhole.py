@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Slotted vs wormhole ring switching (extension beyond the paper).
+
+The paper simulates wormhole-switched rings, but the machines behind
+its model — Hector and NUMAchine — actually use *slotted* rings
+(paper footnote 3).  In slotted switching every flit travels as an
+independently routed slot: a slot that finds its inter-ring queue full
+simply recirculates instead of stalling the ring, and stations
+interleave passing slots with local insertions.
+
+This example sweeps offered load on a 24-processor, 2-level system and
+shows where the two switching disciplines diverge: identical at low
+load, with wormhole's backpressure beating slotted's recirculation as
+the rings approach saturation in our models.
+
+Run:  python examples/slotted_vs_wormhole.py
+"""
+
+from repro import RingSystemConfig, SimulationParams, WorkloadConfig, simulate
+
+
+def main() -> None:
+    params = SimulationParams(batch_cycles=1500, batches=4, seed=11)
+    print("3:8 hierarchy (24 PMs), 32B cache lines, T=4\n")
+    print(f"{'miss rate C':>12} {'wormhole':>10} {'slotted':>10} {'slotted/wormhole':>17}")
+    for miss_rate in (0.005, 0.01, 0.02, 0.03, 0.04):
+        workload = WorkloadConfig(locality=1.0, miss_rate=miss_rate, outstanding=4)
+        results = {}
+        for switching in ("wormhole", "slotted"):
+            config = RingSystemConfig(
+                topology="3:8", cache_line_bytes=32, switching=switching
+            )
+            results[switching] = simulate(config, workload, params)
+        ratio = results["slotted"].avg_latency / results["wormhole"].avg_latency
+        print(
+            f"{miss_rate:>12} {results['wormhole'].avg_latency:>10.1f} "
+            f"{results['slotted'].avg_latency:>10.1f} {ratio:>17.2f}"
+        )
+    print(
+        "\nAt low load the disciplines are indistinguishable; under "
+        "saturation recirculating slots burn ring bandwidth that "
+        "wormhole's backpressure would have kept parked at the sources."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""repro — flit-level simulation of hierarchical-ring and 2D-mesh
+shared-memory multiprocessor interconnects.
+
+A from-scratch reproduction of Ravindran & Stumm, "A Performance
+Comparison of Hierarchical Ring- and Mesh-connected Multiprocessor
+Networks" (HPCA 1997).
+
+Quickstart::
+
+    from repro import RingSystemConfig, MeshSystemConfig, WorkloadConfig, simulate
+
+    ring = simulate(RingSystemConfig(topology="3:3:8", cache_line_bytes=32))
+    mesh = simulate(MeshSystemConfig.for_processors(64, cache_line_bytes=32))
+    print(ring.avg_latency, mesh.avg_latency)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+from .core.config import (
+    CACHE_LINE_SIZES,
+    CL_BUFFER,
+    DEFAULT_SIM,
+    QUICK_SIM,
+    THOROUGH_SIM,
+    MeshSystemConfig,
+    PacketGeometry,
+    RingSystemConfig,
+    SimulationParams,
+    WorkloadConfig,
+    format_hierarchy,
+    hierarchy_processors,
+    mesh_packet_geometry,
+    parse_hierarchy,
+    ring_packet_geometry,
+)
+from .core.errors import (
+    ConfigurationError,
+    DeadlockError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+)
+from .core.adaptive import AdaptiveResult, simulate_to_precision
+from .core.packet import Flit, Packet, PacketType
+from .core.simulation import SimulationResult, simulate
+from .core.statistics import BatchMeans, RateMeter, Summary
+from .ring.topology import (
+    PAPER_TABLE2,
+    SINGLE_RING_MAX,
+    HierarchySpec,
+    candidate_topologies,
+    recommended_topology,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CACHE_LINE_SIZES",
+    "CL_BUFFER",
+    "DEFAULT_SIM",
+    "QUICK_SIM",
+    "THOROUGH_SIM",
+    "AdaptiveResult",
+    "BatchMeans",
+    "ConfigurationError",
+    "DeadlockError",
+    "Flit",
+    "HierarchySpec",
+    "MeshSystemConfig",
+    "PAPER_TABLE2",
+    "Packet",
+    "PacketGeometry",
+    "PacketType",
+    "RateMeter",
+    "ReproError",
+    "RingSystemConfig",
+    "SINGLE_RING_MAX",
+    "SimulationError",
+    "SimulationParams",
+    "SimulationResult",
+    "Summary",
+    "TopologyError",
+    "WorkloadConfig",
+    "candidate_topologies",
+    "format_hierarchy",
+    "hierarchy_processors",
+    "mesh_packet_geometry",
+    "parse_hierarchy",
+    "recommended_topology",
+    "ring_packet_geometry",
+    "simulate",
+    "simulate_to_precision",
+]

@@ -1,0 +1,1 @@
+"""Sweep harness, paper tables, and analytic models."""

@@ -1,0 +1,67 @@
+"""Cross-over point detection between two latency curves.
+
+The paper defines "the cross-over point as the number of nodes where
+the switch over occurs" between the ring and mesh latency curves
+(Section 5.1).  Our curves are sampled at each network's natural system
+sizes (ring hierarchies and perfect squares), so the crossing is found
+on linear interpolations of the two sampled curves.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .sweeps import Series
+
+
+def interpolate(series: Series, x: float) -> float:
+    """Piecewise-linear interpolation of a sampled series at *x*."""
+    points = sorted(zip(series.xs, series.ys))
+    if not points:
+        raise ValueError(f"series {series.name!r} is empty")
+    if x <= points[0][0]:
+        return points[0][1]
+    if x >= points[-1][0]:
+        return points[-1][1]
+    for (x0, y0), (x1, y1) in zip(points, points[1:]):
+        if x0 <= x <= x1:
+            if x1 == x0:
+                return y0
+            fraction = (x - x0) / (x1 - x0)
+            return y0 + fraction * (y1 - y0)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def crossover_point(lower_first: Series, higher_first: Series) -> float | None:
+    """Smallest x where *lower_first* stops beating *higher_first*.
+
+    Returns ``None`` when *lower_first* stays below across the whole
+    common range (the paper's "cross-over above 121 nodes" case), and
+    the left edge of the range if it never wins at all.
+    """
+    xs = sorted(
+        set(lower_first.xs) | set(higher_first.xs)
+    )
+    lo = max(min(lower_first.xs), min(higher_first.xs))
+    hi = min(max(lower_first.xs), max(higher_first.xs))
+    xs = [x for x in xs if lo <= x <= hi]
+    if len(xs) < 2:
+        return None
+
+    def difference(x: float) -> float:
+        return interpolate(lower_first, x) - interpolate(higher_first, x)
+
+    previous_x = xs[0]
+    previous_d = difference(previous_x)
+    if previous_d > 0:
+        return previous_x  # never ahead
+    for x in xs[1:]:
+        d = difference(x)
+        if d > 0:
+            # Bisect the sign change on the linear segment.
+            if math.isclose(d, previous_d):
+                return x
+            fraction = -previous_d / (d - previous_d)
+            return previous_x + fraction * (x - previous_x)
+        previous_x, previous_d = x, d
+    return None

@@ -1,0 +1,235 @@
+"""Dependency-free rendering of sweep results.
+
+Two renderers for :class:`~repro.analysis.sweeps.SweepResult`:
+
+* :func:`ascii_chart` — a terminal line chart (one marker per series)
+  for quick looks at experiment output;
+* :func:`render_svg` — a standalone SVG line chart with axes, ticks and
+  a legend, written by the CLI's ``--plot`` option.  Pure string
+  assembly: no matplotlib, nothing to install.
+
+Both share the same linear-scale projection helpers; series colors and
+markers are assigned in registration order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from xml.sax.saxutils import escape
+
+from .sweeps import Series, SweepResult
+
+MARKERS = "ox+*#@%&"
+
+#: Colorblind-safe categorical palette (Okabe-Ito).
+PALETTE = (
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7",
+    "#E69F00", "#56B4E9", "#F0E442", "#000000",
+)
+
+
+@dataclass(frozen=True)
+class _Extent:
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+
+    @classmethod
+    def of(cls, series: list[Series]) -> "_Extent | None":
+        xs = [x for s in series for x in s.xs]
+        ys = [y for s in series for y in s.ys if not math.isnan(y)]
+        if not xs or not ys:
+            return None
+        x_min, x_max = min(xs), max(xs)
+        y_min, y_max = min(ys), max(ys)
+        if x_min == x_max:
+            x_min, x_max = x_min - 1, x_max + 1
+        if y_min == y_max:
+            y_min, y_max = y_min - 1, y_max + 1
+        return cls(x_min, x_max, 0.0 if y_min > 0 else y_min, y_max)
+
+    def fx(self, x: float) -> float:
+        return (x - self.x_min) / (self.x_max - self.x_min)
+
+    def fy(self, y: float) -> float:
+        return (y - self.y_min) / (self.y_max - self.y_min)
+
+
+def _tick_values(low: float, high: float, count: int = 5) -> list[float]:
+    """Round tick positions covering [low, high]."""
+    if high <= low:
+        return [low]
+    raw_step = (high - low) / max(count - 1, 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for multiple in (1, 2, 2.5, 5, 10):
+        step = multiple * magnitude
+        if step >= raw_step:
+            break
+    first = math.ceil(low / step) * step
+    ticks = []
+    value = first
+    while value <= high + 1e-9:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks or [low]
+
+
+# ----------------------------------------------------------------------
+# ASCII
+# ----------------------------------------------------------------------
+def ascii_chart(result: SweepResult, width: int = 72, height: int = 20) -> str:
+    """Render all series as a character-grid line chart."""
+    populated = [s for s in result.series.values() if s.xs]
+    extent = _Extent.of(populated)
+    lines = [result.title]
+    if extent is None:
+        lines.append("(no data)")
+        return "\n".join(lines)
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(populated):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in zip(series.xs, series.ys):
+            if math.isnan(y):
+                continue
+            column = round(extent.fx(x) * (width - 1))
+            row = height - 1 - round(extent.fy(y) * (height - 1))
+            grid[row][column] = marker
+
+    y_label_width = max(len(f"{extent.y_max:.0f}"), len(f"{extent.y_min:.0f}"))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{extent.y_max:>{y_label_width}.0f}"
+        elif row_index == height - 1:
+            label = f"{extent.y_min:>{y_label_width}.0f}"
+        else:
+            label = " " * y_label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(
+        " " * y_label_width
+        + " +"
+        + "-" * width
+    )
+    lines.append(
+        " " * y_label_width
+        + f"  {extent.x_min:<10g}{result.x_label:^{max(width - 20, 1)}}{extent.x_max:>8g}"
+    )
+    for index, series in enumerate(populated):
+        lines.append(f"  {MARKERS[index % len(MARKERS)]} {series.name}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# SVG
+# ----------------------------------------------------------------------
+def render_svg(
+    result: SweepResult,
+    width: int = 720,
+    height: int = 440,
+) -> str:
+    """Render all series as a standalone SVG line chart."""
+    margin_left, margin_right = 64, 16
+    margin_top, margin_bottom = 40, 48
+    legend_height = 18 * max(1, len(result.series))
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+
+    populated = [s for s in result.series.values() if s.xs]
+    extent = _Extent.of(populated)
+
+    def px(x: float) -> float:
+        return margin_left + extent.fx(x) * plot_w
+
+    def py(y: float) -> float:
+        return margin_top + (1.0 - extent.fy(y)) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height + legend_height}" '
+        f'viewBox="0 0 {width} {height + legend_height}">',
+        f'<rect width="{width}" height="{height + legend_height}" fill="white"/>',
+        f'<text x="{width / 2}" y="20" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="14">{escape(result.title)}</text>',
+    ]
+
+    if extent is None:
+        parts.append(
+            f'<text x="{width / 2}" y="{height / 2}" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="12">(no data)</text></svg>'
+        )
+        return "".join(parts)
+
+    # Axes and ticks.
+    axis = (
+        f'<line x1="{margin_left}" y1="{margin_top}" x2="{margin_left}" '
+        f'y2="{margin_top + plot_h}" stroke="black"/>'
+        f'<line x1="{margin_left}" y1="{margin_top + plot_h}" '
+        f'x2="{margin_left + plot_w}" y2="{margin_top + plot_h}" stroke="black"/>'
+    )
+    parts.append(axis)
+    for tick in _tick_values(extent.x_min, extent.x_max):
+        x = px(tick)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{margin_top + plot_h}" x2="{x:.1f}" '
+            f'y2="{margin_top + plot_h + 5}" stroke="black"/>'
+            f'<text x="{x:.1f}" y="{margin_top + plot_h + 18}" '
+            f'text-anchor="middle" font-family="sans-serif" font-size="10">'
+            f"{tick:g}</text>"
+        )
+    for tick in _tick_values(extent.y_min, extent.y_max):
+        y = py(tick)
+        parts.append(
+            f'<line x1="{margin_left - 5}" y1="{y:.1f}" x2="{margin_left}" '
+            f'y2="{y:.1f}" stroke="black"/>'
+            f'<text x="{margin_left - 8}" y="{y + 3:.1f}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="10">{tick:g}</text>'
+        )
+    parts.append(
+        f'<text x="{margin_left + plot_w / 2}" y="{height - 8}" '
+        f'text-anchor="middle" font-family="sans-serif" font-size="12">'
+        f"{escape(result.x_label)}</text>"
+        f'<text x="14" y="{margin_top + plot_h / 2}" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="12" '
+        f'transform="rotate(-90 14 {margin_top + plot_h / 2})">'
+        f"{escape(result.y_label)}</text>"
+    )
+
+    # Series polylines + legend.
+    for index, series in enumerate(populated):
+        color = PALETTE[index % len(PALETTE)]
+        points = " ".join(
+            f"{px(x):.1f},{py(y):.1f}"
+            for x, y in sorted(zip(series.xs, series.ys))
+            if not math.isnan(y)
+        )
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="1.8"/>'
+        )
+        for x, y in zip(series.xs, series.ys):
+            if math.isnan(y):
+                continue
+            parts.append(
+                f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="2.6" '
+                f'fill="{color}"/>'
+            )
+        legend_y = height + 14 + 18 * index
+        parts.append(
+            f'<line x1="{margin_left}" y1="{legend_y - 4}" '
+            f'x2="{margin_left + 24}" y2="{legend_y - 4}" stroke="{color}" '
+            f'stroke-width="2"/>'
+            f'<text x="{margin_left + 30}" y="{legend_y}" '
+            f'font-family="sans-serif" font-size="11">{escape(series.name)}</text>'
+        )
+
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def write_svg(result: SweepResult, path) -> None:
+    """Render and write an SVG chart to *path*."""
+    from pathlib import Path
+
+    Path(path).write_text(render_svg(result))

@@ -1,0 +1,105 @@
+"""Markdown reporting over saved experiment results.
+
+``python -m repro.experiments all --json results/`` leaves one JSON
+file per experiment; :func:`summarize_results_dir` turns a directory of
+them into the Markdown summary used in EXPERIMENTS.md — experiment id,
+series count, sampled size range, latency/utilization extremes, and
+any notes (cross-over points) the experiment recorded.  Exposed on the
+CLI as ``--summarize DIR``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class ExperimentDigest:
+    """Condensed view of one saved experiment result."""
+
+    experiment_id: str
+    scale: str
+    title: str
+    series_count: int
+    x_range: tuple[float, float] | None
+    y_range: tuple[float, float] | None
+    notes: list[str] = field(default_factory=list)
+
+    @classmethod
+    def from_payload(
+        cls, experiment_id: str, scale: str, payload: dict
+    ) -> "ExperimentDigest":
+        xs = [x for series in payload["series"].values() for x in series["x"]]
+        ys = [
+            y
+            for series in payload["series"].values()
+            for y in series["y"]
+            if isinstance(y, (int, float)) and not math.isnan(y)
+        ]
+        return cls(
+            experiment_id=experiment_id,
+            scale=scale,
+            title=payload.get("title", experiment_id),
+            series_count=len(payload["series"]),
+            x_range=(min(xs), max(xs)) if xs else None,
+            y_range=(min(ys), max(ys)) if ys else None,
+            notes=list(payload.get("notes", [])),
+        )
+
+
+def load_digests(results_dir: "str | Path") -> list[ExperimentDigest]:
+    """Parse every ``<experiment>_<scale>.json`` in *results_dir*."""
+    directory = Path(results_dir)
+    digests = []
+    for path in sorted(directory.glob("*.json")):
+        stem = path.stem
+        experiment_id, __, scale = stem.rpartition("_")
+        if not experiment_id:
+            experiment_id, scale = stem, "unknown"
+        payload = json.loads(path.read_text())
+        digests.append(ExperimentDigest.from_payload(experiment_id, scale, payload))
+    digests.sort(key=lambda digest: _sort_key(digest.experiment_id))
+    return digests
+
+
+def _sort_key(experiment_id: str) -> tuple:
+    digits = "".join(ch for ch in experiment_id if ch.isdigit())
+    if experiment_id.startswith("table"):
+        return (0, int(digits or 0), experiment_id)
+    if experiment_id.startswith("fig"):
+        return (1, int(digits or 0), experiment_id)
+    return (2, 0, experiment_id)
+
+
+def summarize_results_dir(results_dir: "str | Path") -> str:
+    """A Markdown table plus per-experiment notes for a results dir."""
+    digests = load_digests(results_dir)
+    if not digests:
+        return f"no experiment results found in {results_dir}"
+    lines = [
+        "| experiment | scale | series | sizes | y range | notes |",
+        "|---|---|---|---|---|---|",
+    ]
+    for digest in digests:
+        x_text = (
+            f"{digest.x_range[0]:g}-{digest.x_range[1]:g}" if digest.x_range else "-"
+        )
+        y_text = (
+            f"{digest.y_range[0]:.1f}-{digest.y_range[1]:.1f}"
+            if digest.y_range
+            else "-"
+        )
+        lines.append(
+            f"| {digest.experiment_id} | {digest.scale} | {digest.series_count} "
+            f"| {x_text} | {y_text} | {len(digest.notes)} |"
+        )
+    for digest in digests:
+        if digest.notes:
+            lines.append("")
+            lines.append(f"**{digest.experiment_id}**")
+            for note in digest.notes:
+                lines.append(f"- {note}")
+    return "\n".join(lines)

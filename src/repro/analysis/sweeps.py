@@ -1,0 +1,221 @@
+"""Parameter-sweep helpers shared by the experiment modules.
+
+The paper's figures are latency-vs-system-size and utilization-vs-size
+curves for families of configurations.  This module provides:
+
+* :class:`Series` / :class:`SweepResult` — the tabular results the
+  experiment harness renders and the tests assert on;
+* topology growth schedules — which hierarchy the paper would build at
+  each system size when sweeping "Number of Nodes" (single rings grow
+  node by node; multi-level hierarchies add children to the top ring,
+  keeping lower levels at their design-rule maxima);
+* one-call runners that map a list of system sizes to simulated
+  latency/utilization points.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..core.config import (
+    MeshSystemConfig,
+    RingSystemConfig,
+    SimulationParams,
+    WorkloadConfig,
+)
+from ..core.simulation import SimulationResult, simulate
+from ..ring.topology import SINGLE_RING_MAX
+
+
+@dataclass
+class Series:
+    """One labelled curve: y(x) plus the raw results behind each point."""
+
+    name: str
+    xs: list[float] = field(default_factory=list)
+    ys: list[float] = field(default_factory=list)
+    meta: list[dict] = field(default_factory=list)
+
+    def add(self, x: float, y: float, **meta) -> None:
+        self.xs.append(x)
+        self.ys.append(y)
+        self.meta.append(meta)
+
+    def y_at(self, x: float) -> float:
+        """Exact y for a sampled x (raises if the x was not sampled)."""
+        return self.ys[self.xs.index(x)]
+
+    def as_points(self) -> list[tuple[float, float]]:
+        return list(zip(self.xs, self.ys))
+
+    def is_nondecreasing(self, slack: float = 0.0) -> bool:
+        """Whether the curve never drops by more than *slack* (relative)."""
+        for previous, current in zip(self.ys, self.ys[1:]):
+            if current < previous * (1.0 - slack):
+                return False
+        return True
+
+
+@dataclass
+class SweepResult:
+    """A bundle of series, e.g. everything drawn in one paper figure."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: dict[str, Series] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def new_series(self, name: str) -> Series:
+        if name in self.series:
+            raise ValueError(f"duplicate series {name!r}")
+        created = Series(name)
+        self.series[name] = created
+        return created
+
+    def format_table(self) -> str:
+        """Render all series as one aligned text table (union of xs)."""
+        all_xs = sorted({x for s in self.series.values() for x in s.xs})
+        names = list(self.series)
+        header = [self.x_label.ljust(12)] + [n.rjust(max(12, len(n))) for n in names]
+        lines = [self.title, "  ".join(header)]
+        for x in all_xs:
+            row = [f"{x:<12g}"]
+            for name in names:
+                s = self.series[name]
+                if x in s.xs:
+                    row.append(f"{s.y_at(x):>{max(12, len(name))}.1f}")
+                else:
+                    row.append(" " * max(12, len(name)))
+            lines.append("  ".join(row))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "title": self.title,
+                "x_label": self.x_label,
+                "y_label": self.y_label,
+                "series": {
+                    name: {"x": s.xs, "y": s.ys} for name, s in self.series.items()
+                },
+                "notes": self.notes,
+            },
+            indent=2,
+        )
+
+
+# ----------------------------------------------------------------------
+# topology growth schedules
+# ----------------------------------------------------------------------
+def single_ring_sizes(cache_line_bytes: int, max_nodes: int) -> list[int]:
+    """Node counts for the single-ring sweep (paper Figure 6)."""
+    base = [2, 4, 6, 8, 10, 12, 16, 20, 24, 32, 48, 64]
+    maximum = SINGLE_RING_MAX[cache_line_bytes]
+    # Always include the design-rule maximum and its neighborhood.
+    sizes = sorted(set(base + [maximum, maximum + 2, 2 * maximum]))
+    return [n for n in sizes if 2 <= n <= max_nodes]
+
+
+def growth_topologies(
+    levels: int, cache_line_bytes: int, max_nodes: int, max_top_fan: int = 6
+) -> list[tuple[int, tuple[int, ...]]]:
+    """(nodes, branching) schedule for an *levels*-deep hierarchy sweep.
+
+    Multi-level systems grow by adding children to the top ring while
+    inner levels stay at the paper's design-rule maxima: local rings at
+    :data:`SINGLE_RING_MAX` PMs and intermediate rings at 3 children.
+    This is exactly how the paper walks Figures 7 and 9 across system
+    sizes and is what exposes the bisection-bandwidth knee at 3 children
+    on the top ring.
+    """
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    local = SINGLE_RING_MAX[cache_line_bytes]
+    if levels == 1:
+        return [(n, (n,)) for n in single_ring_sizes(cache_line_bytes, max_nodes)]
+    inner = (3,) * (levels - 2)
+    schedule = []
+    for fan in range(2, max_top_fan + 1):
+        branching = (fan, *inner, local)
+        nodes = fan * (3 ** (levels - 2)) * local
+        if nodes <= max_nodes:
+            schedule.append((nodes, branching))
+    return schedule
+
+
+def hierarchy_sweep(
+    levels: int, cache_line_bytes: int, max_nodes: int
+) -> list[tuple[int, tuple[int, ...]]]:
+    """Growth schedule including the smaller lower-level prefix systems.
+
+    A 2-level sweep starts with the single-ring sizes, a 3-level sweep
+    with the 2-level schedule, and so on — matching the paper's curves,
+    which plot each hierarchy depth from small node counts upward.
+    Prefix systems of lower depth are only used up to their design-rule
+    capacity (a local ring's maximum, three local rings per level), so
+    e.g. a 16-node 32B-line system is built as 2:8, not as a saturated
+    16-node single ring.
+    """
+    local = SINGLE_RING_MAX[cache_line_bytes]
+    schedule: list[tuple[int, tuple[int, ...]]] = []
+    for depth in range(1, levels + 1):
+        if depth < levels:
+            cap = min(max_nodes, local * 3 ** (depth - 1))
+        else:
+            cap = max_nodes
+        for nodes, branching in growth_topologies(depth, cache_line_bytes, cap):
+            if all(nodes != existing for existing, __ in schedule):
+                schedule.append((nodes, branching))
+    schedule.sort(key=lambda item: item[0])
+    return schedule
+
+
+def mesh_sides(max_nodes: int, minimum_side: int = 2) -> list[int]:
+    """Mesh edge lengths with ``side*side <= max_nodes`` (paper: 4..121)."""
+    sides = []
+    side = minimum_side
+    while side * side <= max_nodes:
+        sides.append(side)
+        side += 1
+    return sides
+
+
+# ----------------------------------------------------------------------
+# point runners
+# ----------------------------------------------------------------------
+def run_ring_point(
+    topology: tuple[int, ...] | str,
+    cache_line_bytes: int,
+    workload: WorkloadConfig,
+    params: SimulationParams,
+    global_ring_speed: int = 1,
+    memory_latency: int = 10,
+) -> SimulationResult:
+    config = RingSystemConfig(
+        topology=topology,
+        cache_line_bytes=cache_line_bytes,
+        global_ring_speed=global_ring_speed,
+        memory_latency=memory_latency,
+    )
+    return simulate(config, workload, params)
+
+
+def run_mesh_point(
+    side: int,
+    cache_line_bytes: int,
+    buffer_flits,
+    workload: WorkloadConfig,
+    params: SimulationParams,
+    memory_latency: int = 10,
+) -> SimulationResult:
+    config = MeshSystemConfig(
+        side=side,
+        cache_line_bytes=cache_line_bytes,
+        buffer_flits=buffer_flits,
+        memory_latency=memory_latency,
+    )
+    return simulate(config, workload, params)

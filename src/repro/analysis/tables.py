@@ -1,0 +1,131 @@
+"""Reproductions of the paper's two tables.
+
+* **Table 1** compares NIC buffer memory requirements: a ring NIC has a
+  single cache-line-sized ring buffer of 16-byte flits, while a mesh
+  NIC has four input buffers (one per neighbor link) of 4-byte flits in
+  depths of ``cl``, 4 or 1 flits.  This is pure arithmetic.
+* **Table 2** gives the best hierarchical-ring topology for each
+  (processor count, cache line size) under the no-locality workload.
+  :func:`table2_topology_search` reproduces it by simulating every
+  design-rule candidate hierarchy and ranking by measured latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import (
+    CACHE_LINE_SIZES,
+    MESH_FLIT_BYTES,
+    RING_FLIT_BYTES,
+    SimulationParams,
+    WorkloadConfig,
+    mesh_packet_geometry,
+    ring_packet_geometry,
+)
+from ..ring.topology import PAPER_TABLE2, candidate_topologies
+from .sweeps import run_ring_point
+
+
+@dataclass(frozen=True)
+class MemoryRequirementRow:
+    """One Table 1 row: NIC transit-buffer bytes for a cache line size."""
+
+    network: str
+    cache_line_bytes: int
+    ring_nic_bytes: int | None
+    mesh_cl_bytes: int | None
+    mesh_4flit_bytes: int | None
+    mesh_1flit_bytes: int | None
+
+
+def ring_nic_buffer_bytes(cache_line_bytes: int) -> int:
+    """Ring NIC transit memory: one cl-sized ring buffer of 16B flits."""
+    return ring_packet_geometry(cache_line_bytes).cl_packet_flits * RING_FLIT_BYTES
+
+
+def mesh_nic_buffer_bytes(cache_line_bytes: int, buffer_flits: int | str) -> int:
+    """Mesh NIC transit memory: four input buffers of 4B flits."""
+    geometry = mesh_packet_geometry(cache_line_bytes)
+    depth = geometry.cl_packet_flits if buffer_flits == "cl" else int(buffer_flits)
+    return 4 * depth * MESH_FLIT_BYTES
+
+
+def table1_memory_requirements() -> list[MemoryRequirementRow]:
+    """All Table 1 rows for the four cache line sizes."""
+    rows = []
+    for cl in CACHE_LINE_SIZES:
+        rows.append(
+            MemoryRequirementRow(
+                network="comparison",
+                cache_line_bytes=cl,
+                ring_nic_bytes=ring_nic_buffer_bytes(cl),
+                mesh_cl_bytes=mesh_nic_buffer_bytes(cl, "cl"),
+                mesh_4flit_bytes=mesh_nic_buffer_bytes(cl, 4),
+                mesh_1flit_bytes=mesh_nic_buffer_bytes(cl, 1),
+            )
+        )
+    return rows
+
+
+def format_table1(rows: list[MemoryRequirementRow] | None = None) -> str:
+    rows = rows if rows is not None else table1_memory_requirements()
+    lines = [
+        "Table 1: NIC buffer memory requirements (bytes)",
+        f"{'cache line':>10} {'ring (cl)':>10} {'mesh cl':>8} {'mesh 4-flit':>12} {'mesh 1-flit':>12}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.cache_line_bytes:>9}B {row.ring_nic_bytes:>10} "
+            f"{row.mesh_cl_bytes:>8} {row.mesh_4flit_bytes:>12} {row.mesh_1flit_bytes:>12}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class TopologyRanking:
+    """Simulated latency ranking of candidate hierarchies for one size."""
+
+    processors: int
+    cache_line_bytes: int
+    ranked: list[tuple[tuple[int, ...], float]]  # (branching, latency) best first
+
+    @property
+    def best(self) -> tuple[int, ...]:
+        return self.ranked[0][0]
+
+    @property
+    def paper_choice(self) -> tuple[int, ...] | None:
+        return PAPER_TABLE2.get(self.cache_line_bytes, {}).get(self.processors)
+
+    def paper_choice_rank(self) -> int | None:
+        """0-based rank of the paper's Table 2 entry in our measurement."""
+        choice = self.paper_choice
+        if choice is None:
+            return None
+        for rank, (branching, __) in enumerate(self.ranked):
+            if branching == choice:
+                return rank
+        return None
+
+
+def table2_topology_search(
+    processors: int,
+    cache_line_bytes: int,
+    workload: WorkloadConfig | None = None,
+    params: SimulationParams | None = None,
+    max_levels: int = 4,
+) -> TopologyRanking:
+    """Simulate every design-rule hierarchy for one (P, cl) cell.
+
+    The paper's Table 2 workload is R=1.0, C=0.04, T=4.
+    """
+    workload = workload or WorkloadConfig(locality=1.0, miss_rate=0.04, outstanding=4)
+    params = params or SimulationParams(batch_cycles=1500, batches=4)
+    candidates = candidate_topologies(processors, cache_line_bytes, max_levels=max_levels)
+    measured: list[tuple[tuple[int, ...], float]] = []
+    for branching in candidates:
+        result = run_ring_point(branching, cache_line_bytes, workload, params)
+        measured.append((branching, result.avg_latency))
+    measured.sort(key=lambda item: item[1])
+    return TopologyRanking(processors, cache_line_bytes, measured)

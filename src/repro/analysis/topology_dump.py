@@ -1,0 +1,88 @@
+"""Graphviz DOT export of built networks.
+
+``dot -Tsvg`` (or any Graphviz viewer) renders the exact simulated
+structure: every NIC, IRI port and router, and every unidirectional
+channel, labelled with its utilization class.  Handy when debugging a
+topology or explaining the hierarchy/mesh wiring in a talk.
+"""
+
+from __future__ import annotations
+
+from ..mesh.network import MeshNetwork
+from ..ring.network import HierarchicalRingNetwork
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def ring_network_dot(network: HierarchicalRingNetwork) -> str:
+    """DOT digraph of a hierarchical ring system."""
+    lines = [
+        "digraph hierarchical_ring {",
+        "  rankdir=LR;",
+        '  node [shape=box, fontname="sans-serif", fontsize=10];',
+    ]
+    for nic in network.nics:
+        lines.append(
+            f"  {_quote(nic.name)} [label=\"{nic.name}\\nPM {nic.pm.pm_id}\", "
+            f'style=filled, fillcolor="#cfe8ff"];'
+        )
+    for iri in network.iris.values():
+        for port in (iri.lower_port, iri.upper_port):
+            lines.append(
+                f"  {_quote(port.name)} [style=filled, fillcolor=\"#ffe2c4\"];"
+            )
+        # Dashed tie showing the two ports belong to one IRI crossbar.
+        lines.append(
+            f"  {_quote(iri.lower_port.name)} -> {_quote(iri.upper_port.name)} "
+            f'[dir=both, style=dashed, color="#999999", constraint=false];'
+        )
+    color = {"local": "#1f77b4", "intermediate": "#2ca02c", "global": "#d62728"}
+    ports = list(network.nics)
+    for iri in network.iris.values():
+        ports.extend([iri.lower_port, iri.upper_port])
+    for port in ports:
+        channel = port.out_channel
+        lines.append(
+            f"  {_quote(port.name)} -> {_quote(port.downstream.name)} "
+            f'[color="{color.get(channel.klass, "black")}", '
+            f'label="{channel.klass}{"/2x" if channel.speed == 2 else ""}", '
+            f"fontsize=8];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def mesh_network_dot(network: MeshNetwork) -> str:
+    """DOT digraph of a 2D mesh system (grid layout hints included)."""
+    side = network.shape.side
+    lines = [
+        "digraph mesh {",
+        '  node [shape=box, fontname="sans-serif", fontsize=10];',
+        "  edge [arrowsize=0.6];",
+    ]
+    for router in network.routers:
+        x, y = network.shape.coordinates(router.node)
+        lines.append(
+            f"  {_quote(router.name)} [label=\"R{router.node}\\n({x},{y})\", "
+            f'pos="{x},{side - 1 - y}!", style=filled, fillcolor="#e4f0e4"];'
+        )
+    for router in network.routers:
+        for direction, neighbor_id in network.shape.neighbors(router.node).items():
+            lines.append(
+                f"  {_quote(router.name)} -> "
+                f"{_quote(network.routers[neighbor_id].name)} "
+                f'[label="{direction}", fontsize=8];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def network_dot(network) -> str:
+    """Dispatch on network type."""
+    if isinstance(network, HierarchicalRingNetwork):
+        return ring_network_dot(network)
+    if isinstance(network, MeshNetwork):
+        return mesh_network_dot(network)
+    raise TypeError(f"cannot render {type(network).__name__}")

@@ -1,0 +1,147 @@
+"""Closed-form zero-load latency models.
+
+These are *independent* re-derivations of what the simulator should
+measure on an idle network; the test suite uses them the way the paper
+used its Hector-prototype calibration (DESIGN.md §4).
+
+Timing model being checked (one transfer = one cycle):
+
+* a packet generated in cycle *t* enters the output queue in the same
+  cycle and its head flit makes its first transfer in *t + 1*;
+* the head flit needs one transfer per buffer stage on its path; the
+  tail flit follows ``size - 1`` cycles behind at zero load;
+* memory turns a fully received request into an injectable response
+  ``memory_latency`` cycles later;
+* latency is recorded in the cycle the response's tail flit reaches
+  the requesting PM's input queue.
+
+Hence a round trip costs::
+
+    X_req + (s_req - 1) + memory_latency + X_resp + (s_resp - 1)
+
+where ``X`` is the head's transfer count each way.  On a ring a packet
+is classified directly into the destination PM's input queue on its
+final hop, so ``X`` equals the number of ring links traversed (IRIs
+count as one stage like any node).  On a mesh, ejection is a separate
+crossbar pass: ``X = hops + 1``.
+"""
+
+from __future__ import annotations
+
+from ..core.config import MeshSystemConfig, PacketGeometry, RingSystemConfig
+from ..mesh.topology import MeshShape
+from ..ring.topology import HierarchySpec
+
+
+def ring_path_length(spec: HierarchySpec, source: int, destination: int) -> int:
+    """Buffer-stage transfers from *source*'s NIC to *destination*'s sink.
+
+    Walks the unique hierarchical route: around the source's local ring
+    to its IRI, up to the common-ancestor ring, around it to the
+    destination subtree's IRI, and down.  Ring member order matches the
+    network builder: the parent IRI at position 0, then children in
+    index order.
+    """
+    if source == destination:
+        return 0
+    src = spec.address_of(source)
+    dst = spec.address_of(destination)
+    levels = spec.levels
+
+    common = 0
+    while src[common] == dst[common]:
+        common += 1
+    # The route ascends to the ring at depth `common` (their lowest
+    # common ancestor ring).
+    hops = 0
+
+    def ring_size(depth: int) -> int:
+        fan = spec.branching[depth]
+        return fan + (1 if depth > 0 else 0)
+
+    def position(depth: int, child_index: int) -> int:
+        """Ring position of child *child_index* on a ring at *depth*."""
+        return child_index + (1 if depth > 0 else 0)
+
+    # Ascend: from the source NIC up to the common-ancestor ring.  At
+    # each ring below the ancestor, travel from the entry position to
+    # the parent IRI (position 0).
+    entry = position(levels - 1, src[levels - 1])  # source NIC position
+    for depth in range(levels - 1, common, -1):
+        # Travel to the parent IRI at position 0; entry is always >= 1
+        # below the ancestor, so the modulo never degenerates to zero.
+        hops += (0 - entry) % ring_size(depth)
+        entry = position(depth - 1, src[depth - 1])
+
+    # Across the ancestor ring: from the entry position (the source-side
+    # child's IRI upper port, or the source NIC on a single ring) to the
+    # destination-side child (IRI upper port or destination NIC).
+    hops += (position(common, dst[common]) - entry) % ring_size(common)
+
+    # Descend: the hop into each IRI upper port placed the packet in its
+    # down queue (position 0 of the lower ring); travel onward to the
+    # next exit.
+    for depth in range(common + 1, levels):
+        hops += position(depth, dst[depth]) % ring_size(depth)
+
+    return hops
+
+
+def ring_zero_load_round_trip(
+    config: RingSystemConfig, source: int, destination: int, is_read: bool = True
+) -> int:
+    """Zero-load round-trip latency for one remote access on a ring system."""
+    spec = HierarchySpec.parse(config.topology)
+    geometry = config.geometry
+    s_req = geometry.header_flits if is_read else geometry.cl_packet_flits
+    s_resp = geometry.cl_packet_flits if is_read else geometry.header_flits
+    forward = ring_path_length(spec, source, destination)
+    backward = ring_path_length(spec, destination, source)
+    return forward + backward + s_req + s_resp - 2 + config.memory_latency
+
+
+def single_ring_round_trip(config: RingSystemConfig) -> int:
+    """Zero-load round trip on a single ring — independent of the pair.
+
+    Request and response hops sum to one full loop (N links), and read
+    and write transactions serialize the same total flit count, so::
+
+        N + cl_packet + header - 2 + memory_latency
+    """
+    spec = HierarchySpec.parse(config.topology)
+    if spec.levels != 1:
+        raise ValueError("single_ring_round_trip requires a 1-level topology")
+    geometry = config.geometry
+    return (
+        spec.processors
+        + geometry.cl_packet_flits
+        + geometry.header_flits
+        - 2
+        + config.memory_latency
+    )
+
+
+def mesh_zero_load_round_trip(
+    config: MeshSystemConfig, source: int, destination: int, is_read: bool = True
+) -> int:
+    """Zero-load round-trip latency for one remote access on a mesh."""
+    shape = MeshShape(config.side)
+    geometry = config.geometry
+    s_req = geometry.header_flits if is_read else geometry.cl_packet_flits
+    s_resp = geometry.cl_packet_flits if is_read else geometry.header_flits
+    distance = shape.hop_distance(source, destination)
+    return 2 * (distance + 1) + s_req + s_resp - 2 + config.memory_latency
+
+
+def mesh_average_zero_load(config: MeshSystemConfig, geometry: PacketGeometry | None = None) -> float:
+    """Mean zero-load read round trip over all distinct pairs."""
+    shape = MeshShape(config.side)
+    geometry = geometry or config.geometry
+    avg_d = shape.average_distance()
+    return (
+        2 * (avg_d + 1)
+        + geometry.header_flits
+        + geometry.cl_packet_flits
+        - 2
+        + config.memory_latency
+    )

@@ -1,0 +1,1 @@
+"""Core simulation kernel: engine, packets, buffers, endpoints, statistics."""

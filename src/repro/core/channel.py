@@ -1,0 +1,72 @@
+"""Physical channels (links) between network nodes.
+
+A :class:`Channel` is a unidirectional point-to-point link.  It does not
+store flits — transfers move flits directly from a source buffer into a
+destination buffer in the same cycle, which models the paper's
+"one flit to the next adjacent node per clock cycle" with the 1-cycle
+routing delay charged by the destination buffer (a flit enqueued in
+cycle *t* is eligible to move again at *t+1*).
+
+Channels serve two purposes:
+
+* **utilization accounting** — each committed transfer over the channel
+  increments a flit counter; channels are grouped into named classes
+  (``"ring.local"``, ``"ring.global"``, ``"mesh"`` ...) so the networks
+  can report the paper's per-level utilization figures; and
+* **wormhole receive classification** — the destination node decides,
+  per packet, which of its buffers an arriving packet enters (transit
+  buffer, up/down queue, or ejection sink).  The decision is made on the
+  head flit and remembered on the channel so body flits follow it, which
+  is sound because wormhole switching forbids interleaving flits of
+  different packets on one link.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .buffers import FlitBuffer
+    from .packet import Packet
+
+
+class Channel:
+    """A unidirectional link with utilization counters.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label.
+    klass:
+        Utilization grouping key, e.g. ``"ring.local"`` or ``"mesh"``.
+    speed:
+        Flit-transfer opportunities per base (PM) clock cycle.  1 for
+        normal links, 2 for links on a double-speed global ring.
+    """
+
+    __slots__ = ("name", "klass", "speed", "flits_carried", "incoming_route", "incoming_packet")
+
+    def __init__(self, name: str, klass: str, speed: int = 1):
+        self.name = name
+        self.klass = klass
+        self.speed = speed
+        self.flits_carried = 0
+        # Receive-side wormhole state: the buffer the in-flight packet's
+        # remaining flits are being delivered to, and that packet.
+        self.incoming_route: "FlitBuffer | None" = None
+        self.incoming_packet: "Packet | None" = None
+
+    def record_flit(self) -> None:
+        self.flits_carried += 1
+
+    def open_route(self, packet: "Packet", buffer: "FlitBuffer") -> None:
+        """Pin the destination buffer for the remaining flits of *packet*."""
+        self.incoming_packet = packet
+        self.incoming_route = buffer
+
+    def close_route(self) -> None:
+        self.incoming_packet = None
+        self.incoming_route = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Channel({self.name}, {self.klass}, x{self.speed}, {self.flits_carried} flits)"

@@ -1,0 +1,322 @@
+"""Configuration objects and derived packet geometry.
+
+All paper constants live here:
+
+* cache line sizes studied: 16, 32, 64, 128 bytes;
+* ring channels are 128 bits wide (16-byte flits) with 1-flit headers,
+  so a cache-line packet is 2, 3, 5 or 9 flits (Section 2.2);
+* mesh channels are 32 bits wide (4-byte flits) with 4-flit headers,
+  so a cache-line packet is 8, 12, 20 or 36 flits;
+* the cache miss rate ``C`` defaults to 0.04 (one miss per 25 cycles),
+  the read fraction to 0.7, and the outstanding-transaction limit ``T``
+  to 4 (Section 2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Literal
+
+from .errors import ConfigurationError
+from .packet import PacketType
+
+CACHE_LINE_SIZES: tuple[int, ...] = (16, 32, 64, 128)
+
+RING_FLIT_BYTES = 16  # 128-bit ring data path
+RING_HEADER_FLITS = 1
+MESH_FLIT_BYTES = 4  # 32-bit mesh channels
+MESH_HEADER_FLITS = 4
+
+#: Mesh router input buffer depth named "cl" in the paper: sized to hold
+#: one full cache-line packet.
+CL_BUFFER: Literal["cl"] = "cl"
+
+
+@dataclass(frozen=True)
+class PacketGeometry:
+    """Flit counts for each packet type under one network's framing."""
+
+    header_flits: int
+    data_flits: int
+
+    @property
+    def cl_packet_flits(self) -> int:
+        """Size of a packet carrying a cache line (the paper's ``cl``)."""
+        return self.header_flits + self.data_flits
+
+    def size_of(self, ptype: PacketType) -> int:
+        if ptype.carries_data:
+            return self.cl_packet_flits
+        return self.header_flits
+
+
+def _check_cache_line(cache_line_bytes: int) -> None:
+    if cache_line_bytes not in CACHE_LINE_SIZES:
+        raise ConfigurationError(
+            f"cache line must be one of {CACHE_LINE_SIZES}, got {cache_line_bytes}"
+        )
+
+
+def ring_packet_geometry(cache_line_bytes: int) -> PacketGeometry:
+    """Ring packet framing: 16-byte flits, 1-flit header."""
+    _check_cache_line(cache_line_bytes)
+    return PacketGeometry(RING_HEADER_FLITS, cache_line_bytes // RING_FLIT_BYTES)
+
+
+def mesh_packet_geometry(cache_line_bytes: int) -> PacketGeometry:
+    """Mesh packet framing: 4-byte flits, 4-flit header."""
+    _check_cache_line(cache_line_bytes)
+    return PacketGeometry(MESH_HEADER_FLITS, cache_line_bytes // MESH_FLIT_BYTES)
+
+
+def parse_hierarchy(spec: "str | tuple[int, ...] | list[int]") -> tuple[int, ...]:
+    """Parse the paper's ``"2:3:4"`` hierarchy notation into a tuple.
+
+    The notation is top-down: ``"2:3:4"`` is a 3-level hierarchy whose
+    global ring connects 2 intermediate rings, each connecting 3 local
+    rings of 4 processing modules (24 processors total).  A single-level
+    system is just ``"8"`` / ``(8,)``.
+    """
+    if isinstance(spec, str):
+        parts = spec.split(":")
+        try:
+            branching = tuple(int(p) for p in parts)
+        except ValueError as exc:
+            raise ConfigurationError(f"bad hierarchy spec {spec!r}") from exc
+    else:
+        branching = tuple(int(b) for b in spec)
+    if not branching:
+        raise ConfigurationError("hierarchy spec must have at least one level")
+    if any(b < 1 for b in branching):
+        raise ConfigurationError(f"hierarchy branching factors must be >= 1: {branching}")
+    if len(branching) > 1 and any(b < 2 for b in branching[:-1]):
+        raise ConfigurationError(
+            f"non-leaf levels need at least 2 children: {branching}"
+        )
+    return branching
+
+
+def hierarchy_processors(branching: tuple[int, ...]) -> int:
+    count = 1
+    for b in branching:
+        count *= b
+    return count
+
+
+def format_hierarchy(branching: tuple[int, ...]) -> str:
+    return ":".join(str(b) for b in branching)
+
+
+@dataclass(frozen=True)
+class RingSystemConfig:
+    """A hierarchical-ring multiprocessor system.
+
+    Parameters
+    ----------
+    topology:
+        Hierarchy in ``"2:3:4"`` notation or as a top-down branching
+        tuple; see :func:`parse_hierarchy`.
+    cache_line_bytes:
+        16, 32, 64 or 128.
+    global_ring_speed:
+        1 for the base system; 2 clocks the global (top-level) ring at
+        twice the PM clock (Section 6).
+    memory_latency:
+        Fixed pipelined memory access time in cycles.  The paper never
+        states its value; it is an additive constant on every latency
+        curve (see DESIGN.md).
+    transit_priority, response_priority:
+        The paper's NIC/IRI arbitration: transit packets first, then
+        responses over requests (Section 2.1).  Exposed as ablation
+        knobs; leave True to model the paper.
+    switching:
+        ``"wormhole"`` is the paper's model: a packet blocked at a full
+        inter-ring queue stalls in place and back-pressures the ring.
+        ``"slotted"`` models the non-blocking switching that Hector and
+        NUMAchine actually built (paper footnote 3; Ravindran & Stumm,
+        IEICE '96): a packet that finds its up/down queue full simply
+        continues around the ring and retries next revolution, and a
+        node only starts injecting when no transit packet is arriving.
+    """
+
+    topology: "str | tuple[int, ...]" = "2:3:4"
+    cache_line_bytes: int = 32
+    global_ring_speed: int = 1
+    memory_latency: int = 10
+    transit_priority: bool = True
+    response_priority: bool = True
+    switching: str = "wormhole"
+
+    @property
+    def branching(self) -> tuple[int, ...]:
+        return parse_hierarchy(self.topology)
+
+    @property
+    def levels(self) -> int:
+        return len(self.branching)
+
+    @property
+    def processors(self) -> int:
+        return hierarchy_processors(self.branching)
+
+    @property
+    def geometry(self) -> PacketGeometry:
+        return ring_packet_geometry(self.cache_line_bytes)
+
+    @property
+    def ring_buffer_flits(self) -> int:
+        """Ring/NIC/IRI buffers hold exactly one cache-line packet."""
+        return self.geometry.cl_packet_flits
+
+    def validate(self) -> "RingSystemConfig":
+        _check_cache_line(self.cache_line_bytes)
+        parse_hierarchy(self.topology)
+        if self.global_ring_speed not in (1, 2):
+            raise ConfigurationError(
+                f"global_ring_speed must be 1 or 2, got {self.global_ring_speed}"
+            )
+        if self.memory_latency < 0:
+            raise ConfigurationError("memory_latency must be >= 0")
+        if self.switching not in ("wormhole", "slotted"):
+            raise ConfigurationError(
+                f"switching must be 'wormhole' or 'slotted', got {self.switching!r}"
+            )
+        return self
+
+    def with_topology(self, topology: "str | tuple[int, ...]") -> "RingSystemConfig":
+        return replace(self, topology=topology)
+
+
+@dataclass(frozen=True)
+class MeshSystemConfig:
+    """A square 2D bi-directional mesh multiprocessor system.
+
+    Parameters
+    ----------
+    side:
+        Mesh edge length; the system has ``side * side`` processors.
+    cache_line_bytes:
+        16, 32, 64 or 128.
+    buffer_flits:
+        Router input FIFO depth in flits: 1, 4 or :data:`CL_BUFFER`
+        (one full cache-line packet, the paper's ``cl``).
+    memory_latency:
+        Fixed pipelined memory access time in cycles (see
+        :class:`RingSystemConfig`).
+    """
+
+    side: int = 4
+    cache_line_bytes: int = 32
+    buffer_flits: "int | Literal['cl']" = 4
+    memory_latency: int = 10
+
+    @property
+    def processors(self) -> int:
+        return self.side * self.side
+
+    @property
+    def geometry(self) -> PacketGeometry:
+        return mesh_packet_geometry(self.cache_line_bytes)
+
+    @property
+    def input_buffer_flits(self) -> int:
+        if self.buffer_flits == CL_BUFFER:
+            return self.geometry.cl_packet_flits
+        return int(self.buffer_flits)
+
+    def validate(self) -> "MeshSystemConfig":
+        _check_cache_line(self.cache_line_bytes)
+        if self.side < 1:
+            raise ConfigurationError(f"mesh side must be >= 1, got {self.side}")
+        if self.buffer_flits != CL_BUFFER and int(self.buffer_flits) < 1:
+            raise ConfigurationError(
+                f"buffer_flits must be >= 1 or 'cl', got {self.buffer_flits!r}"
+            )
+        if self.memory_latency < 0:
+            raise ConfigurationError("memory_latency must be >= 0")
+        return self
+
+    @classmethod
+    def for_processors(cls, processors: int, **kwargs) -> "MeshSystemConfig":
+        """Build the smallest square mesh holding *processors* nodes."""
+        side = 1
+        while side * side < processors:
+            side += 1
+        if side * side != processors:
+            raise ConfigurationError(
+                f"mesh systems must be square; {processors} is not a perfect square"
+            )
+        return cls(side=side, **kwargs)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """The paper's M-MRP synthetic workload (Section 2.4).
+
+    ``locality`` is the paper's ``R`` (memory region fraction),
+    ``miss_rate`` is ``C`` (per-cycle cache miss probability), and
+    ``outstanding`` is ``T`` (transactions in flight before the
+    processor blocks).
+    """
+
+    locality: float = 1.0
+    miss_rate: float = 0.04
+    outstanding: int = 4
+    read_fraction: float = 0.7
+
+    def validate(self) -> "WorkloadConfig":
+        if not 0.0 < self.locality <= 1.0:
+            raise ConfigurationError(f"locality R must be in (0, 1], got {self.locality}")
+        if not 0.0 < self.miss_rate <= 1.0:
+            raise ConfigurationError(f"miss_rate C must be in (0, 1], got {self.miss_rate}")
+        if self.outstanding < 1:
+            raise ConfigurationError(f"outstanding T must be >= 1, got {self.outstanding}")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ConfigurationError(
+                f"read_fraction must be in [0, 1], got {self.read_fraction}"
+            )
+        return self
+
+
+@dataclass(frozen=True)
+class SimulationParams:
+    """Run-length and output-analysis control.
+
+    The paper uses the batch means method with the first batch discarded
+    for initialization bias (Section 2.3); ``batches`` counts all
+    batches *including* the discarded one.
+
+    ``flow_control`` selects the engine's resolver: ``"bypass"`` models
+    the paper's hardware (send and receive a flit in the same cycle);
+    ``"conservative"`` is the occupancy-at-cycle-start ablation.
+    """
+
+    batch_cycles: int = 3000
+    batches: int = 6
+    seed: int = 1
+    deadlock_threshold: int = 50_000
+    flow_control: str = "bypass"
+
+    def validate(self) -> "SimulationParams":
+        if self.batch_cycles < 1:
+            raise ConfigurationError("batch_cycles must be >= 1")
+        if self.batches < 2:
+            raise ConfigurationError("need >= 2 batches (the first is discarded)")
+        if self.deadlock_threshold < 1:
+            raise ConfigurationError("deadlock_threshold must be >= 1")
+        if self.flow_control not in ("bypass", "conservative"):
+            raise ConfigurationError(
+                f"flow_control must be 'bypass' or 'conservative', "
+                f"got {self.flow_control!r}"
+            )
+        return self
+
+    @property
+    def total_cycles(self) -> int:
+        return self.batch_cycles * self.batches
+
+
+#: Convenience presets for fast CI-style runs.
+QUICK_SIM = SimulationParams(batch_cycles=800, batches=4)
+DEFAULT_SIM = SimulationParams()
+THOROUGH_SIM = SimulationParams(batch_cycles=8000, batches=9)

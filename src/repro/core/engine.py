@@ -1,0 +1,262 @@
+"""Synchronous cycle-driven simulation kernel.
+
+The paper's simulator "reflects the behavior of the system at the
+register-transfer level on a cycle-by-cycle basis" (Section 2.3).  This
+kernel reproduces that model without an event calendar:
+
+Every base (PM) clock cycle consists of one or two *subcycles* — two
+when a double-speed global ring is present (Section 6), in which case
+fast components are active in both subcycles and normal components only
+in the first.  Each subcycle has three steps:
+
+1. **Propose.**  Every active component proposes at most one flit
+   transfer per output link, already arbitrated internally (wormhole
+   packet continuity, transit-over-injection priority, round-robin in
+   mesh routers).  A proposal names a source buffer, a destination
+   buffer, and the channel crossed.
+2. **Resolve.**  Proposals are resolved to the *greatest fixed point*
+   of the flow-control constraints: start by assuming every proposal
+   commits, then repeatedly revoke any proposal whose destination buffer
+   would overflow given the surviving drains.  This allows a completely
+   full ring to rotate one flit per cycle — the hardware behaviour the
+   paper states as "within a clock cycle, each NIC can transfer one flit
+   to the next adjacent node ... and receive a flit from the previous
+   node" — which a conservative occupancy-at-cycle-start check would
+   artificially deadlock.
+3. **Commit.**  Surviving transfers move their flit and notify the
+   owning component so it can update wormhole channel state (acquire the
+   output on a head flit, release it on a tail flit).
+
+After the subcycles, every component's ``update`` hook runs once per
+base cycle: processors consume ejected packets, memories time their
+accesses, and new packets are injected into the (bounded) output queues.
+
+A watchdog raises :class:`~repro.core.errors.DeadlockError` if transfers
+are proposed but none commits for ``deadlock_threshold`` consecutive
+base cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .buffers import FlitBuffer
+from .channel import Channel
+from .errors import DeadlockError, SimulationError
+from .packet import Flit
+
+
+class Transfer:
+    """A proposed single-flit movement between two buffers."""
+
+    __slots__ = ("flit", "source", "dest", "channel", "owner", "committed")
+
+    def __init__(
+        self,
+        flit: Flit,
+        source: FlitBuffer,
+        dest: FlitBuffer,
+        channel: Channel | None,
+        owner: "Component",
+    ):
+        self.flit = flit
+        self.source = source
+        self.dest = dest
+        self.channel = channel
+        self.owner = owner
+        self.committed = True  # greatest fixed point: assume success
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "ok" if self.committed else "revoked"
+        return f"Transfer({self.flit!r} {self.source.name}->{self.dest.name} [{state}])"
+
+
+class Component:
+    """Base class for clocked network components.
+
+    Subclasses override :meth:`propose` (switching logic) and/or
+    :meth:`update` (endpoint logic).  ``speed`` is the clock multiplier:
+    1 for normal components, 2 for components on a double-speed ring.
+    """
+
+    speed: int = 1
+
+    def propose(self, engine: "Engine") -> None:
+        """Propose flit transfers for this subcycle via ``engine.propose``."""
+
+    def on_transfer_commit(self, transfer: Transfer, engine: "Engine") -> None:
+        """Hook called once per committed transfer owned by this component."""
+
+    def update(self, engine: "Engine") -> None:
+        """Per-base-cycle endpoint logic (injection, ejection, timers)."""
+
+
+class Engine:
+    """The clock, transfer resolver and watchdog.
+
+    ``flow_control`` selects the resolver:
+
+    * ``"bypass"`` (default, the paper's hardware): a full buffer that
+      drains this cycle can accept a flit this cycle — resolved as a
+      greatest fixed point, letting full rings rotate;
+    * ``"conservative"``: admission is decided on occupancy at cycle
+      start, the simplistic model; kept as an ablation — it halves
+      pipeline throughput through single-slot buffers and can wedge a
+      full ring (see benchmarks/bench_ablations.py).
+    """
+
+    def __init__(self, deadlock_threshold: int = 50_000, flow_control: str = "bypass"):
+        if flow_control not in ("bypass", "conservative"):
+            raise SimulationError(f"unknown flow control mode {flow_control!r}")
+        self.flow_control = flow_control
+        self.components: list[Component] = []
+        self.channels: list[Channel] = []
+        self.cycle = 0
+        self.deadlock_threshold = deadlock_threshold
+        self.flits_moved = 0
+        self.packets_in_flight = 0
+        self._stalled_cycles = 0
+        self._transfers: list[Transfer] = []
+        self._by_source: dict[FlitBuffer, Transfer] = {}
+        self._by_dest: dict[FlitBuffer, Transfer] = {}
+        self._subcycles = 1
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_component(self, component: Component) -> None:
+        if self._finalized:
+            raise SimulationError("cannot add components after the engine started")
+        self.components.append(component)
+
+    def add_components(self, components: Iterable[Component]) -> None:
+        for component in components:
+            self.add_component(component)
+
+    def register_channel(self, channel: Channel) -> None:
+        self.channels.append(channel)
+
+    def _finalize(self) -> None:
+        speeds = {c.speed for c in self.components}
+        unsupported = speeds - {1, 2}
+        if unsupported:
+            raise SimulationError(f"unsupported component speeds: {sorted(unsupported)}")
+        self._subcycles = 2 if 2 in speeds else 1
+        self._finalized = True
+
+    # ------------------------------------------------------------------
+    # proposal API (called by components from propose())
+    # ------------------------------------------------------------------
+    def propose(
+        self,
+        flit: Flit,
+        source: FlitBuffer,
+        dest: FlitBuffer,
+        channel: Channel | None,
+        owner: Component,
+    ) -> None:
+        """Register one proposed flit transfer for the current subcycle."""
+        if source.peek() is not flit:
+            raise SimulationError(
+                f"component proposed non-head flit {flit!r} from {source.name!r}"
+            )
+        transfer = Transfer(flit, source, dest, channel, owner)
+        if source in self._by_source:
+            raise SimulationError(f"two transfers source from buffer {source.name!r}")
+        if dest.capacity is not None and dest in self._by_dest:
+            raise SimulationError(f"two transfers target bounded buffer {dest.name!r}")
+        self._by_source[source] = transfer
+        if dest.capacity is not None:
+            self._by_dest[dest] = transfer
+        self._transfers.append(transfer)
+
+    # ------------------------------------------------------------------
+    # clocking
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the simulation by one base clock cycle."""
+        if not self._finalized:
+            self._finalize()
+        committed_this_cycle = 0
+        proposed_this_cycle = 0
+        for subcycle in range(self._subcycles):
+            self._transfers.clear()
+            self._by_source.clear()
+            self._by_dest.clear()
+            for component in self.components:
+                if subcycle == 0 or component.speed == 2:
+                    component.propose(self)
+            proposed_this_cycle += len(self._transfers)
+            self._resolve()
+            committed_this_cycle += self._commit()
+        for component in self.components:
+            component.update(self)
+        self.cycle += 1
+        self._watchdog(proposed_this_cycle, committed_this_cycle)
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def _resolve(self) -> None:
+        """Revoke proposals until no destination buffer would overflow.
+
+        Starts from the all-commit assumption (greatest fixed point) and
+        revokes monotonically, so the loop terminates after at most one
+        revocation per proposal.  Each buffer has one writer and one
+        reader per subcycle, so the overflow test for a transfer ``t``
+        reduces to: destination full and not draining this subcycle.
+        """
+        bypass = self.flow_control == "bypass"
+        worklist = list(self._transfers)
+        while worklist:
+            transfer = worklist.pop()
+            if not transfer.committed:
+                continue
+            dest = transfer.dest
+            if dest.capacity is None:
+                continue  # unbounded sinks always accept
+            drain = self._by_source.get(dest)
+            draining = bypass and drain is not None and drain.committed
+            if dest.occupancy - (1 if draining else 0) + 1 > dest.capacity:
+                transfer.committed = False
+                # The source no longer drains; recheck the transfer into it.
+                upstream = self._by_dest.get(transfer.source)
+                if upstream is not None and upstream.committed:
+                    worklist.append(upstream)
+
+    def _commit(self) -> int:
+        committed = 0
+        # All pops first: a flit may move into a slot freed in this very
+        # subcycle, so drains must complete before fills.
+        survivors = [t for t in self._transfers if t.committed]
+        for transfer in survivors:
+            flit = transfer.source.pop()
+            if flit is not transfer.flit:
+                raise SimulationError(
+                    f"buffer {transfer.source.name!r} head changed between "
+                    f"propose and commit"
+                )
+        for transfer in survivors:
+            transfer.dest.push(transfer.flit)
+            if transfer.channel is not None:
+                transfer.channel.record_flit()
+            transfer.owner.on_transfer_commit(transfer, self)
+            committed += 1
+        self.flits_moved += committed
+        return committed
+
+    # ------------------------------------------------------------------
+    # watchdog
+    # ------------------------------------------------------------------
+    def _watchdog(self, proposed: int, committed: int) -> None:
+        if proposed > 0 and committed == 0:
+            self._stalled_cycles += 1
+            if self._stalled_cycles >= self.deadlock_threshold:
+                raise DeadlockError(self.cycle, self._stalled_cycles)
+        else:
+            self._stalled_cycles = 0

@@ -1,0 +1,48 @@
+"""Target-memory model.
+
+The paper does not describe its memory timing; we model each processing
+module's memory as a fixed-latency pipeline: a request that fully
+arrives in cycle *t* has its response ready for injection at
+``t + memory_latency``, with unlimited overlap between accesses.  See
+DESIGN.md §4 for why this substitution is safe (it adds the same
+constant to every latency curve and leaves contention — the quantity
+under study — to the network).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from .packet import Packet
+
+
+class MemoryModel:
+    """Pipelined fixed-latency memory for one processing module."""
+
+    __slots__ = ("latency", "_pending", "_seq", "accesses_served")
+
+    def __init__(self, latency: int):
+        if latency < 0:
+            raise ValueError("memory latency must be >= 0")
+        self.latency = latency
+        self._pending: list[tuple[int, int, Packet]] = []
+        self._seq = itertools.count()
+        self.accesses_served = 0
+
+    def accept(self, request: Packet, cycle: int) -> None:
+        """Begin servicing *request*; its response is ready after latency."""
+        heapq.heappush(self._pending, (cycle + self.latency, next(self._seq), request))
+
+    def ready_requests(self, cycle: int) -> list[Packet]:
+        """Requests whose access completes by *cycle* (service order)."""
+        done: list[Packet] = []
+        while self._pending and self._pending[0][0] <= cycle:
+            __, __, request = heapq.heappop(self._pending)
+            done.append(request)
+            self.accesses_served += 1
+        return done
+
+    @property
+    def in_service(self) -> int:
+        return len(self._pending)

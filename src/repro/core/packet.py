@@ -1,0 +1,153 @@
+"""Packets and flits.
+
+The paper simulates four packet types (Section 2, footnote 1): read
+request, read response, write request and write response.  Packets are
+variable-sized and are transferred through the network as a contiguous
+sequence of flits; only the head flit carries routing information.
+
+A :class:`Packet` owns its flits.  A :class:`Flit` is a lightweight
+reference ``(packet, index)``; buffers and links move flit objects, and
+the head/tail distinction drives wormhole channel allocation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from enum import IntEnum
+from typing import Iterator
+
+
+class PacketType(IntEnum):
+    """The four shared-memory transaction packet types of the paper."""
+
+    READ_REQUEST = 0
+    READ_RESPONSE = 1
+    WRITE_REQUEST = 2
+    WRITE_RESPONSE = 3
+
+    @property
+    def is_request(self) -> bool:
+        return self in (PacketType.READ_REQUEST, PacketType.WRITE_REQUEST)
+
+    @property
+    def is_response(self) -> bool:
+        return not self.is_request
+
+    @property
+    def carries_data(self) -> bool:
+        """Whether the packet carries a cache line as payload.
+
+        Read responses return the line; write requests ship the line to
+        the target memory.  The other two types are header-only.
+        """
+        return self in (PacketType.READ_RESPONSE, PacketType.WRITE_REQUEST)
+
+    @property
+    def response_type(self) -> "PacketType":
+        """The packet type of the response matching this request."""
+        if self is PacketType.READ_REQUEST:
+            return PacketType.READ_RESPONSE
+        if self is PacketType.WRITE_REQUEST:
+            return PacketType.WRITE_RESPONSE
+        raise ValueError(f"{self.name} is not a request type")
+
+
+_packet_ids = itertools.count()
+
+
+class Packet:
+    """A variable-size packet travelling between two processing modules.
+
+    Parameters
+    ----------
+    ptype:
+        One of the four :class:`PacketType` values.
+    source, destination:
+        Global processing-module indices (0-based).
+    size_flits:
+        Total packet length including the header flits.
+    transaction_id:
+        Identifier linking a request to its response; responses copy the
+        id of the request they answer.
+    issue_cycle:
+        Cycle at which the *transaction* was first issued by the
+        requesting processor.  Responses inherit the request's issue
+        cycle so round-trip latency can be computed at ejection.
+    """
+
+    __slots__ = (
+        "packet_id",
+        "ptype",
+        "source",
+        "destination",
+        "size_flits",
+        "transaction_id",
+        "issue_cycle",
+        "inject_cycle",
+        "flits",
+    )
+
+    def __init__(
+        self,
+        ptype: PacketType,
+        source: int,
+        destination: int,
+        size_flits: int,
+        transaction_id: int,
+        issue_cycle: int,
+    ):
+        if size_flits < 1:
+            raise ValueError("a packet needs at least one flit")
+        self.packet_id = next(_packet_ids)
+        self.ptype = ptype
+        self.source = source
+        self.destination = destination
+        self.size_flits = size_flits
+        self.transaction_id = transaction_id
+        self.issue_cycle = issue_cycle
+        self.inject_cycle: int | None = None
+        self.flits = tuple(Flit(self, i) for i in range(size_flits))
+
+    @property
+    def head(self) -> "Flit":
+        return self.flits[0]
+
+    @property
+    def tail(self) -> "Flit":
+        return self.flits[-1]
+
+    def __iter__(self) -> Iterator["Flit"]:
+        return iter(self.flits)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Packet(#{self.packet_id} {self.ptype.name} "
+            f"{self.source}->{self.destination} {self.size_flits}f "
+            f"txn={self.transaction_id})"
+        )
+
+
+class Flit:
+    """One flow-control unit of a packet.
+
+    The paper makes no distinction between a phit and a flit (Section 2,
+    footnote 2) and neither do we: one flit crosses one link per cycle.
+    """
+
+    __slots__ = ("packet", "index")
+
+    def __init__(self, packet: Packet, index: int):
+        self.packet = packet
+        self.index = index
+
+    @property
+    def is_head(self) -> bool:
+        return self.index == 0
+
+    @property
+    def is_tail(self) -> bool:
+        return self.index == self.packet.size_flits - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "H" if self.is_head else ("T" if self.is_tail else "B")
+        return f"Flit({kind}{self.index}/{self.packet.size_flits} of #{self.packet.packet_id})"

@@ -1,0 +1,241 @@
+"""Processing module: processor + local memory + network-facing queues.
+
+A :class:`ProcessingModule` is the endpoint component shared by both
+network types.  It owns
+
+* an unbounded **ejection sink** (``in_queue``) that the attached
+  NIC/router delivers arriving packets into (see DESIGN.md §4 on why
+  endpoint sinks are unbounded — it rules out request/response protocol
+  deadlock without touching the network buffering under study);
+* two bounded **output queues** (``out_req``, ``out_resp``), each sized
+  to hold one cache-line packet, which the attached NIC/router drains —
+  the paper's split request/response output buffers;
+* the :class:`~repro.core.processor.MissGenerator` driving the M-MRP
+  workload and the :class:`~repro.core.memory.MemoryModel` answering
+  remote requests.
+
+Round-trip latency is recorded when the tail flit of a response is
+ejected: ``latency = now - request.issue_cycle`` in network cycles,
+matching the paper's definition (request issue to response receipt).
+Local accesses bypass the network entirely (Section 2: "Local memory
+accesses do not involve the network"); they occupy an outstanding slot
+for the memory latency and are tallied separately.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from collections import deque
+
+from .buffers import FlitBuffer
+from .config import PacketGeometry, WorkloadConfig
+from .engine import Component, Engine
+from .errors import SimulationError
+from .memory import MemoryModel
+from .packet import Packet, PacketType
+from .processor import MissGenerator, MissSource, TargetSelector
+from .statistics import LatencyStats
+
+
+class MetricsHub:
+    """Shared collectors for all processing modules of one simulation."""
+
+    def __init__(self) -> None:
+        self.remote_latency = LatencyStats()
+        self.local_latency = LatencyStats()
+        self.remote_issued = 0
+        self.remote_completed = 0
+        self.local_issued = 0
+        self.local_completed = 0
+        self.reads_issued = 0
+        self.writes_issued = 0
+
+    def record_remote(self, latency: int) -> None:
+        self.remote_latency.record(latency)
+        self.remote_completed += 1
+
+    def record_local(self, latency: int) -> None:
+        self.local_latency.record(latency)
+        self.local_completed += 1
+
+    def close_batch(self) -> None:
+        self.remote_latency.batch.close_batch()
+        self.local_latency.batch.close_batch()
+
+
+class ProcessingModule(Component):
+    """One processor + memory endpoint, network-agnostic."""
+
+    speed = 1
+
+    def __init__(
+        self,
+        pm_id: int,
+        geometry: PacketGeometry,
+        workload: WorkloadConfig,
+        memory_latency: int,
+        select_target: TargetSelector,
+        rng: random.Random,
+        metrics: MetricsHub,
+        miss_source: MissSource | None = None,
+    ):
+        self.pm_id = pm_id
+        self.geometry = geometry
+        self.workload = workload
+        self.metrics = metrics
+        self.memory = MemoryModel(memory_latency)
+        self.generator: MissSource = (
+            miss_source
+            if miss_source is not None
+            else MissGenerator(pm_id, workload, select_target, rng)
+        )
+
+        queue_depth = geometry.cl_packet_flits
+        self.in_queue = FlitBuffer(f"pm{pm_id}.in", capacity=None)
+        self.out_req = FlitBuffer(f"pm{pm_id}.out_req", capacity=queue_depth)
+        self.out_resp = FlitBuffer(f"pm{pm_id}.out_resp", capacity=queue_depth)
+
+        self._req_staging: deque[Packet] = deque()
+        self._resp_staging: deque[Packet] = deque()
+        # Packet reassembly: flits received so far, per packet.  With
+        # wormhole switching arrivals are contiguous; with the slotted
+        # ring extension a packet's independently routed slots may
+        # interleave and arrive out of order, so completion is detected
+        # by count, not by seeing the tail flit.
+        self._rx_counts: dict[int, int] = {}
+        self._local_pending: list[tuple[int, int]] = []  # (ready_cycle, issue_cycle)
+        self._txn_seq = itertools.count()
+        self.outstanding = 0
+        self.open_transactions: set[int] = set()
+        #: Set False to stop issuing new misses (used to drain the
+        #: network at the end of conservation tests).
+        self.generation_enabled = True
+
+    # ------------------------------------------------------------------
+    def _new_transaction_id(self) -> int:
+        return (self.pm_id << 40) | next(self._txn_seq)
+
+    def _make_request(self, ptype: PacketType, target: int, cycle: int) -> Packet:
+        return Packet(
+            ptype=ptype,
+            source=self.pm_id,
+            destination=target,
+            size_flits=self.geometry.size_of(ptype),
+            transaction_id=self._new_transaction_id(),
+            issue_cycle=cycle,
+        )
+
+    def _make_response(self, request: Packet) -> Packet:
+        ptype = request.ptype.response_type
+        return Packet(
+            ptype=ptype,
+            source=self.pm_id,
+            destination=request.source,
+            size_flits=self.geometry.size_of(ptype),
+            transaction_id=request.transaction_id,
+            issue_cycle=request.issue_cycle,
+        )
+
+    def issue_remote(self, target: int, is_read: bool = True, cycle: int = 0) -> Packet:
+        """Explicitly issue one remote transaction (bypasses the M-MRP).
+
+        Used by tests and trace-driven examples to place a single
+        request into the injection pipeline; it behaves exactly like a
+        generated miss (occupies an outstanding slot, is answered by
+        the target memory, and is recorded on completion).
+        """
+        if target == self.pm_id:
+            raise ValueError("issue_remote targets a different PM")
+        ptype = PacketType.READ_REQUEST if is_read else PacketType.WRITE_REQUEST
+        request = self._make_request(ptype, target, cycle)
+        self.outstanding += 1
+        self.open_transactions.add(request.transaction_id)
+        self._req_staging.append(request)
+        return request
+
+    # ------------------------------------------------------------------
+    # per-cycle endpoint logic
+    # ------------------------------------------------------------------
+    def update(self, engine: Engine) -> None:
+        cycle = engine.cycle
+        self._eject(engine, cycle)
+        self._serve_memory(cycle)
+        self._complete_local(cycle)
+        self._generate(cycle)
+        self._drain_staging(engine, cycle)
+
+    def _eject(self, engine: Engine, cycle: int) -> None:
+        while not self.in_queue.is_empty:
+            flit = self.in_queue.pop()
+            packet = flit.packet
+            if packet.destination != self.pm_id:
+                raise SimulationError(
+                    f"{packet!r} ejected at PM {self.pm_id}, not its destination"
+                )
+            received = self._rx_counts.get(packet.packet_id, 0) + 1
+            if received < packet.size_flits:
+                self._rx_counts[packet.packet_id] = received
+                continue
+            self._rx_counts.pop(packet.packet_id, None)
+            if packet.ptype.is_request:
+                self.memory.accept(packet, cycle)
+            else:
+                if packet.transaction_id not in self.open_transactions:
+                    raise SimulationError(
+                        f"response for unknown transaction {packet.transaction_id}"
+                    )
+                self.open_transactions.remove(packet.transaction_id)
+                self.outstanding -= 1
+                self.metrics.record_remote(cycle - packet.issue_cycle)
+                engine.packets_in_flight -= 1
+
+    def _serve_memory(self, cycle: int) -> None:
+        for request in self.memory.ready_requests(cycle):
+            self._resp_staging.append(self._make_response(request))
+
+    def _complete_local(self, cycle: int) -> None:
+        while self._local_pending and self._local_pending[0][0] <= cycle:
+            __, issue_cycle = heapq.heappop(self._local_pending)
+            self.outstanding -= 1
+            self.metrics.record_local(cycle - issue_cycle)
+
+    def _generate(self, cycle: int) -> None:
+        if not self.generation_enabled:
+            return
+        miss = self.generator.poll(
+            cycle, can_issue=lambda: self.outstanding < self.workload.outstanding
+        )
+        if miss is None:
+            return
+        self.outstanding += 1
+        if miss.is_read:
+            self.metrics.reads_issued += 1
+        else:
+            self.metrics.writes_issued += 1
+        if miss.target == self.pm_id:
+            self.metrics.local_issued += 1
+            heapq.heappush(self._local_pending, (cycle + self.memory.latency, cycle))
+            return
+        self.metrics.remote_issued += 1
+        ptype = MissGenerator.request_type(miss)
+        request = self._make_request(ptype, miss.target, cycle)
+        self.open_transactions.add(request.transaction_id)
+        self._req_staging.append(request)
+
+    def _drain_staging(self, engine: Engine, cycle: int) -> None:
+        for staging, queue in (
+            (self._resp_staging, self.out_resp),
+            (self._req_staging, self.out_req),
+        ):
+            while staging:
+                packet = staging[0]
+                free = queue.free_slots
+                if free is not None and free < packet.size_flits:
+                    break
+                staging.popleft()
+                packet.inject_cycle = cycle
+                queue.push_packet(iter(packet.flits))
+                if packet.ptype.is_request:
+                    engine.packets_in_flight += 1

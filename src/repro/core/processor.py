@@ -1,0 +1,106 @@
+"""The M-MRP processor model (paper Section 2.4).
+
+Each processor generates a series of cache misses.  The offered load is
+controlled by the miss rate ``C``: every cycle in which the processor is
+not blocked, a miss occurs with probability ``C`` (geometric inter-miss
+gaps with mean ``1/C``; the paper's C=0.04 gives one miss per 25
+cycles).  The generation rate is independent of the number of
+outstanding requests — the multiple-context processor model of the
+paper — but when ``T`` transactions are outstanding the processor
+blocks: the pending miss waits for a response to free a slot, and no
+further misses are drawn while blocked.
+
+A miss is a read with probability ``read_fraction`` (0.7 in the paper)
+and targets a memory module drawn uniformly from the processor's
+locality region (chosen by the network-specific target selector).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from .config import WorkloadConfig
+from .packet import PacketType
+
+
+class TargetSelector(Protocol):
+    """Draws a target PM for one miss of a given processor."""
+
+    def __call__(self, pm_id: int, rng: random.Random) -> int: ...
+
+
+class MissSource(Protocol):
+    """Anything that can feed cache misses to a processing module.
+
+    :class:`MissGenerator` is the M-MRP implementation; the
+    trace-driven workload (:mod:`repro.workload.trace`) provides a
+    player with the same interface, so a PM never knows whether its
+    misses are synthetic or replayed.
+    """
+
+    def poll(self, cycle: int, can_issue: "Callable[[], bool]") -> "Miss | None": ...
+
+
+@dataclass(frozen=True)
+class Miss:
+    """One generated cache miss, before packetization."""
+
+    is_read: bool
+    target: int
+    generated_cycle: int
+
+
+class MissGenerator:
+    """Bernoulli-per-cycle miss source with a one-deep blocked-miss slot."""
+
+    __slots__ = ("pm_id", "workload", "rng", "_pending", "misses_generated", "_select")
+
+    def __init__(
+        self,
+        pm_id: int,
+        workload: WorkloadConfig,
+        select_target: TargetSelector,
+        rng: random.Random,
+    ):
+        self.pm_id = pm_id
+        self.workload = workload
+        self.rng = rng
+        self._select: TargetSelector = select_target
+        self._pending: Miss | None = None
+        self.misses_generated = 0
+
+    @property
+    def blocked(self) -> bool:
+        """True when a generated miss is waiting for an outstanding slot."""
+        return self._pending is not None
+
+    def poll(self, cycle: int, can_issue: Callable[[], bool]) -> Miss | None:
+        """Advance one cycle; return a miss to issue now, if any.
+
+        ``can_issue`` reports whether the processor has a free
+        outstanding-transaction slot *right now* (it is re-queried after
+        the pending miss is released so back-to-back issue works).
+        """
+        if self._pending is not None:
+            if not can_issue():
+                return None
+            miss, self._pending = self._pending, None
+            return miss
+        if self.rng.random() >= self.workload.miss_rate:
+            return None
+        miss = Miss(
+            is_read=self.rng.random() < self.workload.read_fraction,
+            target=self._select(self.pm_id, self.rng),
+            generated_cycle=cycle,
+        )
+        self.misses_generated += 1
+        if can_issue():
+            return miss
+        self._pending = miss
+        return None
+
+    @staticmethod
+    def request_type(miss: Miss) -> PacketType:
+        return PacketType.READ_REQUEST if miss.is_read else PacketType.WRITE_REQUEST

@@ -1,0 +1,181 @@
+"""High-level simulation front end.
+
+``simulate(system_config, workload, params)`` builds the network
+(dispatching on the config type), runs the paper's batch-means schedule
+(first batch discarded as warm-up), and returns a
+:class:`SimulationResult` with round-trip latency, per-level network
+utilization and throughput summaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .config import (
+    DEFAULT_SIM,
+    MeshSystemConfig,
+    RingSystemConfig,
+    SimulationParams,
+    WorkloadConfig,
+)
+from .engine import Engine
+from .errors import ConfigurationError
+from .pm import MetricsHub
+from .statistics import RateMeter, Summary
+
+SystemConfig = RingSystemConfig | MeshSystemConfig
+
+
+def _processors_of(system: SystemConfig) -> int:
+    return system.processors
+
+
+@dataclass
+class SimulationResult:
+    """Measured outputs of one simulation run."""
+
+    system: SystemConfig
+    workload: WorkloadConfig
+    params: SimulationParams
+    cycles: int
+    latency: Summary
+    local_latency: Summary
+    utilization: dict[str, Summary] = field(default_factory=dict)
+    throughput: Summary | None = None
+    remote_transactions: int = 0
+    local_transactions: int = 0
+    flits_moved: int = 0
+
+    @property
+    def avg_latency(self) -> float:
+        """Mean remote round-trip latency in network cycles."""
+        return self.latency.mean
+
+    def utilization_percent(self, level: str) -> float:
+        """Mean utilization of a link class, in percent of maximum."""
+        if level not in self.utilization:
+            return math.nan
+        return 100.0 * self.utilization[level].mean
+
+    @property
+    def network_utilization_percent(self) -> float:
+        """Utilization over all network links (the paper's mesh metric)."""
+        return self.utilization_percent("__all__")
+
+    @property
+    def saturated(self) -> bool:
+        """Heuristic: latency CI too wide or no transactions completed."""
+        return (
+            self.remote_transactions == 0
+            or math.isnan(self.latency.mean)
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"system        : {self.system}",
+            f"workload      : R={self.workload.locality} C={self.workload.miss_rate} "
+            f"T={self.workload.outstanding}",
+            f"cycles        : {self.cycles}",
+            f"remote latency: {self.latency.mean:.1f} +/- {self.latency.half_width:.1f} cycles "
+            f"({self.remote_transactions} transactions)",
+        ]
+        for level in sorted(self.utilization):
+            if level == "__all__":
+                continue
+            lines.append(
+                f"util[{level:<12}]: {self.utilization_percent(level):.1f}%"
+            )
+        if self.throughput is not None:
+            lines.append(f"throughput    : {self.throughput.mean:.4f} transactions/cycle")
+        return "\n".join(lines)
+
+
+def build_network(
+    system: SystemConfig,
+    workload: WorkloadConfig,
+    metrics: MetricsHub,
+    seed: int,
+    miss_sources: list | None = None,
+):
+    """Instantiate the network matching the config type."""
+    # Imported here to keep core free of circular imports.
+    from ..mesh.network import MeshNetwork
+    from ..ring.network import HierarchicalRingNetwork
+
+    if isinstance(system, RingSystemConfig):
+        return HierarchicalRingNetwork(
+            system, workload, metrics, seed=seed, miss_sources=miss_sources
+        )
+    if isinstance(system, MeshSystemConfig):
+        return MeshNetwork(
+            system, workload, metrics, seed=seed, miss_sources=miss_sources
+        )
+    raise ConfigurationError(f"unknown system config type: {type(system).__name__}")
+
+
+def simulate(
+    system: SystemConfig,
+    workload: WorkloadConfig | None = None,
+    params: SimulationParams | None = None,
+    miss_sources: list | None = None,
+) -> SimulationResult:
+    """Run one batch-means simulation and collect all paper metrics.
+
+    ``miss_sources`` optionally replaces each PM's M-MRP generator with
+    a caller-provided :class:`~repro.core.processor.MissSource` (one per
+    processor) — used by the trace-replay workflow in
+    :mod:`repro.workload.trace`.
+    """
+    workload = (workload or WorkloadConfig()).validate()
+    params = (params or DEFAULT_SIM).validate()
+    if miss_sources is not None and len(miss_sources) != _processors_of(system):
+        raise ConfigurationError(
+            f"need one miss source per processor "
+            f"({_processors_of(system)}), got {len(miss_sources)}"
+        )
+
+    metrics = MetricsHub()
+    network = build_network(
+        system, workload, metrics, seed=params.seed, miss_sources=miss_sources
+    )
+    engine = Engine(
+        deadlock_threshold=params.deadlock_threshold,
+        flow_control=params.flow_control,
+    )
+    network.register(engine)
+
+    levels = list(network.levels_present)
+    util_meters = {level: RateMeter(level) for level in levels}
+    all_meter = RateMeter("__all__")
+    throughput_meter = RateMeter("throughput")
+
+    for __ in range(params.batches):
+        engine.run(params.batch_cycles)
+        metrics.close_batch()
+        for level, meter in util_meters.items():
+            meter.close_batch(
+                network.flits_carried(level), network.opportunities(engine.cycle, level)
+            )
+        all_meter.close_batch(
+            network.flits_carried(None), network.opportunities(engine.cycle, None)
+        )
+        completed = metrics.remote_completed + metrics.local_completed
+        throughput_meter.close_batch(completed, engine.cycle)
+
+    utilization = {level: meter.summary() for level, meter in util_meters.items()}
+    utilization["__all__"] = all_meter.summary()
+
+    return SimulationResult(
+        system=system,
+        workload=workload,
+        params=params,
+        cycles=engine.cycle,
+        latency=metrics.remote_latency.batch.summary(),
+        local_latency=metrics.local_latency.batch.summary(),
+        utilization=utilization,
+        throughput=throughput_meter.summary(),
+        remote_transactions=metrics.remote_completed,
+        local_transactions=metrics.local_completed,
+        flits_moved=engine.flits_moved,
+    )

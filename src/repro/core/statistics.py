@@ -1,0 +1,166 @@
+"""Output analysis: batch means, latency and utilization recorders.
+
+The paper (Section 2.3) uses the *batch means* method with the first
+batch discarded to remove initialization bias.  :class:`BatchMeans`
+implements exactly that, plus a Student-t confidence interval over the
+retained batch means.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+# Two-sided 95% Student-t critical values indexed by degrees of freedom.
+_T_TABLE = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365,
+    8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179, 13: 2.160,
+    14: 2.145, 15: 2.131, 20: 2.086, 25: 2.060, 30: 2.042, 40: 2.021,
+    60: 2.000, 120: 1.980,
+}
+
+
+def _t_critical(dof: int) -> float:
+    if dof <= 0:
+        return math.inf
+    if dof in _T_TABLE:
+        return _T_TABLE[dof]
+    for key in sorted(_T_TABLE):
+        if dof < key:
+            return _T_TABLE[key]
+    return 1.96
+
+
+@dataclass
+class Summary:
+    """Point estimate with spread for a batch-means statistic."""
+
+    mean: float
+    half_width: float
+    batch_means: tuple[float, ...]
+
+    @property
+    def confidence_interval(self) -> tuple[float, float]:
+        return (self.mean - self.half_width, self.mean + self.half_width)
+
+    @property
+    def relative_half_width(self) -> float:
+        if self.mean == 0:
+            return math.inf if self.half_width else 0.0
+        return self.half_width / abs(self.mean)
+
+
+class BatchMeans:
+    """Accumulates per-batch means; the first closed batch is discarded."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._batch_sum = 0.0
+        self._batch_count = 0
+        self._means: list[float] = []
+        self._total_observations = 0
+
+    def observe(self, value: float) -> None:
+        self._batch_sum += value
+        self._batch_count += 1
+        self._total_observations += 1
+
+    def observe_many(self, total: float, count: int) -> None:
+        """Fold *count* observations summing to *total* into the batch."""
+        self._batch_sum += total
+        self._batch_count += count
+        self._total_observations += count
+
+    def close_batch(self) -> float | None:
+        """End the current batch; returns its mean (``None`` if empty)."""
+        if self._batch_count == 0:
+            self._means.append(math.nan)
+            self._batch_sum = 0.0
+            return None
+        mean = self._batch_sum / self._batch_count
+        self._means.append(mean)
+        self._batch_sum = 0.0
+        self._batch_count = 0
+        return mean
+
+    @property
+    def total_observations(self) -> int:
+        return self._total_observations
+
+    @property
+    def retained_means(self) -> tuple[float, ...]:
+        """Batch means with the first (warm-up) batch discarded."""
+        kept = [m for m in self._means[1:] if not math.isnan(m)]
+        return tuple(kept)
+
+    def summary(self) -> Summary:
+        means = self.retained_means
+        if not means:
+            return Summary(math.nan, math.nan, means)
+        n = len(means)
+        mean = sum(means) / n
+        if n < 2:
+            return Summary(mean, math.inf, means)
+        var = sum((m - mean) ** 2 for m in means) / (n - 1)
+        half = _t_critical(n - 1) * math.sqrt(var / n)
+        return Summary(mean, half, means)
+
+
+class RateMeter:
+    """Batch-means over a *rate*: counter delta divided by a time delta.
+
+    Used for utilization (flits carried / flit opportunities) and
+    throughput (transactions completed / cycle).  The caller snapshots
+    the counter at batch boundaries.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._last_numerator = 0.0
+        self._last_denominator = 0.0
+        self._batch_rates: list[float] = []
+
+    def close_batch(self, numerator: float, denominator: float) -> float | None:
+        num = numerator - self._last_numerator
+        den = denominator - self._last_denominator
+        self._last_numerator = numerator
+        self._last_denominator = denominator
+        if den <= 0:
+            self._batch_rates.append(math.nan)
+            return None
+        rate = num / den
+        self._batch_rates.append(rate)
+        return rate
+
+    @property
+    def retained_rates(self) -> tuple[float, ...]:
+        kept = [r for r in self._batch_rates[1:] if not math.isnan(r)]
+        return tuple(kept)
+
+    def summary(self) -> Summary:
+        rates = self.retained_rates
+        if not rates:
+            return Summary(math.nan, math.nan, rates)
+        n = len(rates)
+        mean = sum(rates) / n
+        if n < 2:
+            return Summary(mean, math.inf, rates)
+        var = sum((r - mean) ** 2 for r in rates) / (n - 1)
+        half = _t_critical(n - 1) * math.sqrt(var / n)
+        return Summary(mean, half, rates)
+
+
+@dataclass
+class LatencyStats:
+    """Running latency tally for the current batch plus lifetime extremes."""
+
+    batch: BatchMeans = field(default_factory=lambda: BatchMeans("latency"))
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def record(self, latency: float) -> None:
+        self.batch.observe(latency)
+        if latency < self.minimum:
+            self.minimum = latency
+        if latency > self.maximum:
+            self.maximum = latency

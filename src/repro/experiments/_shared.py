@@ -1,0 +1,157 @@
+"""Cached sweep runners shared by the experiment modules.
+
+Several paper figures draw different projections of the same runs
+(e.g. Figure 7 plots latency and Figure 8 utilization of the identical
+2-level sweep), so runners are memoized on their full parameterization.
+:class:`~repro.experiments.base.Scale` and the workload knobs are
+hashable, making the cache key exact.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..analysis.sweeps import growth_topologies, hierarchy_sweep, run_mesh_point, run_ring_point, single_ring_sizes
+from ..core.config import WorkloadConfig
+from ..core.simulation import SimulationResult
+from ..ring.topology import PAPER_TABLE2
+from .base import Scale
+
+#: (nodes, result) samples of one sweep.
+Sweep = tuple[tuple[int, SimulationResult], ...]
+
+
+def _measured(points: list[tuple[int, SimulationResult]]) -> Sweep:
+    """Drop degenerate points that completed no remote transactions.
+
+    This happens for configs whose locality region contains only the
+    local PM (e.g. a 4-node mesh at R=0.2): there is no network traffic
+    and hence no latency to report.
+    """
+    return tuple(
+        (nodes, result) for nodes, result in points if result.remote_transactions > 0
+    )
+
+
+def workload(locality: float, outstanding: int) -> WorkloadConfig:
+    return WorkloadConfig(locality=locality, miss_rate=0.04, outstanding=outstanding)
+
+
+def clear_sweep_caches() -> None:
+    """Drop all memoized sweeps (used by benchmarks to time real runs)."""
+    single_ring_sweep.cache_clear()
+    level_growth_sweep.cache_clear()
+    table2_size_ring_sweep.cache_clear()
+    mesh_sweep.cache_clear()
+
+
+@lru_cache(maxsize=None)
+def single_ring_sweep(scale: Scale, cache_line: int, outstanding: int) -> Sweep:
+    """Latency of single rings across node counts (Figure 6 grid)."""
+    sizes = single_ring_sizes(cache_line, min(scale.max_nodes, 64))
+    wl = workload(1.0, outstanding)
+    return _measured(
+        [(n, run_ring_point((n,), cache_line, wl, scale.sim)) for n in sizes]
+    )
+
+
+@lru_cache(maxsize=None)
+def level_growth_sweep(
+    scale: Scale,
+    levels: int,
+    cache_line: int,
+    outstanding: int,
+    locality: float = 1.0,
+    global_ring_speed: int = 1,
+    include_smaller: bool = True,
+    max_nodes: int | None = None,
+) -> Sweep:
+    """Hierarchy growth sweep at a fixed depth (Figures 7-11, 19, 20)."""
+    cap = min(scale.max_nodes, max_nodes) if max_nodes else scale.max_nodes
+    if include_smaller:
+        schedule = hierarchy_sweep(levels, cache_line, cap)
+    else:
+        schedule = growth_topologies(levels, cache_line, cap)
+    wl = workload(locality, outstanding)
+    points = []
+    for nodes, branching in schedule:
+        speed = global_ring_speed if len(branching) > 1 else 1
+        points.append(
+            (
+                nodes,
+                run_ring_point(
+                    branching, cache_line, wl, scale.sim, global_ring_speed=speed
+                ),
+            )
+        )
+    return _measured(points)
+
+
+@lru_cache(maxsize=None)
+def table2_size_ring_sweep(
+    scale: Scale,
+    cache_line: int,
+    outstanding: int,
+    locality: float = 1.0,
+    global_ring_speed: int = 1,
+) -> Sweep:
+    """Rings at the paper's Table 2 system sizes (comparison figures).
+
+    With a double-speed global ring the 3-level design rule allows five
+    second-level rings, so the sweep extends beyond Table 2 with the
+    Section 6 growth schedule.
+    """
+    sizes = sorted(PAPER_TABLE2[cache_line])
+    wl = workload(locality, outstanding)
+    points = []
+    for nodes in sizes:
+        if nodes > scale.max_nodes:
+            continue
+        branching = PAPER_TABLE2[cache_line][nodes]
+        speed = global_ring_speed if len(branching) > 1 else 1
+        points.append(
+            (
+                nodes,
+                run_ring_point(
+                    branching, cache_line, wl, scale.sim, global_ring_speed=speed
+                ),
+            )
+        )
+    if global_ring_speed == 2:
+        for nodes, branching in growth_topologies(
+            3, cache_line, scale.max_nodes, max_top_fan=5
+        ):
+            if all(nodes != existing for existing, __ in points):
+                points.append(
+                    (
+                        nodes,
+                        run_ring_point(
+                            branching, cache_line, wl, scale.sim, global_ring_speed=2
+                        ),
+                    )
+                )
+    points.sort(key=lambda item: item[0])
+    return _measured(points)
+
+
+@lru_cache(maxsize=None)
+def mesh_sweep(
+    scale: Scale,
+    cache_line: int,
+    buffer_flits,
+    outstanding: int,
+    locality: float = 1.0,
+) -> Sweep:
+    """Meshes across the scale's side lengths (Figures 12-18, 21)."""
+    wl = workload(locality, outstanding)
+    points = []
+    for side in scale.mesh_sides:
+        if side * side > scale.max_nodes:
+            continue
+        points.append(
+            (
+                side * side,
+                run_mesh_point(side, cache_line, buffer_flits, wl, scale.sim),
+            )
+        )
+    return _measured(points)

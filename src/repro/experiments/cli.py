@@ -1,0 +1,134 @@
+"""Command-line entry point for the paper reproductions.
+
+Examples::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig14 --scale quick
+    python -m repro.experiments fig6 fig7 --scale default --check
+    python -m repro.experiments all --scale full --json results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from .base import SCALES, all_experiments, get_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of Ravindran & Stumm (HPCA 1997)",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (e.g. fig14 table1), or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="quick",
+        help="sweep breadth and simulation length (default: quick)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="evaluate the paper-shape checks and report pass/fail",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        help="also write each result as JSON into this directory",
+    )
+    parser.add_argument(
+        "--plot",
+        metavar="DIR",
+        help="also write each result as an SVG chart into this directory",
+    )
+    parser.add_argument(
+        "--ascii",
+        action="store_true",
+        help="print an ASCII chart of each result after its table",
+    )
+    parser.add_argument(
+        "--summarize",
+        metavar="DIR",
+        help="print a Markdown digest of saved results in DIR and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    experiments = all_experiments()
+
+    if args.summarize:
+        from ..analysis.reporting import summarize_results_dir
+
+        print(summarize_results_dir(args.summarize))
+        return 0
+
+    if args.list or not args.experiments:
+        width = max(len(eid) for eid in experiments)
+        for eid in sorted(experiments, key=_experiment_sort_key):
+            exp = experiments[eid]
+            print(f"{eid:<{width}}  {exp.title}")
+        return 0
+
+    ids = sorted(experiments, key=_experiment_sort_key) if args.experiments == ["all"] else args.experiments
+    scale = SCALES[args.scale]
+    failures_total = 0
+    for eid in ids:
+        experiment = get_experiment(eid)
+        started = time.time()
+        result = experiment.run(scale)
+        elapsed = time.time() - started
+        print(result.format_table())
+        print(f"[{eid}] scale={scale.name} elapsed={elapsed:.1f}s")
+        if args.check:
+            failures = experiment.evaluate(result)
+            if failures:
+                failures_total += len(failures)
+                for failure in failures:
+                    print(f"[{eid}] CHECK FAILED: {failure}")
+            else:
+                print(f"[{eid}] checks passed")
+        if args.ascii:
+            from ..analysis.plotting import ascii_chart
+
+            print(ascii_chart(result))
+        if args.json:
+            out_dir = pathlib.Path(args.json)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            out_file = out_dir / f"{eid}_{scale.name}.json"
+            out_file.write_text(result.to_json())
+            print(f"[{eid}] wrote {out_file}")
+        if args.plot:
+            from ..analysis.plotting import write_svg
+
+            out_dir = pathlib.Path(args.plot)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            out_file = out_dir / f"{eid}_{scale.name}.svg"
+            write_svg(result, out_file)
+            print(f"[{eid}] wrote {out_file}")
+        print()
+    return 1 if failures_total else 0
+
+
+def _experiment_sort_key(eid: str) -> tuple:
+    if eid.startswith("fig"):
+        return (1, int("".join(ch for ch in eid if ch.isdigit()) or 0))
+    if eid.startswith("table"):
+        return (0, int("".join(ch for ch in eid if ch.isdigit()) or 0))
+    return (2, eid)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Extension: slotted (non-blocking) vs wormhole ring switching.
+
+Not a paper figure.  The paper simulates wormhole rings but notes that
+the machines its model is calibrated against (Hector, NUMAchine) use
+slotted switching, and that "slotted rings tend to perform somewhat
+better" (Section 5, citing the authors' IEICE '96 study).  This
+experiment runs the paper's 2-level growth sweep under both switching
+modes.
+
+What to expect from *our* models: identical latency at low utilization
+(same per-hop timing), and a crossover in relative merit as the rings
+saturate — wormhole throttles sources through backpressure while
+slotted burns ring bandwidth on recirculating slots.  Our slotted model
+is register-insertion style without the slot-reuse optimizations of the
+real machines, so we do not reproduce the "somewhat better" claim at
+saturation; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from ..analysis.sweeps import SweepResult, growth_topologies, run_ring_point
+from ..core.config import RingSystemConfig, WorkloadConfig
+from ..core.simulation import simulate
+from ..ring.topology import SINGLE_RING_MAX
+from .base import Experiment, Scale, register
+
+CACHE_LINE = 32
+
+
+def run(scale: Scale) -> SweepResult:
+    result = SweepResult(
+        title="Extension: slotted vs wormhole ring switching (R=1.0, C=0.04, T=4)",
+        x_label="nodes",
+        y_label="latency (cycles)",
+    )
+    workload = WorkloadConfig(locality=1.0, miss_rate=0.04, outstanding=4)
+    schedule = [(SINGLE_RING_MAX[CACHE_LINE], (SINGLE_RING_MAX[CACHE_LINE],))]
+    schedule += growth_topologies(2, CACHE_LINE, scale.max_nodes)
+    for switching in ("wormhole", "slotted"):
+        series = result.new_series(switching)
+        for nodes, branching in schedule:
+            config = RingSystemConfig(
+                topology=branching,
+                cache_line_bytes=CACHE_LINE,
+                switching=switching,
+            )
+            point = simulate(config, workload, scale.sim)
+            if point.remote_transactions:
+                series.add(nodes, point.avg_latency,
+                           transactions=point.remote_transactions)
+    return result
+
+
+def check(result: SweepResult) -> list[str]:
+    failures = []
+    wormhole = result.series.get("wormhole")
+    slotted = result.series.get("slotted")
+    if not wormhole or not slotted or not wormhole.xs or not slotted.xs:
+        return ["missing series"]
+    smallest = min(set(wormhole.xs) & set(slotted.xs), default=None)
+    if smallest is not None:
+        a, b = wormhole.y_at(smallest), slotted.y_at(smallest)
+        if abs(a - b) > 0.25 * max(a, b):
+            failures.append(
+                f"at {smallest} nodes (light load) the modes should be close: "
+                f"wormhole {a:.0f} vs slotted {b:.0f}"
+            )
+    return failures
+
+
+register(
+    Experiment(
+        experiment_id="ext-slotted",
+        title="Slotted vs wormhole ring switching (extension)",
+        paper_claim=(
+            "paper footnote: real NUMAchine rings are slotted; modes match "
+            "at light load, diverge at saturation"
+        ),
+        runner=run,
+        check=check,
+        tags=("ring", "extension"),
+    )
+)

@@ -1,0 +1,67 @@
+"""Figure 6: latency of single (1-level) rings.
+
+Paper claim: single rings with 16, 32, 64 and 128-byte cache lines can
+conservatively sustain 12, 8, 6 and 4 nodes respectively with almost no
+performance degradation; beyond that, latency climbs steeply.  Larger T
+raises latency at every size (more outstanding traffic).
+"""
+
+from __future__ import annotations
+
+from ..analysis.sweeps import SweepResult
+from ..ring.topology import SINGLE_RING_MAX
+from ._shared import single_ring_sweep
+from .base import Experiment, Scale, register
+
+
+def run(scale: Scale) -> SweepResult:
+    result = SweepResult(
+        title="Figure 6: latency for single rings (R=1.0, C=0.04)",
+        x_label="nodes",
+        y_label="latency (cycles)",
+    )
+    for cache_line in scale.cache_lines:
+        for outstanding in scale.t_values:
+            series = result.new_series(f"{cache_line}B T={outstanding}")
+            for nodes, point in single_ring_sweep(scale, cache_line, outstanding):
+                series.add(
+                    nodes,
+                    point.avg_latency,
+                    utilization=point.utilization_percent("local"),
+                    transactions=point.remote_transactions,
+                )
+    return result
+
+
+def check(result: SweepResult) -> list[str]:
+    failures = []
+    for name, series in result.series.items():
+        cache_line = int(name.split("B")[0])
+        sustain = SINGLE_RING_MAX[cache_line]
+        if sustain not in series.xs or 2 * sustain not in series.xs:
+            continue
+        at_sustain = series.y_at(sustain)
+        at_double = series.y_at(2 * sustain)
+        if at_double < 1.4 * at_sustain:
+            failures.append(
+                f"{name}: expected steep degradation past {sustain} nodes "
+                f"(latency {at_sustain:.0f} -> {at_double:.0f})"
+            )
+        if not series.is_nondecreasing(slack=0.15):
+            failures.append(f"{name}: latency should grow with ring size")
+    return failures
+
+
+register(
+    Experiment(
+        experiment_id="fig6",
+        title="Single-ring latency vs nodes",
+        paper_claim=(
+            "single rings sustain 12/8/6/4 nodes for 16/32/64/128B cache "
+            "lines before latency climbs steeply"
+        ),
+        runner=run,
+        check=check,
+        tags=("ring",),
+    )
+)

@@ -1,0 +1,68 @@
+"""Figure 7: latency of 2-level ring hierarchies.
+
+Paper claim: the latency curve steepens twice — once when a second
+local ring forces a global ring into the path, and again past three
+local rings, when the global ring's constant bisection bandwidth
+saturates.  Up to three local rings can be sustained, independent of
+cache line size.
+"""
+
+from __future__ import annotations
+
+from ..analysis.sweeps import SweepResult
+from ..ring.topology import SINGLE_RING_MAX
+from ._shared import level_growth_sweep
+from .base import Experiment, Scale, register
+
+
+def run(scale: Scale) -> SweepResult:
+    result = SweepResult(
+        title="Figure 7: latency for 2-level ring hierarchies (R=1.0, C=0.04, T=4)",
+        x_label="nodes",
+        y_label="latency (cycles)",
+    )
+    for cache_line in scale.cache_lines:
+        series = result.new_series(f"{cache_line}B")
+        sweep = level_growth_sweep(
+            scale, levels=2, cache_line=cache_line, outstanding=4, max_nodes=72
+        )
+        for nodes, point in sweep:
+            series.add(
+                nodes,
+                point.avg_latency,
+                local_utilization=point.utilization_percent("local"),
+                global_utilization=point.utilization_percent("global"),
+            )
+    return result
+
+
+def check(result: SweepResult) -> list[str]:
+    failures = []
+    for name, series in result.series.items():
+        cache_line = int(name.rstrip("B"))
+        local = SINGLE_RING_MAX[cache_line]
+        three, five = 3 * local, 5 * local
+        if three in series.xs and five in series.xs:
+            if series.y_at(five) < 1.25 * series.y_at(three):
+                failures.append(
+                    f"{name}: expected bisection-bandwidth knee past 3 local "
+                    f"rings ({series.y_at(three):.0f} -> {series.y_at(five):.0f})"
+                )
+        if not series.is_nondecreasing(slack=0.2):
+            failures.append(f"{name}: latency should grow with system size")
+    return failures
+
+
+register(
+    Experiment(
+        experiment_id="fig7",
+        title="2-level hierarchy latency vs nodes",
+        paper_claim=(
+            "two slope increases: adding the global ring, then global-ring "
+            "saturation past three local rings"
+        ),
+        runner=run,
+        check=check,
+        tags=("ring",),
+    )
+)

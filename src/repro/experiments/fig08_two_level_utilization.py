@@ -1,0 +1,74 @@
+"""Figure 8: local and global ring utilization in 2-level hierarchies.
+
+Paper claim: global ring utilization nearly saturates at three local
+rings — connecting more only saturates it further — while local ring
+utilization *decreases* as more local rings share the global ring:
+the system is bisection-bandwidth limited.
+"""
+
+from __future__ import annotations
+
+from ..analysis.sweeps import SweepResult
+from ..ring.topology import SINGLE_RING_MAX
+from ._shared import level_growth_sweep
+from .base import Experiment, Scale, register
+
+
+def run(scale: Scale) -> SweepResult:
+    result = SweepResult(
+        title="Figure 8: ring utilization for 2-level hierarchies (R=1.0, C=0.04, T=4)",
+        x_label="nodes",
+        y_label="utilization (%)",
+    )
+    for cache_line in scale.cache_lines:
+        local_series = result.new_series(f"local {cache_line}B")
+        global_series = result.new_series(f"global {cache_line}B")
+        sweep = level_growth_sweep(
+            scale, levels=2, cache_line=cache_line, outstanding=4, max_nodes=72
+        )
+        for nodes, point in sweep:
+            local_series.add(nodes, point.utilization_percent("local"))
+            if "global" in point.utilization:
+                global_series.add(nodes, point.utilization_percent("global"))
+    return result
+
+
+def check(result: SweepResult) -> list[str]:
+    failures = []
+    for name, series in result.series.items():
+        if not name.startswith("global"):
+            continue
+        cache_line = int(name.split()[1].rstrip("B"))
+        local = SINGLE_RING_MAX[cache_line]
+        saturated = [x for x in series.xs if x >= 3 * local]
+        if saturated and max(series.y_at(x) for x in saturated) < 60.0:
+            failures.append(
+                f"{name}: global ring should approach saturation at >= 3 "
+                f"local rings (max {max(series.y_at(x) for x in saturated):.0f}%)"
+            )
+        local_name = f"local {cache_line}B"
+        local_series = result.series.get(local_name)
+        if local_series is not None:
+            big = [x for x in local_series.xs if x >= 3 * local]
+            if big and saturated:
+                if local_series.y_at(max(big)) > series.y_at(max(saturated)):
+                    failures.append(
+                        f"{local_name}: local rings should be less utilized than "
+                        "the saturated global ring"
+                    )
+    return failures
+
+
+register(
+    Experiment(
+        experiment_id="fig8",
+        title="2-level hierarchy ring utilization",
+        paper_claim=(
+            "global ring reaches capacity at three local rings; local ring "
+            "utilization falls as more rings share it"
+        ),
+        runner=run,
+        check=check,
+        tags=("ring",),
+    )
+)

@@ -1,0 +1,68 @@
+"""Figure 9: latency of 3-level ring hierarchies.
+
+Paper claim: like the 2-level case, the slope increases when a third
+level becomes necessary and again past three second-level rings; a
+3-level hierarchy reasonably supports 108/72/54/36 nodes for
+16/32/64/128-byte cache lines.
+"""
+
+from __future__ import annotations
+
+from ..analysis.sweeps import SweepResult
+from ..ring.topology import SINGLE_RING_MAX
+from ._shared import level_growth_sweep
+from .base import Experiment, Scale, register
+
+
+def run(scale: Scale) -> SweepResult:
+    result = SweepResult(
+        title="Figure 9: latency for 3-level ring hierarchies (R=1.0, C=0.04, T=4)",
+        x_label="nodes",
+        y_label="latency (cycles)",
+    )
+    for cache_line in scale.cache_lines:
+        series = result.new_series(f"{cache_line}B")
+        sweep = level_growth_sweep(
+            scale, levels=3, cache_line=cache_line, outstanding=4, max_nodes=150
+        )
+        for nodes, point in sweep:
+            series.add(
+                nodes,
+                point.avg_latency,
+                global_utilization=point.utilization_percent("global"),
+            )
+    return result
+
+
+def check(result: SweepResult) -> list[str]:
+    failures = []
+    for name, series in result.series.items():
+        cache_line = int(name.rstrip("B"))
+        local = SINGLE_RING_MAX[cache_line]
+        supported = 9 * local  # three second-level rings of three locals
+        beyond = 12 * local
+        if supported in series.xs and beyond in series.xs:
+            if series.y_at(beyond) < 1.15 * series.y_at(supported):
+                failures.append(
+                    f"{name}: expected saturation past three second-level rings "
+                    f"({series.y_at(supported):.0f} -> {series.y_at(beyond):.0f})"
+                )
+        if not series.is_nondecreasing(slack=0.2):
+            failures.append(f"{name}: latency should grow with system size")
+    return failures
+
+
+register(
+    Experiment(
+        experiment_id="fig9",
+        title="3-level hierarchy latency vs nodes",
+        paper_claim=(
+            "3-level hierarchies support 108/72/54/36 nodes for "
+            "16/32/64/128B lines; a fourth second-level ring saturates the "
+            "global ring"
+        ),
+        runner=run,
+        check=check,
+        tags=("ring",),
+    )
+)

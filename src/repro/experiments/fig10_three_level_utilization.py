@@ -1,0 +1,56 @@
+"""Figure 10: global ring utilization in 3-level hierarchies.
+
+Paper claim: the global ring saturates once more than three 2-level
+subsystems hang off it, reinforcing the constant-bisection-bandwidth
+constraint of hierarchical rings.
+"""
+
+from __future__ import annotations
+
+from ..analysis.sweeps import SweepResult
+from ..ring.topology import SINGLE_RING_MAX
+from ._shared import level_growth_sweep
+from .base import Experiment, Scale, register
+
+
+def run(scale: Scale) -> SweepResult:
+    result = SweepResult(
+        title="Figure 10: global ring utilization, 3-level hierarchies (R=1.0, C=0.04, T=4)",
+        x_label="nodes",
+        y_label="utilization (%)",
+    )
+    for cache_line in scale.cache_lines:
+        series = result.new_series(f"{cache_line}B")
+        sweep = level_growth_sweep(
+            scale, levels=3, cache_line=cache_line, outstanding=4, max_nodes=150
+        )
+        for nodes, point in sweep:
+            if "global" in point.utilization:
+                series.add(nodes, point.utilization_percent("global"))
+    return result
+
+
+def check(result: SweepResult) -> list[str]:
+    failures = []
+    for name, series in result.series.items():
+        cache_line = int(name.rstrip("B"))
+        local = SINGLE_RING_MAX[cache_line]
+        saturated = [x for x in series.xs if x >= 9 * local]
+        if saturated and max(series.y_at(x) for x in saturated) < 60.0:
+            failures.append(
+                f"{name}: global ring should approach saturation with three "
+                "second-level rings"
+            )
+    return failures
+
+
+register(
+    Experiment(
+        experiment_id="fig10",
+        title="3-level hierarchy global ring utilization",
+        paper_claim="global ring saturates beyond three second-level rings",
+        runner=run,
+        check=check,
+        tags=("ring",),
+    )
+)

@@ -1,0 +1,76 @@
+"""Figure 11: the benefit of hierarchy depth (32B cache lines, T=2).
+
+Paper claim: each additional ring level shifts the latency curve right,
+accommodating more nodes; with memory access locality (R=0.2) the
+benefit of hierarchy is much larger than without (R=1.0), because most
+traffic stays on the cheap lower levels.
+"""
+
+from __future__ import annotations
+
+from ..analysis.crossover import interpolate
+from ..analysis.sweeps import SweepResult
+from ._shared import level_growth_sweep
+from .base import Experiment, Scale, register
+
+CACHE_LINE = 32
+
+
+def run(scale: Scale) -> SweepResult:
+    result = SweepResult(
+        title="Figure 11: hierarchy depth benefit, 32B lines (C=0.04, T=2)",
+        x_label="nodes",
+        y_label="latency (cycles)",
+    )
+    for locality in (1.0, 0.2):
+        for levels in (1, 2, 3, 4):
+            sweep = level_growth_sweep(
+                scale,
+                levels=levels,
+                cache_line=CACHE_LINE,
+                outstanding=2,
+                locality=locality,
+                include_smaller=False,
+                max_nodes=150,
+            )
+            if not sweep:
+                continue
+            series = result.new_series(f"{levels}-level R={locality}")
+            for nodes, point in sweep:
+                series.add(nodes, point.avg_latency)
+    return result
+
+
+def check(result: SweepResult) -> list[str]:
+    failures = []
+    for locality in (1.0, 0.2):
+        shallow = result.series.get(f"2-level R={locality}")
+        deep = result.series.get(f"3-level R={locality}")
+        if shallow is None or deep is None or not shallow.xs or not deep.xs:
+            continue
+        # Where both are defined and the 2-level system is saturated
+        # (past 3 local rings), the 3-level hierarchy should be cheaper.
+        overlap = [x for x in deep.xs if min(shallow.xs) <= x <= max(shallow.xs)]
+        saturated = [x for x in overlap if x > 24]
+        for x in saturated:
+            if interpolate(deep, x) > 1.1 * interpolate(shallow, x):
+                failures.append(
+                    f"R={locality}: 3-level should not be slower than a "
+                    f"saturated 2-level system at {x} nodes"
+                )
+    return failures
+
+
+register(
+    Experiment(
+        experiment_id="fig11",
+        title="Latency by hierarchy depth (1-4 levels)",
+        paper_claim=(
+            "each hierarchy level shifts the latency curve right; the "
+            "benefit is larger with locality (R=0.2)"
+        ),
+        runner=run,
+        check=check,
+        tags=("ring", "locality"),
+    )
+)

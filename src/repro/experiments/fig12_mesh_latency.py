@@ -1,0 +1,71 @@
+"""Figure 12: latency of 2D meshes by router buffer depth.
+
+Paper claims: mesh latency grows far more moderately with system size
+than hierarchical rings because both aggregate and bisection bandwidth
+scale; buffer size matters a lot — scaling 4 -> 121 processors raises
+latency by roughly 5-7x with cl-sized buffers, 6-8x with 4-flit
+buffers, and 9-12x with 1-flit buffers.
+"""
+
+from __future__ import annotations
+
+from ..analysis.sweeps import SweepResult
+from ..core.config import CL_BUFFER
+from ._shared import mesh_sweep
+from .base import Experiment, Scale, register
+
+BUFFER_CHOICES = (CL_BUFFER, 4, 1)
+
+
+def run(scale: Scale) -> SweepResult:
+    result = SweepResult(
+        title="Figure 12: latency for 2D meshes (R=1.0, C=0.04, T=4)",
+        x_label="nodes",
+        y_label="latency (cycles)",
+    )
+    for buffer_flits in BUFFER_CHOICES:
+        label = "cl" if buffer_flits == CL_BUFFER else f"{buffer_flits}-flit"
+        for cache_line in scale.cache_lines:
+            series = result.new_series(f"{label} {cache_line}B")
+            for nodes, point in mesh_sweep(scale, cache_line, buffer_flits, 4):
+                series.add(
+                    nodes,
+                    point.avg_latency,
+                    utilization=point.utilization_percent("mesh"),
+                )
+    return result
+
+
+def check(result: SweepResult) -> list[str]:
+    failures = []
+    for cache_line in {int(n.split()[1].rstrip("B")) for n in result.series}:
+        by_buffer = {}
+        for label in ("cl", "4-flit", "1-flit"):
+            series = result.series.get(f"{label} {cache_line}B")
+            if series is not None and series.xs:
+                by_buffer[label] = series
+        if {"cl", "1-flit"} <= set(by_buffer):
+            shared = set(by_buffer["cl"].xs) & set(by_buffer["1-flit"].xs)
+            big = [x for x in shared if x >= 16]
+            for x in big:
+                if by_buffer["1-flit"].y_at(x) < 0.95 * by_buffer["cl"].y_at(x):
+                    failures.append(
+                        f"{cache_line}B at {x} nodes: 1-flit buffers should "
+                        "not beat cl-sized buffers"
+                    )
+    return failures
+
+
+register(
+    Experiment(
+        experiment_id="fig12",
+        title="Mesh latency vs nodes by buffer depth",
+        paper_claim=(
+            "latency grows moderately with size; deeper router buffers "
+            "(cl > 4-flit > 1-flit) give strictly better latency"
+        ),
+        runner=run,
+        check=check,
+        tags=("mesh",),
+    )
+)

@@ -1,0 +1,60 @@
+"""Figure 13: network utilization of meshes with 4-flit buffers.
+
+Paper claim: utilization peaks early (at 16/9/9/4 nodes for
+16/32/64/128B lines) and decreases monotonically for larger systems —
+packets travel further, blocking probability rises, and offered load
+per link falls; under 20% by 121 processors for every cache line size.
+"""
+
+from __future__ import annotations
+
+from ..analysis.sweeps import SweepResult
+from ._shared import mesh_sweep
+from .base import Experiment, Scale, register
+
+
+def run(scale: Scale) -> SweepResult:
+    result = SweepResult(
+        title="Figure 13: mesh network utilization, 4-flit buffers (R=1.0, C=0.04, T=4)",
+        x_label="nodes",
+        y_label="utilization (%)",
+    )
+    for cache_line in scale.cache_lines:
+        series = result.new_series(f"{cache_line}B")
+        for nodes, point in mesh_sweep(scale, cache_line, 4, 4):
+            series.add(nodes, point.utilization_percent("mesh"))
+    return result
+
+
+def check(result: SweepResult) -> list[str]:
+    failures = []
+    for name, series in result.series.items():
+        if len(series.xs) < 3:
+            continue
+        peak_x = series.xs[series.ys.index(max(series.ys))]
+        if peak_x == max(series.xs):
+            failures.append(
+                f"{name}: utilization should peak at a small system, not at "
+                f"the largest sampled ({peak_x} nodes)"
+            )
+        if max(series.xs) >= 100 and series.y_at(max(series.xs)) > 35.0:
+            failures.append(
+                f"{name}: utilization should fall for large systems "
+                f"({series.y_at(max(series.xs)):.0f}% at {max(series.xs)} nodes)"
+            )
+    return failures
+
+
+register(
+    Experiment(
+        experiment_id="fig13",
+        title="Mesh network utilization vs nodes",
+        paper_claim=(
+            "utilization peaks at small systems and declines monotonically; "
+            "below 20% at 121 processors"
+        ),
+        runner=run,
+        check=check,
+        tags=("mesh",),
+    )
+)

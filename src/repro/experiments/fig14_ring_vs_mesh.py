@@ -1,0 +1,88 @@
+"""Figure 14: hierarchical rings vs meshes with 4-flit buffers (R=1.0).
+
+Paper claims: rings win at small node counts, meshes at large; the
+cross-over grows with cache line size — 16/25/27/36 nodes for
+16/32/64/128-byte lines at T=4 — because longer worms block more in the
+narrow mesh; the cross-over is nearly independent of T (except T=1),
+while the performance *gap* grows with T.
+"""
+
+from __future__ import annotations
+
+from ..analysis.crossover import crossover_point
+from ..analysis.sweeps import SweepResult
+from ._shared import mesh_sweep, table2_size_ring_sweep
+from .base import Experiment, Scale, register
+
+
+def run(scale: Scale) -> SweepResult:
+    result = SweepResult(
+        title="Figure 14: rings vs meshes, 4-flit mesh buffers (R=1.0, C=0.04)",
+        x_label="nodes",
+        y_label="latency (cycles)",
+    )
+    for cache_line in scale.cache_lines:
+        for outstanding in scale.t_values:
+            ring_series = result.new_series(f"ring {cache_line}B T={outstanding}")
+            for nodes, point in table2_size_ring_sweep(scale, cache_line, outstanding):
+                ring_series.add(nodes, point.avg_latency)
+            mesh_series = result.new_series(f"mesh {cache_line}B T={outstanding}")
+            for nodes, point in mesh_sweep(scale, cache_line, 4, outstanding):
+                mesh_series.add(nodes, point.avg_latency)
+            crossing = crossover_point(ring_series, mesh_series)
+            result.notes.append(
+                f"cross-over {cache_line}B T={outstanding}: "
+                + (f"{crossing:.0f} nodes" if crossing else "none (ring wins throughout)")
+            )
+    return result
+
+
+def check(result: SweepResult) -> list[str]:
+    failures = []
+    crossings: dict[tuple[int, int], float | None] = {}
+    for name in list(result.series):
+        if not name.startswith("ring"):
+            continue
+        __, cl_part, t_part = name.split()
+        cache_line = int(cl_part.rstrip("B"))
+        outstanding = int(t_part.split("=")[1])
+        ring = result.series[name]
+        mesh = result.series.get(f"mesh {cache_line}B T={outstanding}")
+        if mesh is None or len(ring.xs) < 2 or len(mesh.xs) < 2:
+            continue
+        crossings[(cache_line, outstanding)] = crossover_point(ring, mesh)
+        smallest = min(set(ring.xs) | set(mesh.xs))
+        from ..analysis.crossover import interpolate
+
+        if interpolate(ring, smallest) > 1.2 * interpolate(mesh, smallest):
+            failures.append(
+                f"{cache_line}B T={outstanding}: rings should win at small sizes"
+            )
+    # Cross-over should grow with cache line size (same T).
+    for outstanding in {t for (__, t) in crossings}:
+        cls = sorted(cl for (cl, t) in crossings if t == outstanding)
+        values = [crossings[(cl, outstanding)] for cl in cls]
+        numeric = [v for v in values if v is not None]
+        if len(numeric) >= 2 and numeric != sorted(numeric):
+            # Allow small inversions from sampling noise.
+            if any(b < 0.7 * a for a, b in zip(numeric, numeric[1:])):
+                failures.append(
+                    f"T={outstanding}: cross-over should grow with cache line "
+                    f"size, got {dict(zip(cls, values))}"
+                )
+    return failures
+
+
+register(
+    Experiment(
+        experiment_id="fig14",
+        title="Rings vs meshes (4-flit buffers), no locality",
+        paper_claim=(
+            "cross-overs at 16/25/27/36 nodes for 16/32/64/128B lines; "
+            "rings win below, meshes above"
+        ),
+        runner=run,
+        check=check,
+        tags=("comparison",),
+    )
+)

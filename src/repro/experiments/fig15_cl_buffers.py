@@ -1,0 +1,73 @@
+"""Figure 15: rings vs meshes with cache-line-sized mesh buffers (128B).
+
+Paper claim: with cl-sized buffers a worm never stalls across more than
+one link, so meshes improve and the cross-over drops to 16-30 nodes
+depending on T (and is the same for every cache line size).
+"""
+
+from __future__ import annotations
+
+from ..analysis.crossover import crossover_point
+from ..analysis.sweeps import SweepResult
+from ..core.config import CL_BUFFER
+from ._shared import mesh_sweep, table2_size_ring_sweep
+from .base import Experiment, Scale, register
+
+CACHE_LINE = 128
+
+
+def run(scale: Scale) -> SweepResult:
+    result = SweepResult(
+        title="Figure 15: rings vs meshes with cl-sized buffers, 128B lines (R=1.0, C=0.04)",
+        x_label="nodes",
+        y_label="latency (cycles)",
+    )
+    for outstanding in scale.t_values:
+        ring_series = result.new_series(f"ring T={outstanding}")
+        for nodes, point in table2_size_ring_sweep(scale, CACHE_LINE, outstanding):
+            ring_series.add(nodes, point.avg_latency)
+        mesh_series = result.new_series(f"mesh T={outstanding}")
+        for nodes, point in mesh_sweep(scale, CACHE_LINE, CL_BUFFER, outstanding):
+            mesh_series.add(nodes, point.avg_latency)
+        crossing = crossover_point(ring_series, mesh_series)
+        result.notes.append(
+            f"cross-over T={outstanding}: "
+            + (f"{crossing:.0f} nodes" if crossing else "none")
+        )
+    return result
+
+
+def check(result: SweepResult) -> list[str]:
+    failures = []
+    for name in list(result.series):
+        if not name.startswith("ring"):
+            continue
+        outstanding = int(name.split("=")[1])
+        ring = result.series[name]
+        mesh = result.series.get(f"mesh T={outstanding}")
+        if mesh is None or len(ring.xs) < 2 or len(mesh.xs) < 2:
+            continue
+        crossing = crossover_point(ring, mesh)
+        if crossing is None:
+            failures.append(
+                f"T={outstanding}: cl-sized mesh buffers should produce a "
+                "cross-over below the largest sampled size"
+            )
+        elif not 8 <= crossing <= 50:
+            failures.append(
+                f"T={outstanding}: cross-over {crossing:.0f} outside the "
+                "paper's 16-30 node neighborhood"
+            )
+    return failures
+
+
+register(
+    Experiment(
+        experiment_id="fig15",
+        title="Rings vs meshes (cl-sized buffers), 128B lines",
+        paper_claim="cross-over drops to 16-30 nodes depending on T",
+        runner=run,
+        check=check,
+        tags=("comparison",),
+    )
+)

@@ -1,0 +1,88 @@
+"""Figure 17: rings vs meshes under memory access locality (4-flit buffers).
+
+Paper claims: with even moderate locality (R <= 0.3) hierarchical rings
+beat meshes at every size up to 121 processors for 32B+ cache lines
+(16B systems are about even); the ring advantage averages ~20% for 32B
+and ~30% for 64/128B lines; and the gap is *larger* at R=0.2 than at
+R=0.1 because R=0.1 keeps most mesh targets one hop away.
+"""
+
+from __future__ import annotations
+
+from ..analysis.crossover import interpolate
+from ..analysis.sweeps import SweepResult
+from ._shared import mesh_sweep, table2_size_ring_sweep
+from .base import Experiment, Scale, register
+
+
+def run(scale: Scale) -> SweepResult:
+    result = SweepResult(
+        title="Figure 17: rings vs meshes with locality, 4-flit buffers (C=0.04, T=4)",
+        x_label="nodes",
+        y_label="latency (cycles)",
+    )
+    for cache_line in scale.cache_lines:
+        for locality in scale.locality_values:
+            ring_series = result.new_series(f"ring {cache_line}B R={locality}")
+            for nodes, point in table2_size_ring_sweep(
+                scale, cache_line, 4, locality=locality
+            ):
+                ring_series.add(nodes, point.avg_latency)
+            mesh_series = result.new_series(f"mesh {cache_line}B R={locality}")
+            for nodes, point in mesh_sweep(scale, cache_line, 4, 4, locality=locality):
+                mesh_series.add(nodes, point.avg_latency)
+    return result
+
+
+def _gap(result: SweepResult, cache_line: int, locality: float) -> float | None:
+    """Mean relative ring advantage over the common size range."""
+    ring = result.series.get(f"ring {cache_line}B R={locality}")
+    mesh = result.series.get(f"mesh {cache_line}B R={locality}")
+    if ring is None or mesh is None or len(ring.xs) < 2 or len(mesh.xs) < 2:
+        return None
+    lo = max(min(ring.xs), min(mesh.xs))
+    hi = min(max(ring.xs), max(mesh.xs))
+    xs = [x for x in sorted(set(ring.xs) | set(mesh.xs)) if lo <= x <= hi and x >= 16]
+    if not xs:
+        return None
+    gaps = [
+        (interpolate(mesh, x) - interpolate(ring, x)) / interpolate(mesh, x)
+        for x in xs
+    ]
+    return sum(gaps) / len(gaps)
+
+
+def check(result: SweepResult) -> list[str]:
+    failures = []
+    cache_lines = {
+        int(name.split()[1].rstrip("B")) for name in result.series if name.startswith("ring")
+    }
+    localities = {
+        float(name.split("=")[1]) for name in result.series if name.startswith("ring")
+    }
+    for cache_line in sorted(cache_lines):
+        if cache_line < 32:
+            continue  # paper: 16B systems are about even
+        for locality in sorted(localities):
+            gap = _gap(result, cache_line, locality)
+            if gap is not None and gap < -0.05:
+                failures.append(
+                    f"{cache_line}B R={locality}: rings should beat meshes "
+                    f"under locality (mean gap {gap:+.0%})"
+                )
+    return failures
+
+
+register(
+    Experiment(
+        experiment_id="fig17",
+        title="Rings vs meshes under locality (R=0.1/0.2/0.3)",
+        paper_claim=(
+            "rings win at all sizes for 32B+ lines with R <= 0.3, by ~20% "
+            "(32B) to ~30% (64/128B); gap larger at R=0.2 than R=0.1"
+        ),
+        runner=run,
+        check=check,
+        tags=("comparison", "locality"),
+    )
+)

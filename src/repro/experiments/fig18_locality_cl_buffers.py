@@ -1,0 +1,72 @@
+"""Figure 18: locality with cl-sized mesh buffers (128B lines).
+
+Paper claim: even giving meshes their best case (cache-line-sized
+router buffers), locality raises the cross-over to 45+ processors for
+R <= 0.3 — rings stay ahead for small and medium systems.
+"""
+
+from __future__ import annotations
+
+from ..analysis.crossover import crossover_point
+from ..analysis.sweeps import SweepResult
+from ..core.config import CL_BUFFER
+from ._shared import mesh_sweep, table2_size_ring_sweep
+from .base import Experiment, Scale, register
+
+CACHE_LINE = 128
+
+
+def run(scale: Scale) -> SweepResult:
+    result = SweepResult(
+        title="Figure 18: rings vs cl-buffer meshes with locality, 128B lines (C=0.04, T=4)",
+        x_label="nodes",
+        y_label="latency (cycles)",
+    )
+    for locality in scale.locality_values:
+        ring_series = result.new_series(f"ring R={locality}")
+        for nodes, point in table2_size_ring_sweep(
+            scale, CACHE_LINE, 4, locality=locality
+        ):
+            ring_series.add(nodes, point.avg_latency)
+        mesh_series = result.new_series(f"mesh R={locality}")
+        for nodes, point in mesh_sweep(
+            scale, CACHE_LINE, CL_BUFFER, 4, locality=locality
+        ):
+            mesh_series.add(nodes, point.avg_latency)
+        crossing = crossover_point(ring_series, mesh_series)
+        result.notes.append(
+            f"cross-over R={locality}: "
+            + (f"{crossing:.0f} nodes" if crossing else "none (rings win throughout)")
+        )
+    return result
+
+
+def check(result: SweepResult) -> list[str]:
+    failures = []
+    for name in list(result.series):
+        if not name.startswith("ring"):
+            continue
+        locality = float(name.split("=")[1])
+        ring = result.series[name]
+        mesh = result.series.get(f"mesh R={locality}")
+        if mesh is None or len(ring.xs) < 2 or len(mesh.xs) < 2:
+            continue
+        crossing = crossover_point(ring, mesh)
+        if crossing is not None and crossing < 30:
+            failures.append(
+                f"R={locality}: locality should push the cl-buffer cross-over "
+                f"past ~45 nodes, got {crossing:.0f}"
+            )
+    return failures
+
+
+register(
+    Experiment(
+        experiment_id="fig18",
+        title="Locality with cl-sized mesh buffers, 128B lines",
+        paper_claim="cross-over at 45+ processors for R <= 0.3",
+        runner=run,
+        check=check,
+        tags=("comparison", "locality"),
+    )
+)

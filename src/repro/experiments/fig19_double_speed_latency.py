@@ -1,0 +1,84 @@
+"""Figure 19: 3-level hierarchies with normal vs double-speed global rings.
+
+Paper claim: clocking the global ring at 2x lets it sustain five
+second-level rings instead of three — 180/120/90/60 processors for
+16/32/64/128B lines — with markedly lower latency at sizes where the
+normal-speed global ring is saturated.
+"""
+
+from __future__ import annotations
+
+from ..analysis.crossover import interpolate
+from ..analysis.sweeps import SweepResult
+from ..ring.topology import SINGLE_RING_MAX
+from ._shared import level_growth_sweep
+from .base import Experiment, Scale, register
+
+CACHE_LINES = (32, 64, 128)
+
+
+def run(scale: Scale) -> SweepResult:
+    result = SweepResult(
+        title="Figure 19: 3-level rings, normal vs 2x global ring (R=1.0, C=0.04, T=4)",
+        x_label="nodes",
+        y_label="latency (cycles)",
+    )
+    for cache_line in CACHE_LINES:
+        if cache_line not in scale.cache_lines:
+            continue
+        for speed, label in ((1, "normal"), (2, "double")):
+            series = result.new_series(f"{cache_line}B {label}")
+            sweep = level_growth_sweep(
+                scale,
+                levels=3,
+                cache_line=cache_line,
+                outstanding=4,
+                global_ring_speed=speed,
+                include_smaller=False,
+                max_nodes=200,
+            )
+            for nodes, point in sweep:
+                series.add(
+                    nodes,
+                    point.avg_latency,
+                    global_utilization=point.utilization_percent("global"),
+                )
+    return result
+
+
+def check(result: SweepResult) -> list[str]:
+    failures = []
+    for name in list(result.series):
+        if not name.endswith("double"):
+            continue
+        cache_line = int(name.split("B")[0])
+        double = result.series[name]
+        normal = result.series.get(f"{cache_line}B normal")
+        if normal is None or len(double.xs) < 2 or len(normal.xs) < 2:
+            continue
+        local = SINGLE_RING_MAX[cache_line]
+        saturated = [
+            x for x in double.xs if x >= 12 * local and min(normal.xs) <= x <= max(normal.xs)
+        ]
+        for x in saturated:
+            if double.y_at(x) > 0.95 * interpolate(normal, x):
+                failures.append(
+                    f"{cache_line}B at {x} nodes: double-speed global ring "
+                    "should clearly beat normal speed once saturated"
+                )
+    return failures
+
+
+register(
+    Experiment(
+        experiment_id="fig19",
+        title="Double-speed global ring latency",
+        paper_claim=(
+            "2x global ring sustains five second-level rings "
+            "(180/120/90/60 processors for 16/32/64/128B lines)"
+        ),
+        runner=run,
+        check=check,
+        tags=("ring", "double-speed"),
+    )
+)

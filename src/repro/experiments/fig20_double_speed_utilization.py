@@ -1,0 +1,72 @@
+"""Figure 20: global ring utilization, normal vs double speed.
+
+Paper claim: the double-speed global ring's utilization climbs more
+slowly and more linearly with system size than the normal-speed ring,
+which saturates at three second-level rings.
+"""
+
+from __future__ import annotations
+
+from ..analysis.sweeps import SweepResult
+from ._shared import level_growth_sweep
+from .base import Experiment, Scale, register
+
+CACHE_LINES = (32, 64, 128)
+
+
+def run(scale: Scale) -> SweepResult:
+    result = SweepResult(
+        title="Figure 20: global ring utilization, normal vs 2x (R=1.0, C=0.04, T=4)",
+        x_label="nodes",
+        y_label="utilization (%)",
+    )
+    for cache_line in CACHE_LINES:
+        if cache_line not in scale.cache_lines:
+            continue
+        for speed, label in ((1, "normal"), (2, "double")):
+            series = result.new_series(f"{cache_line}B {label}")
+            sweep = level_growth_sweep(
+                scale,
+                levels=3,
+                cache_line=cache_line,
+                outstanding=4,
+                global_ring_speed=speed,
+                include_smaller=False,
+                max_nodes=200,
+            )
+            for nodes, point in sweep:
+                if "global" in point.utilization:
+                    series.add(nodes, point.utilization_percent("global"))
+    return result
+
+
+def check(result: SweepResult) -> list[str]:
+    failures = []
+    for name in list(result.series):
+        if not name.endswith("double"):
+            continue
+        cache_line = int(name.split("B")[0])
+        double = result.series[name]
+        normal = result.series.get(f"{cache_line}B normal")
+        if normal is None:
+            continue
+        shared = sorted(set(double.xs) & set(normal.xs))
+        for x in shared:
+            if double.y_at(x) > normal.y_at(x) + 8.0:
+                failures.append(
+                    f"{cache_line}B at {x} nodes: 2x global ring should be "
+                    "less utilized than the normal-speed ring"
+                )
+    return failures
+
+
+register(
+    Experiment(
+        experiment_id="fig20",
+        title="Double-speed global ring utilization",
+        paper_claim="2x global ring utilization grows more slowly and linearly",
+        runner=run,
+        check=check,
+        tags=("ring", "double-speed"),
+    )
+)

@@ -1,0 +1,71 @@
+"""Figure 21: meshes vs 3-level rings with double-speed global rings.
+
+Paper claim: with the 2x global ring and no locality, 128B-line rings
+beat meshes by 10-20% at up to ~120 processors; for 32B and 64B lines
+the cross-overs barely move because they occur before a third ring
+level is even needed.
+"""
+
+from __future__ import annotations
+
+from ..analysis.crossover import crossover_point
+from ..analysis.sweeps import SweepResult
+from ._shared import mesh_sweep, table2_size_ring_sweep
+from .base import Experiment, Scale, register
+
+CACHE_LINES = (32, 64, 128)
+
+
+def run(scale: Scale) -> SweepResult:
+    result = SweepResult(
+        title="Figure 21: meshes vs rings with 2x global ring (R=1.0, C=0.04, T=4)",
+        x_label="nodes",
+        y_label="latency (cycles)",
+    )
+    for cache_line in CACHE_LINES:
+        if cache_line not in scale.cache_lines:
+            continue
+        ring_series = result.new_series(f"ring {cache_line}B 2x-global")
+        for nodes, point in table2_size_ring_sweep(
+            scale, cache_line, 4, global_ring_speed=2
+        ):
+            ring_series.add(nodes, point.avg_latency)
+        mesh_series = result.new_series(f"mesh {cache_line}B")
+        for nodes, point in mesh_sweep(scale, cache_line, 4, 4):
+            mesh_series.add(nodes, point.avg_latency)
+        crossing = crossover_point(ring_series, mesh_series)
+        result.notes.append(
+            f"cross-over {cache_line}B: "
+            + (f"{crossing:.0f} nodes" if crossing else "none (rings win throughout)")
+        )
+    return result
+
+
+def check(result: SweepResult) -> list[str]:
+    failures = []
+    ring128 = result.series.get("ring 128B 2x-global")
+    mesh128 = result.series.get("mesh 128B")
+    if ring128 is not None and mesh128 is not None and len(ring128.xs) >= 2:
+        crossing = crossover_point(ring128, mesh128)
+        hi = min(max(ring128.xs), max(mesh128.xs))
+        if crossing is not None and crossing < 0.75 * hi:
+            failures.append(
+                f"128B: with a 2x global ring, rings should stay ahead of "
+                f"meshes until large sizes (cross-over at {crossing:.0f}/{hi:.0f})"
+            )
+    return failures
+
+
+register(
+    Experiment(
+        experiment_id="fig21",
+        title="Meshes vs double-speed-global rings",
+        paper_claim=(
+            "128B rings beat meshes by 10-20% up to ~120 processors even "
+            "without locality"
+        ),
+        runner=run,
+        check=check,
+        tags=("comparison", "double-speed"),
+    )
+)

@@ -1,0 +1,103 @@
+"""Table 2: optimal hierarchical ring topology search.
+
+For each (processor count, cache line size) cell, simulate every
+design-rule-conforming hierarchy under the no-locality workload
+(R=1.0, C=0.04, T=4) and rank by measured latency.  The paper's chosen
+topology should rank at or near the top; exact ties between near-equal
+hierarchies (e.g. 2:12 vs 3:8) can swap order within noise.
+"""
+
+from __future__ import annotations
+
+from ..analysis.sweeps import SweepResult
+from ..analysis.tables import table2_topology_search
+from ..core.config import WorkloadConfig, format_hierarchy
+from ..ring.topology import PAPER_TABLE2
+from .base import Experiment, Scale, register
+
+#: Cells searched per scale (larger cells cost many candidate runs).
+CELLS = {
+    "quick": ((24, 32), (12, 128)),
+    "default": ((12, 32), (24, 32), (36, 32), (24, 128), (36, 128)),
+    "full": tuple(
+        (processors, cache_line)
+        for cache_line in (16, 32, 64, 128)
+        for processors in sorted(PAPER_TABLE2[cache_line])
+        if processors <= 72
+    ),
+}
+
+
+def run(scale: Scale) -> SweepResult:
+    result = SweepResult(
+        title="Table 2: optimal ring hierarchy per (P, cache line) — measured ranking",
+        x_label="processors",
+        y_label="best latency (cycles)",
+    )
+    workload = WorkloadConfig(locality=1.0, miss_rate=0.04, outstanding=4)
+    cells = CELLS.get(scale.name, CELLS["quick"])
+    for processors, cache_line in cells:
+        ranking = table2_topology_search(
+            processors, cache_line, workload=workload, params=scale.sim
+        )
+        series_name = f"{cache_line}B"
+        series = result.series.get(series_name) or result.new_series(series_name)
+        paper_rank = ranking.paper_choice_rank()
+        paper_latency = (
+            ranking.ranked[paper_rank][1] if paper_rank is not None else None
+        )
+        series.add(
+            processors,
+            ranking.ranked[0][1],
+            best=format_hierarchy(ranking.best),
+            paper=(
+                format_hierarchy(ranking.paper_choice)
+                if ranking.paper_choice
+                else None
+            ),
+            paper_rank=paper_rank,
+            paper_latency=paper_latency,
+            candidates=len(ranking.ranked),
+        )
+        result.notes.append(
+            f"P={processors} cl={cache_line}B: best={format_hierarchy(ranking.best)} "
+            f"paper={format_hierarchy(ranking.paper_choice) if ranking.paper_choice else '?'} "
+            f"(paper rank {ranking.paper_choice_rank()} of {len(ranking.ranked)})"
+        )
+    return result
+
+
+def check(result: SweepResult) -> list[str]:
+    """The paper's pick must be within 25% of our measured best.
+
+    Rank is too strict a criterion: candidate hierarchies cluster within
+    a few percent and their order flips with model details (our
+    simulator consistently prefers slightly higher top-level fan-out —
+    see EXPERIMENTS.md).  What must hold is that the paper's choice is
+    *competitive*.
+    """
+    failures = []
+    for series in result.series.values():
+        for x, best_latency, meta in zip(series.xs, series.ys, series.meta):
+            paper_latency = meta.get("paper_latency")
+            if paper_latency is None:
+                continue
+            if paper_latency > 1.25 * best_latency:
+                failures.append(
+                    f"P={x}: paper topology {meta['paper']} at "
+                    f"{paper_latency:.0f} cycles is not competitive with our "
+                    f"best {meta['best']} at {best_latency:.0f}"
+                )
+    return failures
+
+
+register(
+    Experiment(
+        experiment_id="table2",
+        title="Optimal hierarchy topology search",
+        paper_claim="the paper's Table 2 topology is (near-)optimal per cell",
+        runner=run,
+        check=check,
+        tags=("ring", "search"),
+    )
+)

@@ -1,0 +1,1 @@
+"""Square 2D bi-directional wormhole mesh with e-cube routing."""

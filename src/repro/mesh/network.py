@@ -1,0 +1,105 @@
+"""2D mesh network assembly.
+
+Builds the complete mesh system for a
+:class:`~repro.core.config.MeshSystemConfig`: one
+:class:`~repro.core.pm.ProcessingModule` and
+:class:`~repro.mesh.router.MeshRouter` per node, and two opposing
+unidirectional channels between each pair of adjacent routers (the
+paper's bi-directional links implemented as two 32-bit channels).
+
+Only router-to-router links count toward network utilization, matching
+the paper's "percent of maximum network utilization".
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.channel import Channel
+from ..core.config import MeshSystemConfig, WorkloadConfig
+from ..core.engine import Engine
+from ..core.pm import MetricsHub, ProcessingModule
+from ..workload.mmrp import RegionTargetSelector
+from .router import MeshRouter
+from .topology import MeshShape
+
+
+class MeshNetwork:
+    """A fully wired square 2D mesh multiprocessor system."""
+
+    def __init__(
+        self,
+        config: MeshSystemConfig,
+        workload: WorkloadConfig,
+        metrics: MetricsHub,
+        seed: int = 1,
+        miss_sources: "list | None" = None,
+    ):
+        config.validate()
+        workload.validate()
+        self.config = config
+        self.workload = workload
+        self.metrics = metrics
+        self.shape = MeshShape(config.side)
+
+        geometry = config.geometry
+        selector = RegionTargetSelector.for_mesh(config.side, workload.locality)
+
+        self.pms: list[ProcessingModule] = [
+            ProcessingModule(
+                pm_id=pm_id,
+                geometry=geometry,
+                workload=workload,
+                memory_latency=config.memory_latency,
+                select_target=selector,
+                rng=random.Random(seed * 1_000_003 + pm_id),
+                metrics=metrics,
+                miss_source=miss_sources[pm_id] if miss_sources else None,
+            )
+            for pm_id in range(self.shape.processors)
+        ]
+        self.routers: list[MeshRouter] = [
+            MeshRouter(pm, self.shape, config.input_buffer_flits) for pm in self.pms
+        ]
+        self.channels: list[Channel] = []
+        self._wire()
+
+    def _wire(self) -> None:
+        for node in range(self.shape.processors):
+            router = self.routers[node]
+            for direction, neighbor_id in self.shape.neighbors(node).items():
+                channel = Channel(
+                    name=f"mesh.link{node}{direction}", klass="mesh", speed=1
+                )
+                router.connect(direction, self.routers[neighbor_id], channel)
+                self.channels.append(channel)
+
+    # ------------------------------------------------------------------
+    def register(self, engine: Engine) -> None:
+        for pm in self.pms:
+            engine.add_component(pm)
+        for router in self.routers:
+            engine.add_component(router)
+        for channel in self.channels:
+            engine.register_channel(channel)
+
+    # ------------------------------------------------------------------
+    @property
+    def levels_present(self) -> list[str]:
+        return ["mesh"]
+
+    def flits_carried(self, level: str | None = None) -> int:
+        if level not in (None, "mesh"):
+            return 0
+        return sum(c.flits_carried for c in self.channels)
+
+    def opportunities(self, cycles: int, level: str | None = None) -> float:
+        if level not in (None, "mesh"):
+            return 0.0
+        return float(len(self.channels) * cycles)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MeshNetwork({self.shape.side}x{self.shape.side}, "
+            f"cl={self.config.cache_line_bytes}B, buf={self.config.buffer_flits})"
+        )

@@ -1,0 +1,178 @@
+"""Mesh Network Interface Controller — a 5x5 wormhole crossbar router
+(paper Figure 5 and Section 2.2).
+
+Each router has four neighbor input links with FIFO buffers of 1, 4 or
+``cl`` flits, plus the local processing module's injection port (the
+PM's split request/response output queues — one physical port, so at
+most one flit injects per cycle, responses first).  Output ports:
+
+* are allocated to an input at the head flit and held until the tail
+  flit passes ("once a switch connection ... is established, it is
+  broken only after the last flit of a packet has been transferred");
+* arbitrate competing head flits round-robin (Section 2.2);
+* forward at most one flit per cycle; the crossbar connects any inputs
+  to any outputs within a single clock ("our mesh NIC can connect all
+  inputs to outputs in a single clock cycle"), and the 1-cycle routing
+  delay comes from buffering at the downstream node.
+
+Blocked flits stay in their input buffer and back-pressure the upstream
+link through the engine's flow-control resolution.
+"""
+
+from __future__ import annotations
+
+from ..core.buffers import FlitBuffer
+from ..core.channel import Channel
+from ..core.engine import Component, Engine, Transfer
+from ..core.errors import SimulationError
+from ..core.packet import Flit, Packet
+from ..core.pm import ProcessingModule
+from .routing import LOCAL, ecube_next_direction
+from .topology import MeshShape
+
+#: Input arbitration order (round-robin start rotates through this).
+INPUT_ORDER = ("N", "E", "S", "W", LOCAL)
+OUTPUT_ORDER = ("N", "E", "S", "W", LOCAL)
+
+
+class MeshRouter(Component):
+    """One node's router plus its processing-module port."""
+
+    speed = 1
+
+    def __init__(
+        self,
+        pm: ProcessingModule,
+        shape: MeshShape,
+        buffer_flits: int,
+    ):
+        self.pm = pm
+        self.shape = shape
+        self.node = pm.pm_id
+        self.name = f"router{self.node}"
+
+        self.input_buffers: dict[str, FlitBuffer] = {
+            direction: FlitBuffer(f"{self.name}.in_{direction}", capacity=buffer_flits)
+            for direction in ("N", "E", "S", "W")
+        }
+
+        # Wired by the network builder: out direction -> (dest buffer, channel)
+        self._out_dest: dict[str, FlitBuffer] = {LOCAL: pm.in_queue}
+        self._out_channel: dict[str, Channel | None] = {LOCAL: None}
+
+        # Wormhole state.
+        self._output_lock: dict[str, str | None] = {d: None for d in OUTPUT_ORDER}
+        self._input_route: dict[str, str | None] = {d: None for d in INPUT_ORDER}
+        self._input_active_buffer: dict[str, FlitBuffer | None] = {
+            d: None for d in INPUT_ORDER
+        }
+        self._rr_pointer: dict[str, int] = {d: 0 for d in OUTPUT_ORDER}
+
+        # Reverse maps for commit-time bookkeeping.
+        self._input_of_source: dict[FlitBuffer, str] = {
+            buf: direction for direction, buf in self.input_buffers.items()
+        }
+        self._input_of_source[pm.out_resp] = LOCAL
+        self._input_of_source[pm.out_req] = LOCAL
+        self._output_of_dest: dict[FlitBuffer, str] = {pm.in_queue: LOCAL}
+
+        self.packets_routed = 0
+
+    # ------------------------------------------------------------------
+    def connect(self, direction: str, neighbor: "MeshRouter", channel: Channel) -> None:
+        """Wire this router's *direction* output to *neighbor*'s input."""
+        from .topology import OPPOSITE
+
+        dest = neighbor.input_buffers[OPPOSITE[direction]]
+        self._out_dest[direction] = dest
+        self._out_channel[direction] = channel
+        self._output_of_dest[dest] = direction
+
+    @property
+    def connected_outputs(self) -> list[str]:
+        return [d for d in OUTPUT_ORDER if d in self._out_dest]
+
+    # ------------------------------------------------------------------
+    def _head_candidate(self, in_key: str) -> tuple[Flit, FlitBuffer] | None:
+        """The new-packet head flit offered by input *in_key*, if any."""
+        if in_key == LOCAL:
+            for queue in (self.pm.out_resp, self.pm.out_req):
+                flit = queue.peek()
+                if flit is not None:
+                    if not flit.is_head:
+                        raise SimulationError(
+                            f"{self.name}: idle local port, mid-packet flit "
+                            f"at head of {queue.name!r}"
+                        )
+                    return flit, queue
+            return None
+        buffer = self.input_buffers[in_key]
+        flit = buffer.peek()
+        if flit is None:
+            return None
+        if not flit.is_head:
+            raise SimulationError(
+                f"{self.name}: input {in_key} idle but heads with {flit!r}"
+            )
+        return flit, buffer
+
+    def route(self, packet: Packet) -> str:
+        return ecube_next_direction(self.shape, self.node, packet.destination)
+
+    # ------------------------------------------------------------------
+    def propose(self, engine: Engine) -> None:
+        for out_key in self.connected_outputs:
+            lock = self._output_lock[out_key]
+            if lock is not None:
+                self._propose_continuation(engine, out_key, lock)
+            else:
+                self._propose_new_packet(engine, out_key)
+
+    def _propose_continuation(self, engine: Engine, out_key: str, in_key: str) -> None:
+        buffer = self._input_active_buffer[in_key]
+        if buffer is None:
+            raise SimulationError(f"{self.name}: output {out_key} locked to idle input")
+        flit = buffer.peek()
+        if flit is None:
+            return  # bubble: the packet's next flit has not arrived yet
+        engine.propose(
+            flit, buffer, self._out_dest[out_key], self._out_channel[out_key], self
+        )
+
+    def _propose_new_packet(self, engine: Engine, out_key: str) -> None:
+        start = self._rr_pointer[out_key]
+        order = INPUT_ORDER
+        for offset in range(len(order)):
+            in_key = order[(start + offset) % len(order)]
+            if self._input_route[in_key] is not None:
+                continue  # input is mid-packet toward some other output
+            candidate = self._head_candidate(in_key)
+            if candidate is None:
+                continue
+            flit, buffer = candidate
+            if self.route(flit.packet) != out_key:
+                continue
+            engine.propose(
+                flit, buffer, self._out_dest[out_key], self._out_channel[out_key], self
+            )
+            return
+
+    # ------------------------------------------------------------------
+    def on_transfer_commit(self, transfer: Transfer, engine: Engine) -> None:
+        flit = transfer.flit
+        in_key = self._input_of_source[transfer.source]
+        out_key = self._output_of_dest[transfer.dest]
+        if flit.is_head:
+            self.packets_routed += 1
+            self._rr_pointer[out_key] = (INPUT_ORDER.index(in_key) + 1) % len(INPUT_ORDER)
+            if not flit.is_tail:
+                self._output_lock[out_key] = in_key
+                self._input_route[in_key] = out_key
+                self._input_active_buffer[in_key] = transfer.source
+        if flit.is_tail:
+            self._output_lock[out_key] = None
+            self._input_route[in_key] = None
+            self._input_active_buffer[in_key] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MeshRouter(node={self.node})"

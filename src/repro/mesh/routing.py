@@ -1,0 +1,43 @@
+"""Deterministic e-cube (dimension-order XY) routing.
+
+The paper chooses the bi-directional mesh without end-around links
+precisely because "of its simple e-cube deterministic deadlock free
+routing algorithm that does not require virtual channels" (Section 2).
+A packet first corrects its X offset (East/West), then its Y offset
+(North/South), then ejects at the local port.  Because all X hops
+complete before any Y hop, the channel dependency graph is acyclic and
+the algorithm is deadlock-free.
+"""
+
+from __future__ import annotations
+
+from .topology import MeshShape
+
+#: The local (ejection/injection) pseudo-direction.
+LOCAL = "L"
+
+
+def ecube_next_direction(shape: MeshShape, current: int, destination: int) -> str:
+    """Output direction at *current* for a packet heading to *destination*."""
+    cx, cy = shape.coordinates(current)
+    dx, dy = shape.coordinates(destination)
+    if cx < dx:
+        return "E"
+    if cx > dx:
+        return "W"
+    if cy < dy:
+        return "S"
+    if cy > dy:
+        return "N"
+    return LOCAL
+
+
+def ecube_path(shape: MeshShape, source: int, destination: int) -> list[int]:
+    """Node sequence (inclusive) visited by the e-cube route."""
+    path = [source]
+    current = source
+    while current != destination:
+        direction = ecube_next_direction(shape, current, destination)
+        current = shape.neighbors(current)[direction]
+        path.append(current)
+    return path

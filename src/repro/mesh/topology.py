@@ -1,0 +1,76 @@
+"""Square 2D mesh coordinates and distances.
+
+PM ids are row-major: ``pm_id = y * side + x``.  The mesh is
+bi-directional with no end-around connections (paper Section 2), so the
+distance between nodes is the Manhattan metric, which is also the hop
+count of the deterministic e-cube route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class MeshShape:
+    """Geometry helpers for a ``side x side`` mesh."""
+
+    side: int
+
+    def __post_init__(self) -> None:
+        if self.side < 1:
+            raise TopologyError(f"mesh side must be >= 1, got {self.side}")
+
+    @property
+    def processors(self) -> int:
+        return self.side * self.side
+
+    def coordinates(self, pm_id: int) -> tuple[int, int]:
+        if not 0 <= pm_id < self.processors:
+            raise TopologyError(f"pm_id {pm_id} out of range for {self.side}x{self.side}")
+        return pm_id % self.side, pm_id // self.side
+
+    def pm_id(self, x: int, y: int) -> int:
+        if not (0 <= x < self.side and 0 <= y < self.side):
+            raise TopologyError(f"({x},{y}) outside {self.side}x{self.side} mesh")
+        return y * self.side + x
+
+    def hop_distance(self, a: int, b: int) -> int:
+        ax, ay = self.coordinates(a)
+        bx, by = self.coordinates(b)
+        return abs(ax - bx) + abs(ay - by)
+
+    def neighbors(self, pm_id: int) -> dict[str, int]:
+        """Adjacent node per direction; absent keys are mesh edges."""
+        x, y = self.coordinates(pm_id)
+        result: dict[str, int] = {}
+        if y > 0:
+            result["N"] = self.pm_id(x, y - 1)
+        if y < self.side - 1:
+            result["S"] = self.pm_id(x, y + 1)
+        if x < self.side - 1:
+            result["E"] = self.pm_id(x + 1, y)
+        if x > 0:
+            result["W"] = self.pm_id(x - 1, y)
+        return result
+
+    def internal_links(self) -> int:
+        """Unidirectional router-to-router links in the mesh."""
+        return 4 * self.side * (self.side - 1)
+
+    def average_distance(self) -> float:
+        """Mean hop count over all ordered pairs of distinct nodes."""
+        total = 0
+        count = 0
+        for a in range(self.processors):
+            for b in range(self.processors):
+                if a != b:
+                    total += self.hop_distance(a, b)
+                    count += 1
+        return total / count if count else 0.0
+
+
+#: Direction sent in maps to the receive-side buffer at the neighbor.
+OPPOSITE = {"N": "S", "S": "N", "E": "W", "W": "E"}

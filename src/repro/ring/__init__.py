@@ -1,0 +1,1 @@
+"""Hierarchical unidirectional ring network (NUMAchine/Hector style)."""

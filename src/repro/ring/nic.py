@@ -1,0 +1,57 @@
+"""Ring Network Interface Controller (paper Figure 3).
+
+The NIC connects a processing module to its local ring.  It switches
+
+1. incoming packets destined for the local PM into the PM's input
+   queue (an unbounded ejection sink — see DESIGN.md §4),
+2. outgoing packets from the PM's split request/response output queues
+   onto the ring, and
+3. continuing (transit) packets from the input link to the output link
+   through a cache-line-sized ring buffer.
+
+Transmission priority is transit packets first, then responses, then
+requests (Section 2.1).  The paper's bypass path (ring buffer empty and
+output idle → forward directly) has the same one-cycle transit timing
+as passing through the ring buffer, so the ring buffer subsumes it.
+"""
+
+from __future__ import annotations
+
+from ..core.buffers import FlitBuffer
+from ..core.packet import Packet
+from ..core.pm import ProcessingModule
+from .port import RingPort
+
+
+class RingNIC(RingPort):
+    """A processing module's interface onto its local ring."""
+
+    def __init__(
+        self,
+        name: str,
+        pm: ProcessingModule,
+        ring_buffer_flits: int,
+        speed: int = 1,
+        transit_first: bool = True,
+        response_first: bool = True,
+        slotted: bool = False,
+    ):
+        self.pm = pm
+        ring_buffer = FlitBuffer(f"{name}.ring_buffer", capacity=ring_buffer_flits)
+        injection = (
+            [pm.out_resp, pm.out_req] if response_first else [pm.out_req, pm.out_resp]
+        )
+        super().__init__(
+            name,
+            transit_buffer=ring_buffer,
+            injection_sources=injection,
+            classify=self._classify,
+            speed=speed,
+            transit_first=transit_first,
+            slotted=slotted,
+        )
+
+    def _classify(self, packet: Packet) -> FlitBuffer:
+        if packet.destination == self.pm.pm_id:
+            return self.pm.in_queue
+        return self.transit_buffer

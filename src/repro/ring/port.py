@@ -1,0 +1,201 @@
+"""The generic ring node port.
+
+Every position on a ring — a processing module's NIC or one side of an
+inter-ring interface — behaves identically at the flit level
+(Section 2.1):
+
+* it owns a *transit* (ring) buffer holding packets passing through;
+* it owns lower-priority *injection* sources (the PM's response and
+  request output queues at a NIC; the down or up queues at an IRI);
+* each cycle it sends at most one flit onto its output link, giving
+  strict priority to transit packets, then responses, then requests,
+  at packet granularity (wormhole: once a packet's head is sent the
+  output is held until its tail passes);
+* arriving packets are *classified* by the receiving port: continue on
+  the ring (transit buffer), eject (PM input queue), or change rings
+  (up/down queue) — decided on the head flit and pinned on the channel
+  for the body flits.
+
+:class:`RingPort` implements all of that; NICs and IRIs differ only in
+their classifier and in which buffers they wire up.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.buffers import FlitBuffer
+from ..core.channel import Channel
+from ..core.engine import Component, Engine, Transfer
+from ..core.errors import SimulationError
+from ..core.packet import Packet
+
+#: A classifier maps an arriving packet to the receiving buffer.
+Classifier = Callable[[Packet], FlitBuffer]
+
+
+class RingPort(Component):
+    """One node position on a unidirectional ring."""
+
+    def __init__(
+        self,
+        name: str,
+        transit_buffer: FlitBuffer,
+        injection_sources: list[FlitBuffer],
+        classify: Classifier,
+        speed: int = 1,
+        transit_first: bool = True,
+        slotted: bool = False,
+    ):
+        self.name = name
+        self.transit_buffer = transit_buffer
+        self.injection_sources = injection_sources
+        self.classify = classify
+        self.speed = speed
+        #: The paper gives transit packets strict priority; False is the
+        #: injection-first ablation (see benchmarks/bench_ablations.py).
+        self.transit_first = transit_first
+        #: Slotted (non-blocking) switching: flits move as independently
+        #: routed slots; the station interleaves passing slots with
+        #: local insertions (register-insertion style) so neither can
+        #: starve the other.
+        self.slotted = slotted
+        self._insertion_turn = False
+        # Wired by the network builder:
+        self.out_channel: Channel | None = None
+        self.in_channel: Channel | None = None
+        self.downstream: "RingPort | None" = None
+        # Wormhole send state: the packet currently holding the output
+        # link and the buffer its flits stream from.
+        self._sending: Packet | None = None
+        self._sending_source: FlitBuffer | None = None
+        # Diagnostics
+        self.packets_sent = 0
+        self.transit_packets_sent = 0
+
+    # ------------------------------------------------------------------
+    def connect(self, downstream: "RingPort", channel: Channel) -> None:
+        self.downstream = downstream
+        self.out_channel = channel
+        downstream.in_channel = channel
+
+    @property
+    def sources_by_priority(self) -> list[FlitBuffer]:
+        if self.transit_first:
+            return [self.transit_buffer, *self.injection_sources]
+        return [*self.injection_sources, self.transit_buffer]
+
+    # ------------------------------------------------------------------
+    def propose(self, engine: Engine) -> None:
+        if self.downstream is None or self.out_channel is None:
+            raise SimulationError(f"ring port {self.name!r} is not wired")
+        if self.slotted:
+            self._propose_slotted(engine)
+            return
+        flit, source = self._pick_flit()
+        if flit is None or source is None:
+            return
+        if flit.is_head:
+            dest = self.downstream.classify(flit.packet)
+        else:
+            dest = self.out_channel.incoming_route
+            if dest is None:
+                raise SimulationError(
+                    f"{self.name}: body flit of {flit.packet!r} has no open route"
+                )
+        engine.propose(flit, source, dest, self.out_channel, self)
+
+    def _propose_slotted(self, engine: Engine) -> None:
+        """Slotted switching: every flit is an independently routed slot.
+
+        This is how the slotted hierarchical-ring machines (Hector,
+        NUMAchine) actually move data — a packet's slots need not be
+        contiguous, the destination reassembles — which is what makes
+        the switching non-blocking: any single slot can always either
+        advance, drop into a change queue with a free entry, or
+        recirculate.  It also means a packet longer than a ring's
+        station count simply wraps, where wormhole contiguity would
+        corrupt itself.
+
+        Arbitration is register-insertion style: transit slots and
+        local insertions alternate whenever both are waiting (a passing
+        slot parks in the packet-sized insertion buffer for the one
+        cycle an insertion takes).  Strict transit priority would let
+        an IRI's own recirculating slots starve its change queues into
+        a stable livelock; strict insertion priority would stall the
+        ring.  The alternation bound keeps both draining.
+        """
+        transit_flit = self.transit_buffer.peek()
+        insertion_flit = None
+        insertion_source = None
+        for candidate in self.injection_sources:
+            insertion_flit = candidate.peek()
+            if insertion_flit is not None:
+                insertion_source = candidate
+                break
+
+        if transit_flit is not None and (
+            insertion_flit is None
+            or not self._insertion_turn
+            or self.transit_buffer.is_full
+        ):
+            flit, source = transit_flit, self.transit_buffer
+            self._insertion_turn = True
+        elif insertion_flit is not None:
+            flit, source = insertion_flit, insertion_source
+            self._insertion_turn = False
+        else:
+            return
+        dest = self.downstream.classify(flit.packet)
+        engine.propose(flit, source, dest, self.out_channel, self)
+
+    def _pick_flit(self):
+        """Choose the flit to offer to the output link this cycle."""
+        if self._sending is not None:
+            source = self._sending_source
+            flit = source.peek() if source is not None else None
+            if flit is None:
+                return None, None  # bubble: next flit not yet arrived
+            if flit.packet is not self._sending:
+                raise SimulationError(
+                    f"{self.name}: buffer {source.name!r} interleaved packets "
+                    f"({flit.packet!r} inside {self._sending!r})"
+                )
+            return flit, source
+        for source in self.sources_by_priority:
+            flit = source.peek()
+            if flit is None:
+                continue
+            if not flit.is_head:
+                raise SimulationError(
+                    f"{self.name}: idle output but buffer {source.name!r} "
+                    f"heads with mid-packet flit {flit!r}"
+                )
+            return flit, source
+        return None, None
+
+    # ------------------------------------------------------------------
+    def on_transfer_commit(self, transfer: Transfer, engine: Engine) -> None:
+        flit = transfer.flit
+        channel = transfer.channel
+        if self.slotted:
+            if flit.is_head:
+                self.packets_sent += 1
+                if transfer.source is self.transit_buffer:
+                    self.transit_packets_sent += 1
+            return  # independent slots: no wormhole state to maintain
+        if flit.is_head:
+            self.packets_sent += 1
+            if transfer.source is self.transit_buffer:
+                self.transit_packets_sent += 1
+            if not flit.is_tail:
+                self._sending = flit.packet
+                self._sending_source = transfer.source
+                channel.open_route(flit.packet, transfer.dest)
+        if flit.is_tail:
+            self._sending = None
+            self._sending_source = None
+            channel.close_route()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RingPort({self.name})"

@@ -1,0 +1,1 @@
+"""Synthetic M-MRP workloads (paper Section 2.4)."""

@@ -1,0 +1,188 @@
+"""Trace-driven workloads: record M-MRP streams and replay them.
+
+The paper drives its simulator with the synthetic M-MRP generator
+(Section 2.4).  Real methodology often wants the *same* reference
+stream replayed against different networks — e.g. one miss trace fed to
+both a ring and an equally sized mesh so the comparison has zero
+workload variance.  This module provides that:
+
+* :class:`MemoryTrace` — an in-memory trace: per-PM lists of
+  :class:`TraceRecord` (generation cycle, read/write, target), with
+  JSON-lines (de)serialization;
+* :func:`record_mmrp_trace` — capture an M-MRP stream of a given
+  length without running a network simulation;
+* :class:`TracePlayer` — a :class:`~repro.core.processor.MissSource`
+  replaying one PM's records with the paper's blocking semantics:
+  a miss whose generation time has passed waits for a free
+  outstanding-transaction slot, and later misses queue behind it;
+* :func:`trace_miss_sources` — the per-PM players for a whole system,
+  handed to ``simulate(..., miss_sources=...)``.
+
+The generation *times* in a trace are open-loop: replaying against a
+slower network makes processors block longer but never re-times the
+reference stream, which keeps two networks' replays comparable.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from collections import deque
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Iterable
+
+from ..core.config import WorkloadConfig
+from ..core.processor import Miss, MissGenerator, TargetSelector
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One cache miss of one processor."""
+
+    cycle: int
+    is_read: bool
+    target: int
+
+
+class MemoryTrace:
+    """A per-processor collection of miss records."""
+
+    def __init__(self, processors: int):
+        if processors < 1:
+            raise ValueError("a trace needs at least one processor")
+        self.processors = processors
+        self._records: list[list[TraceRecord]] = [[] for _ in range(processors)]
+
+    def append(self, pm_id: int, record: TraceRecord) -> None:
+        if not 0 <= pm_id < self.processors:
+            raise IndexError(f"pm_id {pm_id} out of range")
+        records = self._records[pm_id]
+        if records and record.cycle < records[-1].cycle:
+            raise ValueError(
+                f"records for PM {pm_id} must be in non-decreasing cycle order"
+            )
+        records.append(record)
+
+    def records_of(self, pm_id: int) -> list[TraceRecord]:
+        return list(self._records[pm_id])
+
+    def __len__(self) -> int:
+        return sum(len(records) for records in self._records)
+
+    @property
+    def horizon(self) -> int:
+        """The last generation cycle in the trace (0 when empty)."""
+        last = [records[-1].cycle for records in self._records if records]
+        return max(last) if last else 0
+
+    # -- serialization ---------------------------------------------------
+    def dump_jsonl(self, path: "str | Path") -> None:
+        """Write the trace as JSON lines (one record per line)."""
+        with open(path, "w") as handle:
+            handle.write(json.dumps({"processors": self.processors}) + "\n")
+            for pm_id, records in enumerate(self._records):
+                for record in records:
+                    payload = {"pm": pm_id, **asdict(record)}
+                    handle.write(json.dumps(payload) + "\n")
+
+    @classmethod
+    def load_jsonl(cls, path: "str | Path") -> "MemoryTrace":
+        with open(path) as handle:
+            header = json.loads(handle.readline())
+            trace = cls(processors=header["processors"])
+            for line in handle:
+                if not line.strip():
+                    continue
+                payload = json.loads(line)
+                trace.append(
+                    payload["pm"],
+                    TraceRecord(
+                        cycle=payload["cycle"],
+                        is_read=payload["is_read"],
+                        target=payload["target"],
+                    ),
+                )
+        return trace
+
+
+def record_mmrp_trace(
+    processors: int,
+    cycles: int,
+    workload: WorkloadConfig,
+    select_target: TargetSelector,
+    seed: int = 1,
+) -> MemoryTrace:
+    """Capture an open-loop M-MRP stream without simulating a network.
+
+    Every processor draws a Bernoulli(C) miss each cycle — the
+    unblocked-generation behaviour of the paper's multiple-context
+    processors — so the trace records the *offered* load; blocking is
+    re-applied at replay time by :class:`TracePlayer`.
+    """
+    workload.validate()
+    trace = MemoryTrace(processors)
+    for pm_id in range(processors):
+        generator = MissGenerator(
+            pm_id,
+            workload,
+            select_target,
+            random.Random(seed * 1_000_003 + pm_id),
+        )
+        for cycle in range(cycles):
+            miss = generator.poll(cycle, lambda: True)
+            if miss is not None:
+                trace.append(
+                    pm_id,
+                    TraceRecord(cycle=cycle, is_read=miss.is_read, target=miss.target),
+                )
+    return trace
+
+
+class TracePlayer:
+    """Replays one PM's records as a blocking miss source.
+
+    Records whose generation cycle has been reached are released in
+    order, each waiting for a free outstanding slot, matching the
+    generator's behaviour of holding a pending miss while ``T`` is
+    exhausted.
+    """
+
+    def __init__(self, pm_id: int, records: Iterable[TraceRecord], repeat: bool = False):
+        self.pm_id = pm_id
+        self._original: tuple[TraceRecord, ...] = tuple(records)
+        self._pending: deque[TraceRecord] = deque(self._original)
+        self.repeat = repeat
+        self._cycle_offset = 0
+        self.misses_replayed = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return not self._pending and not self.repeat
+
+    def poll(self, cycle: int, can_issue: Callable[[], bool]) -> Miss | None:
+        if not self._pending:
+            if not self.repeat or not self._original:
+                return None
+            self._cycle_offset = cycle
+            self._pending.extend(self._original)
+        head = self._pending[0]
+        if head.cycle + self._cycle_offset > cycle:
+            return None
+        if not can_issue():
+            return None
+        self._pending.popleft()
+        self.misses_replayed += 1
+        return Miss(
+            is_read=head.is_read,
+            target=head.target,
+            generated_cycle=head.cycle + self._cycle_offset,
+        )
+
+
+def trace_miss_sources(trace: MemoryTrace, repeat: bool = False) -> list[TracePlayer]:
+    """One :class:`TracePlayer` per processor of *trace*."""
+    return [
+        TracePlayer(pm_id, trace.records_of(pm_id), repeat=repeat)
+        for pm_id in range(trace.processors)
+    ]

@@ -1,0 +1,69 @@
+"""Unit tests for curve interpolation and cross-over detection."""
+
+import pytest
+
+from repro.analysis.crossover import crossover_point, interpolate
+from repro.analysis.sweeps import Series
+
+
+def series(name, points):
+    s = Series(name)
+    for x, y in points:
+        s.add(x, y)
+    return s
+
+
+class TestInterpolate:
+    def test_exact_points(self):
+        s = series("s", [(0, 0), (10, 100)])
+        assert interpolate(s, 0) == 0
+        assert interpolate(s, 10) == 100
+
+    def test_linear_between(self):
+        s = series("s", [(0, 0), (10, 100)])
+        assert interpolate(s, 5) == 50
+        assert interpolate(s, 2.5) == 25
+
+    def test_clamped_outside_range(self):
+        s = series("s", [(2, 20), (4, 40)])
+        assert interpolate(s, 0) == 20
+        assert interpolate(s, 100) == 40
+
+    def test_unsorted_input(self):
+        s = series("s", [(10, 100), (0, 0)])
+        assert interpolate(s, 5) == 50
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            interpolate(series("s", []), 1)
+
+
+class TestCrossoverPoint:
+    def test_simple_crossing(self):
+        ring = series("ring", [(4, 10), (36, 90)])    # slope 2.5
+        mesh = series("mesh", [(4, 40), (36, 72)])    # slope 1
+        crossing = crossover_point(ring, mesh)
+        assert crossing == pytest.approx(24.0)
+
+    def test_no_crossing_returns_none(self):
+        ring = series("ring", [(4, 10), (36, 20)])
+        mesh = series("mesh", [(4, 40), (36, 80)])
+        assert crossover_point(ring, mesh) is None
+
+    def test_never_ahead_returns_left_edge(self):
+        ring = series("ring", [(4, 100), (36, 300)])
+        mesh = series("mesh", [(4, 40), (36, 80)])
+        assert crossover_point(ring, mesh) == 4
+
+    def test_different_sampling_grids(self):
+        ring = series("ring", [(4, 10), (12, 30), (24, 60), (54, 200)])
+        mesh = series("mesh", [(9, 40), (25, 55), (49, 75)])
+        crossing = crossover_point(ring, mesh)
+        # ring passes mesh between x=12 (30 vs ~42.8) and x=24 (60 vs ~54).
+        assert crossing is not None
+        assert 12 < crossing < 24
+
+    def test_insufficient_overlap(self):
+        ring = series("ring", [(4, 10), (8, 20)])
+        mesh = series("mesh", [(100, 40), (121, 50)])
+        assert crossover_point(ring, mesh) is None

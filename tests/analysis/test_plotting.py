@@ -1,0 +1,114 @@
+"""Unit tests for the dependency-free ASCII/SVG renderers."""
+
+import math
+import xml.etree.ElementTree as ET
+
+from repro.analysis.plotting import (
+    MARKERS,
+    ascii_chart,
+    render_svg,
+    write_svg,
+    _tick_values,
+)
+from repro.analysis.sweeps import SweepResult
+
+
+def sample_result(series_count=2, points=5):
+    result = SweepResult("Test chart", "nodes", "latency (cycles)")
+    for index in range(series_count):
+        series = result.new_series(f"series-{index}")
+        for x in range(points):
+            series.add(4 * (x + 1), 10.0 * (index + 1) + 5 * x)
+    return result
+
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+class TestSVG:
+    def test_well_formed_xml(self):
+        svg = render_svg(sample_result())
+        root = ET.fromstring(svg)
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_polyline_per_series(self):
+        root = ET.fromstring(render_svg(sample_result(series_count=3)))
+        polylines = root.findall(f".//{SVG_NS}polyline")
+        # 3 data polylines (legend swatches are <line> elements).
+        assert len(polylines) == 3
+
+    def test_markers_drawn(self):
+        root = ET.fromstring(render_svg(sample_result(series_count=2, points=4)))
+        circles = root.findall(f".//{SVG_NS}circle")
+        assert len(circles) == 8
+
+    def test_title_and_labels_escaped(self):
+        result = SweepResult("a < b & c", "x<axis>", "y&label")
+        series = result.new_series("s<1>")
+        series.add(1, 2)
+        svg = render_svg(result)
+        ET.fromstring(svg)  # would raise on bad escaping
+        assert "a &lt; b &amp; c" in svg
+
+    def test_empty_result_renders_placeholder(self):
+        result = SweepResult("Empty", "x", "y")
+        result.new_series("nothing")
+        svg = render_svg(result)
+        assert "(no data)" in svg
+        ET.fromstring(svg)
+
+    def test_nan_points_skipped(self):
+        result = SweepResult("NaN", "x", "y")
+        series = result.new_series("s")
+        series.add(1, 10.0)
+        series.add(2, math.nan)
+        series.add(3, 30.0)
+        root = ET.fromstring(render_svg(result))
+        circles = root.findall(f".//{SVG_NS}circle")
+        assert len(circles) == 2
+
+    def test_write_svg(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        write_svg(sample_result(), path)
+        assert path.read_text().startswith("<svg")
+
+
+class TestASCII:
+    def test_contains_markers_and_legend(self):
+        text = ascii_chart(sample_result(series_count=2))
+        assert MARKERS[0] in text
+        assert MARKERS[1] in text
+        assert "series-0" in text
+        assert "series-1" in text
+        assert "Test chart" in text
+
+    def test_empty(self):
+        result = SweepResult("Empty", "x", "y")
+        assert "(no data)" in ascii_chart(result)
+
+    def test_flat_series_does_not_crash(self):
+        result = SweepResult("Flat", "x", "y")
+        series = result.new_series("s")
+        series.add(1, 5.0)
+        series.add(2, 5.0)
+        assert "Flat" in ascii_chart(result)
+
+    def test_single_point(self):
+        result = SweepResult("One", "x", "y")
+        result.new_series("s").add(3, 7.0)
+        assert "One" in ascii_chart(result)
+
+
+class TestTicks:
+    def test_cover_range(self):
+        ticks = _tick_values(0, 100)
+        assert ticks[0] >= 0
+        assert ticks[-1] <= 100
+        assert len(ticks) >= 3
+
+    def test_monotone(self):
+        ticks = _tick_values(3.7, 412.2)
+        assert ticks == sorted(ticks)
+
+    def test_degenerate_range(self):
+        assert _tick_values(5, 5) == [5]

@@ -1,0 +1,85 @@
+"""Tests for the Markdown results reporter."""
+
+import json
+
+from repro.analysis.reporting import (
+    ExperimentDigest,
+    load_digests,
+    summarize_results_dir,
+)
+
+
+def write_result(directory, experiment_id, scale="default", notes=(), series=None):
+    payload = {
+        "title": f"Title of {experiment_id}",
+        "x_label": "nodes",
+        "y_label": "latency",
+        "series": series
+        if series is not None
+        else {"a": {"x": [4, 8], "y": [10.0, 20.0]}},
+        "notes": list(notes),
+    }
+    (directory / f"{experiment_id}_{scale}.json").write_text(json.dumps(payload))
+
+
+class TestLoadDigests:
+    def test_parses_and_sorts(self, tmp_path):
+        write_result(tmp_path, "fig14")
+        write_result(tmp_path, "fig6")
+        write_result(tmp_path, "table1")
+        write_result(tmp_path, "ext-slotted")
+        ids = [digest.experiment_id for digest in load_digests(tmp_path)]
+        assert ids == ["table1", "fig6", "fig14", "ext-slotted"]
+
+    def test_digest_contents(self, tmp_path):
+        write_result(tmp_path, "fig7", notes=["knee at 24"])
+        digest = load_digests(tmp_path)[0]
+        assert digest.x_range == (4, 8)
+        assert digest.y_range == (10.0, 20.0)
+        assert digest.series_count == 1
+        assert digest.notes == ["knee at 24"]
+        assert digest.scale == "default"
+
+    def test_nan_values_excluded_from_range(self):
+        digest = ExperimentDigest.from_payload(
+            "figX", "quick",
+            {"title": "t", "series": {"a": {"x": [1, 2], "y": [float("nan"), 5.0]}}},
+        )
+        assert digest.y_range == (5.0, 5.0)
+
+    def test_empty_series(self):
+        digest = ExperimentDigest.from_payload(
+            "figY", "quick", {"title": "t", "series": {"a": {"x": [], "y": []}}}
+        )
+        assert digest.x_range is None
+        assert digest.y_range is None
+
+
+class TestSummarize:
+    def test_markdown_table(self, tmp_path):
+        write_result(tmp_path, "fig14", notes=["cross-over 32B: 29 nodes"])
+        write_result(tmp_path, "table1")
+        text = summarize_results_dir(tmp_path)
+        assert text.startswith("| experiment |")
+        assert "| fig14 |" in text
+        assert "cross-over 32B: 29 nodes" in text
+
+    def test_empty_directory(self, tmp_path):
+        assert "no experiment results" in summarize_results_dir(tmp_path)
+
+    def test_cli_summarize(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        write_result(tmp_path, "fig6")
+        assert main(["--summarize", str(tmp_path)]) == 0
+        assert "| fig6 |" in capsys.readouterr().out
+
+    def test_real_results_dir_if_present(self):
+        """Smoke over the repository's own saved default-scale results."""
+        import pathlib
+
+        results = pathlib.Path("results/default")
+        if not results.is_dir():
+            return
+        text = summarize_results_dir(results)
+        assert "| fig14 |" in text

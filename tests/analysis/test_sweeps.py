@@ -1,0 +1,132 @@
+"""Unit tests for sweep utilities and topology growth schedules."""
+
+import json
+
+import pytest
+
+from repro.analysis.sweeps import (
+    Series,
+    SweepResult,
+    growth_topologies,
+    hierarchy_sweep,
+    mesh_sides,
+    single_ring_sizes,
+)
+from repro.ring.topology import SINGLE_RING_MAX
+
+
+class TestSeries:
+    def test_add_and_lookup(self):
+        s = Series("s")
+        s.add(4, 10.0, note="a")
+        s.add(8, 20.0)
+        assert s.y_at(4) == 10.0
+        assert s.as_points() == [(4, 10.0), (8, 20.0)]
+        assert s.meta[0] == {"note": "a"}
+
+    def test_nondecreasing(self):
+        s = Series("s")
+        for x, y in [(1, 10), (2, 12), (3, 11.9)]:
+            s.add(x, y)
+        assert s.is_nondecreasing(slack=0.05)
+        assert not s.is_nondecreasing(slack=0.0)
+
+
+class TestSweepResult:
+    def test_duplicate_series_rejected(self):
+        result = SweepResult("t", "x", "y")
+        result.new_series("a")
+        with pytest.raises(ValueError):
+            result.new_series("a")
+
+    def test_format_table_alignment(self):
+        result = SweepResult("Title", "nodes", "latency")
+        a = result.new_series("ring")
+        a.add(4, 10.0)
+        a.add(8, 20.0)
+        b = result.new_series("mesh")
+        b.add(4, 30.0)
+        result.notes.append("hello")
+        text = result.format_table()
+        assert "Title" in text
+        assert "ring" in text and "mesh" in text
+        assert "note: hello" in text
+
+    def test_to_json_round_trips(self):
+        result = SweepResult("Title", "nodes", "latency")
+        s = result.new_series("ring")
+        s.add(4, 10.0)
+        payload = json.loads(result.to_json())
+        assert payload["series"]["ring"]["x"] == [4]
+        assert payload["series"]["ring"]["y"] == [10.0]
+
+
+class TestSingleRingSizes:
+    def test_includes_design_max_neighborhood(self):
+        sizes = single_ring_sizes(32, max_nodes=64)
+        maximum = SINGLE_RING_MAX[32]
+        assert maximum in sizes
+        assert maximum + 2 in sizes
+        assert 2 * maximum in sizes
+
+    def test_respects_cap(self):
+        assert all(n <= 10 for n in single_ring_sizes(16, max_nodes=10))
+
+
+class TestGrowthTopologies:
+    def test_single_level(self):
+        schedule = growth_topologies(1, 32, max_nodes=12)
+        assert all(len(branching) == 1 for __, branching in schedule)
+
+    def test_two_level_grows_top_fan(self):
+        schedule = growth_topologies(2, 32, max_nodes=100)
+        assert schedule == [
+            (16, (2, 8)), (24, (3, 8)), (32, (4, 8)), (40, (5, 8)), (48, (6, 8)),
+        ]
+
+    def test_three_level_inner_fixed_at_three(self):
+        schedule = growth_topologies(3, 128, max_nodes=100)
+        assert all(branching[1] == 3 for __, branching in schedule)
+        assert all(branching[2] == SINGLE_RING_MAX[128] for __, branching in schedule)
+
+    def test_node_counts_match_products(self):
+        for levels in (1, 2, 3, 4):
+            for nodes, branching in growth_topologies(levels, 16, max_nodes=400):
+                product = 1
+                for fan in branching:
+                    product *= fan
+                assert product == nodes
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            growth_topologies(0, 32, 10)
+
+
+class TestHierarchySweep:
+    def test_prefers_hierarchy_past_local_capacity(self):
+        """A 16-node 32B system must be 2:8, not a 16-node single ring."""
+        schedule = dict(hierarchy_sweep(2, 32, max_nodes=48))
+        assert schedule[16] == (2, 8)
+        assert schedule[8] == (8,)
+
+    def test_sorted_and_unique(self):
+        schedule = hierarchy_sweep(3, 32, max_nodes=150)
+        nodes = [n for n, __ in schedule]
+        assert nodes == sorted(nodes)
+        assert len(nodes) == len(set(nodes))
+
+    def test_lower_levels_capped_at_design_capacity(self):
+        schedule = hierarchy_sweep(3, 32, max_nodes=150)
+        for nodes, branching in schedule:
+            if len(branching) == 1:
+                assert nodes <= SINGLE_RING_MAX[32]
+            elif len(branching) == 2:
+                assert nodes <= 3 * SINGLE_RING_MAX[32]
+
+
+class TestMeshSides:
+    def test_default(self):
+        assert mesh_sides(121) == [2, 3, 4, 5, 6, 7, 8, 9, 10, 11]
+
+    def test_cap(self):
+        assert mesh_sides(30) == [2, 3, 4, 5]

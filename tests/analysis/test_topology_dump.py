@@ -1,0 +1,75 @@
+"""Tests for the Graphviz DOT exporters."""
+
+import pytest
+
+from repro.analysis.topology_dump import (
+    mesh_network_dot,
+    network_dot,
+    ring_network_dot,
+)
+from repro.core.config import MeshSystemConfig, RingSystemConfig, WorkloadConfig
+from repro.core.pm import MetricsHub
+from repro.mesh.network import MeshNetwork
+from repro.ring.network import HierarchicalRingNetwork
+
+
+def ring_network(topology="2:3", speed=1):
+    config = RingSystemConfig(
+        topology=topology, cache_line_bytes=32, global_ring_speed=speed
+    )
+    return HierarchicalRingNetwork(config, WorkloadConfig(), MetricsHub())
+
+
+def mesh_network(side=3):
+    config = MeshSystemConfig(side=side, cache_line_bytes=32, buffer_flits=4)
+    return MeshNetwork(config, WorkloadConfig(), MetricsHub())
+
+
+class TestRingDot:
+    def test_contains_every_component(self):
+        network = ring_network()
+        dot = ring_network_dot(network)
+        for nic in network.nics:
+            assert nic.name in dot
+        for iri in network.iris.values():
+            assert iri.lower_port.name in dot
+            assert iri.upper_port.name in dot
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+    def test_edge_per_channel(self):
+        network = ring_network()
+        dot = ring_network_dot(network)
+        solid_edges = [
+            line for line in dot.splitlines()
+            if "->" in line and "dashed" not in line
+        ]
+        assert len(solid_edges) == len(network.channels)
+
+    def test_double_speed_marked(self):
+        dot = ring_network_dot(ring_network("2:3:4", speed=2))
+        assert "/2x" in dot
+
+    def test_balanced_quotes(self):
+        dot = ring_network_dot(ring_network())
+        assert dot.count('"') % 2 == 0
+
+
+class TestMeshDot:
+    def test_contains_all_routers_and_links(self):
+        network = mesh_network(3)
+        dot = mesh_network_dot(network)
+        for router in network.routers:
+            assert router.name in dot
+        edges = [line for line in dot.splitlines() if "->" in line]
+        assert len(edges) == network.shape.internal_links()
+
+
+class TestDispatch:
+    def test_dispatches_by_type(self):
+        assert "hierarchical_ring" in network_dot(ring_network())
+        assert "mesh" in network_dot(mesh_network(2))
+
+    def test_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            network_dot(object())

@@ -1,0 +1,98 @@
+"""Unit tests for the closed-form zero-load latency models.
+
+(The agreement of these formulas with the simulator is asserted
+exhaustively in tests/ring and tests/mesh; here we test the formulas'
+own structure.)
+"""
+
+import pytest
+
+from repro.analysis.zero_load import (
+    mesh_average_zero_load,
+    mesh_zero_load_round_trip,
+    ring_path_length,
+    ring_zero_load_round_trip,
+    single_ring_round_trip,
+)
+from repro.core.config import MeshSystemConfig, RingSystemConfig
+from repro.ring.topology import HierarchySpec
+
+
+class TestRingPathLength:
+    def test_zero_for_self(self):
+        spec = HierarchySpec.parse("2:3:4")
+        assert ring_path_length(spec, 5, 5) == 0
+
+    def test_hierarchical_path_decomposition(self):
+        spec = HierarchySpec.parse("2:2")
+        # Local rings have 3 nodes (IRI + 2 NICs); global ring has 2.
+        # 0 -> 2: NIC pos 1 -> IRI (2 hops), global 1 hop, down 1 hop to NIC pos 1.
+        assert ring_path_length(spec, 0, 2) == 4
+
+    def test_asymmetry_on_unidirectional_rings(self):
+        spec = HierarchySpec.parse("2:3")
+        forward = ring_path_length(spec, 0, 1)
+        backward = ring_path_length(spec, 1, 0)
+        assert forward == 1
+        assert backward == 3  # must wrap past the IRI position
+
+
+class TestRoundTripFormulas:
+    def test_read_equals_write_on_ring(self):
+        """Reads and writes serialize the same total flits."""
+        config = RingSystemConfig(topology="2:3", cache_line_bytes=64)
+        for src, dst in [(0, 1), (0, 5), (4, 2)]:
+            read = ring_zero_load_round_trip(config, src, dst, is_read=True)
+            write = ring_zero_load_round_trip(config, src, dst, is_read=False)
+            assert read == write
+
+    def test_single_ring_pair_independence(self):
+        config = RingSystemConfig(topology="6", cache_line_bytes=32)
+        trips = {
+            ring_zero_load_round_trip(config, src, dst)
+            for src in range(6)
+            for dst in range(6)
+            if src != dst
+        }
+        assert trips == {single_ring_round_trip(config)}
+
+    def test_single_ring_formula_values(self):
+        # N + cl_packet + header - 2 + memory: 6 + 3 + 1 - 2 + 10 = 18.
+        config = RingSystemConfig(topology="6", cache_line_bytes=32)
+        assert single_ring_round_trip(config) == 18
+
+    def test_single_ring_requires_one_level(self):
+        with pytest.raises(ValueError):
+            single_ring_round_trip(RingSystemConfig(topology="2:3"))
+
+    def test_memory_latency_is_additive(self):
+        base = RingSystemConfig(topology="4", cache_line_bytes=32, memory_latency=0)
+        slow = RingSystemConfig(topology="4", cache_line_bytes=32, memory_latency=25)
+        assert single_ring_round_trip(slow) == single_ring_round_trip(base) + 25
+
+
+class TestMeshFormulas:
+    def test_symmetric_round_trip(self):
+        config = MeshSystemConfig(side=4, cache_line_bytes=32)
+        assert mesh_zero_load_round_trip(config, 0, 15) == mesh_zero_load_round_trip(
+            config, 15, 0
+        )
+
+    def test_adjacent_pair_value(self):
+        # 2*(1+1) + 4 + 12 - 2 + 10 = 28.
+        config = MeshSystemConfig(side=3, cache_line_bytes=32)
+        assert mesh_zero_load_round_trip(config, 0, 1) == 28
+
+    def test_average_bounded_by_extremes(self):
+        config = MeshSystemConfig(side=3, cache_line_bytes=64)
+        average = mesh_average_zero_load(config)
+        closest = mesh_zero_load_round_trip(config, 0, 1)
+        farthest = mesh_zero_load_round_trip(config, 0, 8)
+        assert closest < average < farthest
+
+    def test_larger_cache_line_costs_more(self):
+        small = MeshSystemConfig(side=3, cache_line_bytes=16)
+        large = MeshSystemConfig(side=3, cache_line_bytes=128)
+        assert mesh_zero_load_round_trip(large, 0, 5) > mesh_zero_load_round_trip(
+            small, 0, 5
+        )

@@ -1,0 +1,65 @@
+"""Shared fixtures and helpers for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Simulation-backed property tests vary in runtime (and CI machines in
+# speed); wall-clock deadlines would only add flakes.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+from repro import (
+    MeshSystemConfig,
+    RingSystemConfig,
+    SimulationParams,
+    WorkloadConfig,
+)
+
+#: Short but statistically usable run for integration tests.
+TEST_SIM = SimulationParams(batch_cycles=600, batches=3, seed=7)
+
+#: Very short run for smoke-level assertions.
+TINY_SIM = SimulationParams(batch_cycles=250, batches=2, seed=7)
+
+
+@pytest.fixture
+def test_sim() -> SimulationParams:
+    return TEST_SIM
+
+
+@pytest.fixture
+def tiny_sim() -> SimulationParams:
+    return TINY_SIM
+
+
+@pytest.fixture
+def light_workload() -> WorkloadConfig:
+    """Low offered load: near-zero contention."""
+    return WorkloadConfig(locality=1.0, miss_rate=0.005, outstanding=1)
+
+
+@pytest.fixture
+def heavy_workload() -> WorkloadConfig:
+    """The paper's default no-locality workload."""
+    return WorkloadConfig(locality=1.0, miss_rate=0.04, outstanding=4)
+
+
+@pytest.fixture
+def small_ring_config() -> RingSystemConfig:
+    return RingSystemConfig(topology="6", cache_line_bytes=32)
+
+
+@pytest.fixture
+def small_hierarchy_config() -> RingSystemConfig:
+    return RingSystemConfig(topology="2:3", cache_line_bytes=32)
+
+
+@pytest.fixture
+def small_mesh_config() -> MeshSystemConfig:
+    return MeshSystemConfig(side=3, cache_line_bytes=32, buffer_flits=4)

@@ -1,0 +1,65 @@
+"""Tests for precision-driven (sequential batch-means) simulation."""
+
+import pytest
+
+from repro import ConfigurationError, RingSystemConfig, WorkloadConfig
+from repro.core.adaptive import simulate_to_precision
+
+CONFIG = RingSystemConfig(topology="6", cache_line_bytes=32)
+LIGHT = WorkloadConfig(miss_rate=0.01, outstanding=1)
+HEAVY = WorkloadConfig(miss_rate=0.04, outstanding=4)
+
+
+class TestConvergence:
+    def test_light_load_converges_quickly(self):
+        adaptive = simulate_to_precision(
+            CONFIG, LIGHT, relative_precision=0.1, batch_cycles=1200,
+            min_batches=4, max_batches=20, seed=5,
+        )
+        assert adaptive.converged
+        assert adaptive.relative_half_width <= 0.1
+        assert adaptive.batches_run < 20
+        assert adaptive.avg_latency > 0
+
+    def test_tighter_precision_needs_more_batches(self):
+        loose = simulate_to_precision(
+            CONFIG, HEAVY, relative_precision=0.25, batch_cycles=600,
+            min_batches=4, max_batches=40, seed=5,
+        )
+        tight = simulate_to_precision(
+            CONFIG, HEAVY, relative_precision=0.04, batch_cycles=600,
+            min_batches=4, max_batches=40, seed=5,
+        )
+        assert tight.batches_run >= loose.batches_run
+
+    def test_budget_exhaustion_reported(self):
+        adaptive = simulate_to_precision(
+            RingSystemConfig(topology="4:8", cache_line_bytes=32),  # saturated
+            HEAVY, relative_precision=0.001, batch_cycles=300,
+            min_batches=4, max_batches=5, seed=5,
+        )
+        assert not adaptive.converged
+        assert adaptive.batches_run == 5
+
+    def test_result_params_reflect_actual_run(self):
+        adaptive = simulate_to_precision(
+            CONFIG, LIGHT, relative_precision=0.2, batch_cycles=800,
+            min_batches=4, max_batches=12, seed=5,
+        )
+        assert adaptive.result.params.batches == adaptive.batches_run
+        assert adaptive.result.cycles == adaptive.batches_run * 800
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"relative_precision": 0.0},
+            {"relative_precision": 1.5},
+            {"min_batches": 2},
+            {"min_batches": 10, "max_batches": 5},
+        ],
+    )
+    def test_bad_arguments(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            simulate_to_precision(CONFIG, LIGHT, **kwargs)

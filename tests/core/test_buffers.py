@@ -1,0 +1,101 @@
+"""Unit and property tests for FIFO flit buffers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.buffers import FlitBuffer
+from repro.core.packet import Packet, PacketType
+
+
+def flits(n):
+    packet = Packet(PacketType.READ_RESPONSE, 0, 1, n, 0, 0)
+    return list(packet.flits)
+
+
+class TestBoundedBuffer:
+    def test_starts_empty(self):
+        buf = FlitBuffer("b", capacity=3)
+        assert buf.is_empty
+        assert not buf.is_full
+        assert buf.occupancy == 0
+        assert buf.free_slots == 3
+        assert buf.peek() is None
+
+    def test_fifo_order(self):
+        buf = FlitBuffer("b", capacity=3)
+        items = flits(3)
+        for flit in items:
+            buf.push(flit)
+        assert [buf.pop() for _ in range(3)] == items
+
+    def test_full_and_overflow(self):
+        buf = FlitBuffer("b", capacity=2)
+        a, b, c = flits(3)
+        buf.push(a)
+        buf.push(b)
+        assert buf.is_full
+        assert buf.free_slots == 0
+        with pytest.raises(OverflowError):
+            buf.push(c)
+
+    def test_underflow(self):
+        buf = FlitBuffer("b", capacity=2)
+        with pytest.raises(IndexError):
+            buf.pop()
+
+    def test_peek_does_not_remove(self):
+        buf = FlitBuffer("b", capacity=2)
+        (a,) = flits(1)
+        buf.push(a)
+        assert buf.peek() is a
+        assert buf.occupancy == 1
+
+    def test_counters(self):
+        buf = FlitBuffer("b", capacity=4)
+        for flit in flits(4):
+            buf.push(flit)
+        buf.pop()
+        assert buf.flits_enqueued == 4
+        assert buf.flits_dequeued == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FlitBuffer("b", capacity=0)
+
+    def test_push_packet_atomic(self):
+        buf = FlitBuffer("b", capacity=5)
+        packet_flits = flits(5)
+        buf.push_packet(iter(packet_flits))
+        assert list(buf) == packet_flits
+
+
+class TestUnboundedBuffer:
+    def test_never_full(self):
+        buf = FlitBuffer("sink", capacity=None)
+        for flit in flits(100):
+            buf.push(flit)
+        assert not buf.is_full
+        assert buf.free_slots is None
+        assert buf.occupancy == 100
+
+
+@given(
+    ops=st.lists(st.sampled_from(["push", "pop"]), max_size=60),
+    capacity=st.integers(min_value=1, max_value=8),
+)
+def test_fifo_property(ops, capacity):
+    """Any push/pop sequence preserves order and occupancy bounds."""
+    buf = FlitBuffer("p", capacity=capacity)
+    supply = iter(flits(60))
+    model = []
+    for op in ops:
+        if op == "push" and len(model) < capacity:
+            flit = next(supply)
+            buf.push(flit)
+            model.append(flit)
+        elif op == "pop" and model:
+            assert buf.pop() is model.pop(0)
+        assert buf.occupancy == len(model)
+        assert buf.peek() is (model[0] if model else None)
+        assert buf.is_full == (len(model) == capacity)

@@ -1,0 +1,59 @@
+"""Unit tests for the fixed-latency pipelined memory model."""
+
+import pytest
+
+from repro.core.memory import MemoryModel
+from repro.core.packet import Packet, PacketType
+
+
+def request(n=0):
+    return Packet(PacketType.READ_REQUEST, source=n, destination=9, size_flits=1,
+                  transaction_id=n, issue_cycle=0)
+
+
+class TestMemoryModel:
+    def test_fixed_latency(self):
+        memory = MemoryModel(latency=5)
+        memory.accept(request(), cycle=10)
+        assert memory.ready_requests(14) == []
+        ready = memory.ready_requests(15)
+        assert len(ready) == 1
+
+    def test_pipelined_overlap(self):
+        """Requests overlap fully: no port contention (DESIGN.md §4)."""
+        memory = MemoryModel(latency=5)
+        first, second = request(1), request(2)
+        memory.accept(first, cycle=10)
+        memory.accept(second, cycle=11)
+        assert memory.ready_requests(15) == [first]
+        assert memory.ready_requests(16) == [second]
+
+    def test_service_order_preserved_on_ties(self):
+        memory = MemoryModel(latency=3)
+        reqs = [request(i) for i in range(4)]
+        for req in reqs:
+            memory.accept(req, cycle=0)
+        assert memory.ready_requests(3) == reqs
+
+    def test_zero_latency(self):
+        memory = MemoryModel(latency=0)
+        memory.accept(request(), cycle=7)
+        assert len(memory.ready_requests(7)) == 1
+
+    def test_in_service_count(self):
+        memory = MemoryModel(latency=10)
+        memory.accept(request(1), cycle=0)
+        memory.accept(request(2), cycle=0)
+        assert memory.in_service == 2
+        memory.ready_requests(10)
+        assert memory.in_service == 0
+
+    def test_accesses_served_counter(self):
+        memory = MemoryModel(latency=1)
+        memory.accept(request(), cycle=0)
+        memory.ready_requests(1)
+        assert memory.accesses_served == 1
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryModel(latency=-1)

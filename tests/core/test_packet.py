@@ -1,0 +1,90 @@
+"""Unit tests for packets and flits."""
+
+import pytest
+
+from repro.core.packet import Packet, PacketType
+
+
+class TestPacketType:
+    def test_requests(self):
+        assert PacketType.READ_REQUEST.is_request
+        assert PacketType.WRITE_REQUEST.is_request
+        assert not PacketType.READ_RESPONSE.is_request
+        assert not PacketType.WRITE_RESPONSE.is_request
+
+    def test_responses(self):
+        assert PacketType.READ_RESPONSE.is_response
+        assert PacketType.WRITE_RESPONSE.is_response
+        assert not PacketType.READ_REQUEST.is_response
+
+    def test_carries_data(self):
+        """Read responses and write requests ship the cache line."""
+        assert PacketType.READ_RESPONSE.carries_data
+        assert PacketType.WRITE_REQUEST.carries_data
+        assert not PacketType.READ_REQUEST.carries_data
+        assert not PacketType.WRITE_RESPONSE.carries_data
+
+    def test_response_type(self):
+        assert PacketType.READ_REQUEST.response_type is PacketType.READ_RESPONSE
+        assert PacketType.WRITE_REQUEST.response_type is PacketType.WRITE_RESPONSE
+
+    @pytest.mark.parametrize(
+        "ptype", [PacketType.READ_RESPONSE, PacketType.WRITE_RESPONSE]
+    )
+    def test_response_of_response_raises(self, ptype):
+        with pytest.raises(ValueError):
+            ptype.response_type
+
+
+def make_packet(size=5, ptype=PacketType.READ_RESPONSE):
+    return Packet(
+        ptype=ptype,
+        source=1,
+        destination=2,
+        size_flits=size,
+        transaction_id=42,
+        issue_cycle=100,
+    )
+
+
+class TestPacket:
+    def test_flit_count(self):
+        packet = make_packet(size=5)
+        assert len(packet.flits) == 5
+        assert packet.size_flits == 5
+
+    def test_head_and_tail(self):
+        packet = make_packet(size=3)
+        assert packet.head.is_head
+        assert not packet.head.is_tail
+        assert packet.tail.is_tail
+        assert not packet.tail.is_head
+        assert packet.flits[1].index == 1
+        assert not packet.flits[1].is_head
+        assert not packet.flits[1].is_tail
+
+    def test_single_flit_packet_is_head_and_tail(self):
+        packet = make_packet(size=1, ptype=PacketType.READ_REQUEST)
+        assert packet.head is packet.tail
+        assert packet.head.is_head and packet.head.is_tail
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_packet(size=0)
+
+    def test_unique_ids(self):
+        a, b = make_packet(), make_packet()
+        assert a.packet_id != b.packet_id
+
+    def test_flits_reference_packet(self):
+        packet = make_packet(size=4)
+        assert all(flit.packet is packet for flit in packet)
+        assert [flit.index for flit in packet] == [0, 1, 2, 3]
+
+    def test_metadata_carried(self):
+        packet = make_packet()
+        assert packet.source == 1
+        assert packet.destination == 2
+        assert packet.transaction_id == 42
+        assert packet.issue_cycle == 100
+        assert packet.inject_cycle is None

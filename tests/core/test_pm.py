@@ -1,0 +1,178 @@
+"""Unit tests for the processing module endpoint logic."""
+
+import random
+
+import pytest
+
+from repro.core.config import WorkloadConfig, ring_packet_geometry
+from repro.core.errors import SimulationError
+from repro.core.packet import Packet, PacketType
+from repro.core.pm import MetricsHub, ProcessingModule
+
+
+class FakeEngine:
+    """Just enough of Engine for ProcessingModule.update()."""
+
+    def __init__(self):
+        self.cycle = 0
+        self.packets_in_flight = 0
+
+    def tick(self, pm):
+        pm.update(self)
+        self.cycle += 1
+
+
+def make_pm(pm_id=0, target=1, miss_rate=1.0, outstanding=2, memory_latency=4):
+    workload = WorkloadConfig(
+        locality=1.0, miss_rate=miss_rate, outstanding=outstanding, read_fraction=1.0
+    )
+    return ProcessingModule(
+        pm_id=pm_id,
+        geometry=ring_packet_geometry(32),
+        workload=workload,
+        memory_latency=memory_latency,
+        select_target=lambda pm, rng: target,
+        rng=random.Random(5),
+        metrics=MetricsHub(),
+    )
+
+
+class TestRemoteIssue:
+    def test_request_enqueued_and_outstanding(self):
+        pm = make_pm()
+        engine = FakeEngine()
+        engine.tick(pm)
+        assert pm.outstanding == 1
+        assert len(pm.open_transactions) == 1
+        head = pm.out_req.peek()
+        assert head is not None and head.is_head
+        assert head.packet.ptype is PacketType.READ_REQUEST
+        assert head.packet.destination == 1
+        assert engine.packets_in_flight == 1
+
+    def test_blocks_at_outstanding_limit(self):
+        pm = make_pm(outstanding=2)
+        engine = FakeEngine()
+        for _ in range(10):
+            engine.tick(pm)
+        assert pm.outstanding == 2
+        # Only the two issued requests exist (out_req holds 1-flit reads).
+        assert pm.metrics.remote_issued == 2
+
+    def test_inject_cycle_stamped(self):
+        pm = make_pm()
+        engine = FakeEngine()
+        engine.tick(pm)
+        assert pm.out_req.peek().packet.inject_cycle == 0
+
+
+class TestLocalAccess:
+    def test_local_completes_after_memory_latency(self):
+        pm = make_pm(target=0, memory_latency=4, outstanding=1)
+        engine = FakeEngine()
+        engine.tick(pm)  # issue at cycle 0
+        pm.generation_enabled = False
+        assert pm.outstanding == 1
+        assert pm.metrics.local_issued == 1
+        for _ in range(4):
+            engine.tick(pm)  # cycles 1..4; completes at cycle 4
+        assert pm.outstanding == 0
+        assert pm.metrics.local_completed == 1
+        assert pm.metrics.local_latency.batch.total_observations == 1
+        assert pm.metrics.remote_issued == 0
+
+    def test_local_does_not_touch_network(self):
+        pm = make_pm(target=0)
+        engine = FakeEngine()
+        engine.tick(pm)
+        assert pm.out_req.is_empty
+        assert engine.packets_in_flight == 0
+
+
+class TestResponseHandling:
+    def test_response_completes_transaction(self):
+        pm = make_pm()
+        engine = FakeEngine()
+        engine.tick(pm)  # issue request at cycle 0
+        pm.generation_enabled = False
+        request = pm.out_req.peek().packet
+        response = Packet(
+            PacketType.READ_RESPONSE,
+            source=1,
+            destination=0,
+            size_flits=3,
+            transaction_id=request.transaction_id,
+            issue_cycle=request.issue_cycle,
+        )
+        for flit in response:
+            pm.in_queue.push(flit)
+        engine.cycle = 25
+        engine.tick(pm)
+        assert pm.outstanding == 0  # response freed the slot (new miss may re-issue)
+        assert pm.metrics.remote_completed == 1
+        assert pm.metrics.remote_latency.maximum == 25.0
+
+    def test_unknown_response_rejected(self):
+        pm = make_pm(miss_rate=0.000001)
+        stray = Packet(PacketType.READ_RESPONSE, 1, 0, 3, transaction_id=999,
+                       issue_cycle=0)
+        for flit in stray:
+            pm.in_queue.push(flit)
+        with pytest.raises(SimulationError):
+            FakeEngine().tick(pm)
+
+    def test_misrouted_packet_rejected(self):
+        pm = make_pm(miss_rate=0.000001)
+        wrong = Packet(PacketType.READ_REQUEST, 1, 7, 1, transaction_id=0,
+                       issue_cycle=0)
+        pm.in_queue.push(wrong.head)
+        with pytest.raises(SimulationError):
+            FakeEngine().tick(pm)
+
+
+class TestMemoryService:
+    def test_request_produces_response(self):
+        pm = make_pm(miss_rate=0.000001, memory_latency=3)
+        incoming = Packet(PacketType.READ_REQUEST, source=2, destination=0,
+                          size_flits=1, transaction_id=7, issue_cycle=10)
+        pm.in_queue.push(incoming.head)
+        engine = FakeEngine()
+        engine.tick(pm)  # request absorbed at cycle 0
+        for _ in range(2):
+            engine.tick(pm)
+        assert pm.out_resp.is_empty  # not ready until cycle 3
+        engine.tick(pm)
+        head = pm.out_resp.peek()
+        assert head is not None
+        assert head.packet.ptype is PacketType.READ_RESPONSE
+        assert head.packet.destination == 2
+        assert head.packet.transaction_id == 7
+        assert head.packet.issue_cycle == 10  # inherited for latency measurement
+
+    def test_write_request_gets_header_only_response(self):
+        pm = make_pm(miss_rate=0.000001, memory_latency=0)
+        incoming = Packet(PacketType.WRITE_REQUEST, source=2, destination=0,
+                          size_flits=3, transaction_id=8, issue_cycle=0)
+        for flit in incoming:
+            pm.in_queue.push(flit)
+        FakeEngine().tick(pm)
+        response = pm.out_resp.peek().packet
+        assert response.ptype is PacketType.WRITE_RESPONSE
+        assert response.size_flits == 1
+
+    def test_staging_respects_queue_capacity(self):
+        """Responses exceeding the 1-packet output queue wait their turn."""
+        pm = make_pm(miss_rate=0.000001, memory_latency=0)
+        for txn in (1, 2):
+            incoming = Packet(PacketType.READ_REQUEST, source=2, destination=0,
+                              size_flits=1, transaction_id=txn, issue_cycle=0)
+            pm.in_queue.push(incoming.head)
+        engine = FakeEngine()
+        engine.tick(pm)
+        # Queue capacity is one cl packet (3 flits for 32B): one response fits.
+        assert pm.out_resp.occupancy == 3
+        # Drain the queue as the NIC would, then the second response moves.
+        while not pm.out_resp.is_empty:
+            pm.out_resp.pop()
+        engine.tick(pm)
+        assert pm.out_resp.occupancy == 3

@@ -1,0 +1,82 @@
+"""Unit tests for the M-MRP miss generator."""
+
+import random
+
+from repro.core.config import WorkloadConfig
+from repro.core.packet import PacketType
+from repro.core.processor import MissGenerator
+
+
+def generator(miss_rate=0.04, read_fraction=0.7, seed=3, target=5):
+    workload = WorkloadConfig(miss_rate=miss_rate, read_fraction=read_fraction)
+    return MissGenerator(
+        pm_id=0,
+        workload=workload,
+        select_target=lambda pm, rng: target,
+        rng=random.Random(seed),
+    )
+
+
+class TestMissRate:
+    def test_miss_rate_statistics(self):
+        """Bernoulli-per-cycle misses have mean rate C when never blocked."""
+        gen = generator(miss_rate=0.04)
+        cycles = 60_000
+        misses = sum(
+            1 for cycle in range(cycles) if gen.poll(cycle, lambda: True) is not None
+        )
+        assert abs(misses / cycles - 0.04) < 0.004
+
+    def test_read_fraction_statistics(self):
+        gen = generator(miss_rate=0.5, read_fraction=0.7)
+        outcomes = []
+        for cycle in range(20_000):
+            miss = gen.poll(cycle, lambda: True)
+            if miss is not None:
+                outcomes.append(miss.is_read)
+        reads = sum(outcomes) / len(outcomes)
+        assert abs(reads - 0.7) < 0.03
+
+    def test_deterministic_given_seed(self):
+        a, b = generator(seed=11), generator(seed=11)
+        for cycle in range(2000):
+            ma = a.poll(cycle, lambda: True)
+            mb = b.poll(cycle, lambda: True)
+            assert (ma is None) == (mb is None)
+            if ma is not None:
+                assert (ma.is_read, ma.target) == (mb.is_read, mb.target)
+
+
+class TestBlocking:
+    def test_blocked_miss_waits_for_slot(self):
+        """A generated miss is held (not dropped) while T is exhausted."""
+        gen = generator(miss_rate=1.0)
+        first = gen.poll(0, lambda: True)
+        assert first is not None
+        held = gen.poll(1, lambda: False)
+        assert held is None
+        assert gen.blocked
+        released = gen.poll(2, lambda: True)
+        assert released is not None
+        assert released.generated_cycle == 1  # the held miss, not a new one
+
+    def test_no_draws_while_blocked(self):
+        """Generation pauses while a pending miss waits (processor blocks)."""
+        gen = generator(miss_rate=1.0)
+        gen.poll(0, lambda: True)
+        for cycle in range(1, 10):
+            assert gen.poll(cycle, lambda: False) is None
+        assert gen.misses_generated == 2  # the issued one and the pending one
+
+    def test_target_comes_from_selector(self):
+        gen = generator(miss_rate=1.0, target=13)
+        miss = gen.poll(0, lambda: True)
+        assert miss.target == 13
+
+    def test_request_type_mapping(self):
+        gen = generator(miss_rate=1.0)
+        miss = gen.poll(0, lambda: True)
+        expected = (
+            PacketType.READ_REQUEST if miss.is_read else PacketType.WRITE_REQUEST
+        )
+        assert MissGenerator.request_type(miss) is expected

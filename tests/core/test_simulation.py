@@ -1,0 +1,130 @@
+"""End-to-end tests of the simulation front end."""
+
+import math
+
+import pytest
+
+from repro import (
+    ConfigurationError,
+    MeshSystemConfig,
+    RingSystemConfig,
+    SimulationParams,
+    WorkloadConfig,
+    simulate,
+)
+
+
+class TestRingEndToEnd:
+    def test_transactions_complete(self, small_ring_config, heavy_workload, test_sim):
+        result = simulate(small_ring_config, heavy_workload, test_sim)
+        assert result.remote_transactions > 50
+        assert result.avg_latency > 0
+        assert result.cycles == test_sim.total_cycles
+
+    def test_hierarchy_runs(self, small_hierarchy_config, heavy_workload, test_sim):
+        result = simulate(small_hierarchy_config, heavy_workload, test_sim)
+        assert result.remote_transactions > 50
+        assert "global" in result.utilization
+        assert "local" in result.utilization
+
+    def test_latency_above_zero_load_floor(self, small_ring_config, test_sim):
+        """Measured latency can never beat the zero-load minimum."""
+        from repro.analysis.zero_load import single_ring_round_trip
+
+        result = simulate(
+            small_ring_config, WorkloadConfig(outstanding=4), test_sim
+        )
+        assert result.avg_latency >= single_ring_round_trip(small_ring_config) - 1e-9
+
+
+class TestMeshEndToEnd:
+    def test_transactions_complete(self, small_mesh_config, heavy_workload, test_sim):
+        result = simulate(small_mesh_config, heavy_workload, test_sim)
+        assert result.remote_transactions > 50
+        assert result.utilization_percent("mesh") > 0
+
+    def test_one_flit_buffers_work(self, heavy_workload, test_sim):
+        config = MeshSystemConfig(side=3, cache_line_bytes=32, buffer_flits=1)
+        result = simulate(config, heavy_workload, test_sim)
+        assert result.remote_transactions > 50
+
+    def test_deeper_buffers_not_slower(self, test_sim):
+        """cl-sized router buffers beat 1-flit buffers under load."""
+        workload = WorkloadConfig(outstanding=4)
+        params = SimulationParams(batch_cycles=1200, batches=4, seed=3)
+        shallow = simulate(
+            MeshSystemConfig(side=4, cache_line_bytes=128, buffer_flits=1),
+            workload, params,
+        )
+        deep = simulate(
+            MeshSystemConfig(side=4, cache_line_bytes=128, buffer_flits="cl"),
+            workload, params,
+        )
+        assert deep.avg_latency < shallow.avg_latency
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            RingSystemConfig(topology="2:4", cache_line_bytes=32),
+            MeshSystemConfig(side=3, cache_line_bytes=32, buffer_flits=4),
+        ],
+        ids=["ring", "mesh"],
+    )
+    def test_same_seed_same_result(self, config, heavy_workload, tiny_sim):
+        first = simulate(config, heavy_workload, tiny_sim)
+        second = simulate(config, heavy_workload, tiny_sim)
+        assert first.avg_latency == second.avg_latency
+        assert first.remote_transactions == second.remote_transactions
+        assert first.flits_moved == second.flits_moved
+
+    def test_different_seed_different_stream(self, small_ring_config, heavy_workload):
+        a = simulate(small_ring_config, heavy_workload,
+                     SimulationParams(batch_cycles=400, batches=3, seed=1))
+        b = simulate(small_ring_config, heavy_workload,
+                     SimulationParams(batch_cycles=400, batches=3, seed=2))
+        assert a.flits_moved != b.flits_moved
+
+
+class TestResultObject:
+    def test_describe_renders(self, small_ring_config, heavy_workload, tiny_sim):
+        result = simulate(small_ring_config, heavy_workload, tiny_sim)
+        text = result.describe()
+        assert "remote latency" in text
+        assert "util[" in text
+
+    def test_unknown_level_is_nan(self, small_ring_config, heavy_workload, tiny_sim):
+        result = simulate(small_ring_config, heavy_workload, tiny_sim)
+        assert math.isnan(result.utilization_percent("nonexistent"))
+
+    def test_local_latency_tracked_with_locality(self, tiny_sim):
+        config = RingSystemConfig(topology="2:4", cache_line_bytes=32)
+        workload = WorkloadConfig(locality=0.2, outstanding=2)
+        result = simulate(config, workload, tiny_sim)
+        assert result.local_transactions > 0
+
+    def test_bad_config_type_rejected(self, heavy_workload, tiny_sim):
+        with pytest.raises(ConfigurationError):
+            simulate(object(), heavy_workload, tiny_sim)  # type: ignore[arg-type]
+
+
+class TestDoubleSpeedGlobalRing:
+    def test_double_speed_helps_saturated_hierarchy(self):
+        """4 second-level rings saturate a normal global ring; 2x relieves it."""
+        workload = WorkloadConfig(outstanding=4)
+        params = SimulationParams(batch_cycles=1200, batches=4, seed=3)
+        normal = simulate(
+            RingSystemConfig(topology="4:3:4", cache_line_bytes=64), workload, params
+        )
+        double = simulate(
+            RingSystemConfig(topology="4:3:4", cache_line_bytes=64,
+                             global_ring_speed=2),
+            workload, params,
+        )
+        assert double.avg_latency < normal.avg_latency
+
+    def test_double_speed_single_ring_rejected(self, heavy_workload, tiny_sim):
+        config = RingSystemConfig(topology="8", global_ring_speed=2)
+        with pytest.raises(ConfigurationError):
+            simulate(config, heavy_workload, tiny_sim)

@@ -1,0 +1,124 @@
+"""Unit and property tests for batch-means output analysis."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.statistics import BatchMeans, LatencyStats, RateMeter
+
+
+class TestBatchMeans:
+    def test_first_batch_discarded(self):
+        """The paper discards the first batch for initialization bias."""
+        bm = BatchMeans()
+        bm.observe(1000.0)  # warm-up junk
+        bm.close_batch()
+        for value in (10.0, 20.0):
+            bm.observe(value)
+        bm.close_batch()
+        assert bm.retained_means == (15.0,)
+
+    def test_summary_mean(self):
+        bm = BatchMeans()
+        for batch in ([99.0], [10.0, 20.0], [30.0], [40.0]):
+            for value in batch:
+                bm.observe(value)
+            bm.close_batch()
+        summary = bm.summary()
+        assert summary.mean == (15.0 + 30.0 + 40.0) / 3
+        assert summary.half_width > 0
+        lo, hi = summary.confidence_interval
+        assert lo < summary.mean < hi
+
+    def test_empty_batches_skipped(self):
+        bm = BatchMeans()
+        bm.observe(5.0)
+        bm.close_batch()
+        bm.close_batch()  # empty batch
+        bm.observe(7.0)
+        bm.close_batch()
+        assert bm.retained_means == (7.0,)
+
+    def test_no_data_gives_nan(self):
+        summary = BatchMeans().summary()
+        assert math.isnan(summary.mean)
+
+    def test_single_retained_batch_has_infinite_half_width(self):
+        bm = BatchMeans()
+        bm.observe(1.0)
+        bm.close_batch()
+        bm.observe(2.0)
+        bm.close_batch()
+        assert bm.summary().half_width == math.inf
+
+    def test_observe_many(self):
+        bm = BatchMeans()
+        bm.close_batch()
+        bm.observe_many(total=30.0, count=3)
+        bm.close_batch()
+        assert bm.retained_means == (10.0,)
+        assert bm.total_observations == 3
+
+
+class TestRateMeter:
+    def test_rates_are_deltas(self):
+        meter = RateMeter()
+        meter.close_batch(numerator=10, denominator=100)   # discarded
+        meter.close_batch(numerator=40, denominator=200)   # (30/100)
+        meter.close_batch(numerator=100, denominator=300)  # (60/100)
+        assert meter.retained_rates == (0.3, 0.6)
+        assert math.isclose(meter.summary().mean, 0.45)
+
+    def test_zero_denominator_skipped(self):
+        meter = RateMeter()
+        meter.close_batch(0, 0)
+        meter.close_batch(5, 10)
+        meter.close_batch(5, 10)  # no denominator progress
+        assert meter.retained_rates == (0.5,)
+
+
+class TestLatencyStats:
+    def test_extremes(self):
+        stats = LatencyStats()
+        for value in (5.0, 1.0, 9.0):
+            stats.record(value)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 9.0
+
+
+@given(
+    batches=st.lists(
+        st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=10),
+        min_size=2,
+        max_size=8,
+    )
+)
+def test_batch_means_of_constant_stream(batches):
+    """If every observation equals c, the summary mean is exactly c."""
+    constant = 42.5
+    bm = BatchMeans()
+    for batch in batches:
+        for _ in batch:
+            bm.observe(constant)
+        bm.close_batch()
+    summary = bm.summary()
+    assert math.isclose(summary.mean, constant)
+    assert summary.half_width == 0 or summary.half_width == math.inf
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=40
+    )
+)
+def test_summary_mean_within_range(values):
+    """The batch-means estimate stays within the observed value range."""
+    bm = BatchMeans()
+    bm.observe(0.0)
+    bm.close_batch()
+    for value in values:
+        bm.observe(value)
+        bm.close_batch()
+    summary = bm.summary()
+    assert min(values) - 1e-9 <= summary.mean <= max(values) + 1e-9

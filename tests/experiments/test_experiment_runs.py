@@ -1,0 +1,73 @@
+"""Smoke-runs of every experiment at a micro scale.
+
+These verify each experiment produces non-empty, well-formed series and
+that its check function executes.  The paper-shape assertions
+themselves are exercised at default/full scale via the CLI (recorded in
+EXPERIMENTS.md); at micro scale we only require that checks *run*.
+"""
+
+import pytest
+
+from repro.core.config import SimulationParams
+from repro.experiments.base import Scale, all_experiments
+
+MICRO = Scale(
+    name="quick",  # reuse the quick cell lists where experiments key on name
+    sim=SimulationParams(batch_cycles=250, batches=2, seed=5),
+    max_nodes=26,
+    t_values=(2,),
+    cache_lines=(32,),
+    mesh_sides=(2, 3),
+    locality_values=(0.2,),
+    run_checks=False,
+)
+
+CHEAP = sorted(set(all_experiments()) - {"table2", "fig19", "fig20", "fig21"})
+
+
+@pytest.mark.parametrize("experiment_id", CHEAP)
+def test_experiment_produces_series(experiment_id):
+    experiment = all_experiments()[experiment_id]
+    result = experiment.run(MICRO)
+    assert result.series, f"{experiment_id} produced no series"
+    populated = [s for s in result.series.values() if s.xs]
+    assert populated, f"{experiment_id} produced only empty series"
+    for series in populated:
+        assert len(series.xs) == len(series.ys)
+        assert all(y == y for y in series.ys), "NaN latency in series"
+    # The check must execute without raising (failures are allowed at
+    # micro scale: too little data for the paper's shapes).
+    failures = experiment.evaluate(result)
+    assert isinstance(failures, list)
+
+
+@pytest.mark.parametrize("experiment_id", ["fig19", "fig21"])
+def test_double_speed_experiments_run(experiment_id):
+    scale = Scale(
+        name="quick",
+        sim=SimulationParams(batch_cycles=250, batches=2, seed=5),
+        max_nodes=60,
+        t_values=(2,),
+        cache_lines=(32,),
+        mesh_sides=(2, 3),
+        locality_values=(0.2,),
+    )
+    experiment = all_experiments()[experiment_id]
+    result = experiment.run(scale)
+    populated = [s for s in result.series.values() if s.xs]
+    assert populated
+    experiment.evaluate(result)
+
+
+def test_table2_micro_cell():
+    experiment = all_experiments()["table2"]
+    result = experiment.run(MICRO)
+    assert result.notes
+    assert any(series.xs for series in result.series.values())
+
+
+def test_format_table_renders_for_real_experiment():
+    experiment = all_experiments()["table1"]
+    result = experiment.run(MICRO)
+    text = result.format_table()
+    assert "Table 1" in text

@@ -1,0 +1,81 @@
+"""Tests for the experiment registry and CLI plumbing."""
+
+import json
+
+import pytest
+
+from repro.experiments.base import (
+    DEFAULT,
+    FULL,
+    QUICK,
+    SCALES,
+    all_experiments,
+    get_experiment,
+    scale_from_env,
+)
+from repro.experiments.cli import build_parser, main
+
+EXPECTED_IDS = {
+    "table1", "table2",
+    "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+    "ext-slotted",
+}
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert set(all_experiments()) == EXPECTED_IDS
+
+    def test_every_experiment_has_claim_and_check(self):
+        for experiment in all_experiments().values():
+            assert experiment.paper_claim
+            assert experiment.title
+            assert experiment.check is not None
+
+    def test_get_unknown_raises_with_listing(self):
+        with pytest.raises(KeyError, match="fig14"):
+            get_experiment("fig99")
+
+    def test_scales(self):
+        assert set(SCALES) == {"quick", "default", "full"}
+        assert QUICK.sim.total_cycles < DEFAULT.sim.total_cycles < FULL.sim.total_cycles
+
+    def test_scale_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_from_env() is QUICK
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert scale_from_env() is FULL
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for eid in EXPECTED_IDS:
+            assert eid in out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig6"])
+        assert args.scale == "quick"
+        assert args.experiments == ["fig6"]
+
+    def test_run_table1_with_check_and_json(self, tmp_path, capsys):
+        exit_code = main(["table1", "--check", "--json", str(tmp_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "checks passed" in out
+        payload = json.loads((tmp_path / "table1_quick.json").read_text())
+        assert "series" in payload
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig14" in capsys.readouterr().out
+
+    def test_plot_and_ascii_outputs(self, tmp_path, capsys):
+        exit_code = main(["table1", "--ascii", "--plot", str(tmp_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        svg = (tmp_path / "table1_quick.svg").read_text()
+        assert svg.startswith("<svg")

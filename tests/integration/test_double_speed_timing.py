@@ -1,0 +1,63 @@
+"""Timing behaviour of the double-speed global ring (Section 6)."""
+
+import pytest
+
+from repro.core.config import RingSystemConfig, SimulationParams, WorkloadConfig
+from repro.core.engine import Engine
+from repro.core.pm import MetricsHub
+from repro.core.simulation import simulate
+from repro.ring.network import HierarchicalRingNetwork
+
+IDLE = WorkloadConfig(miss_rate=1e-9, outstanding=1)
+
+
+def one_round_trip(config, src, dst):
+    metrics = MetricsHub()
+    network = HierarchicalRingNetwork(config, IDLE, metrics, seed=1)
+    engine = Engine()
+    network.register(engine)
+    network.pms[src].issue_remote(dst, cycle=0)
+    for _ in range(1000):
+        engine.step()
+        if metrics.remote_completed:
+            return metrics.remote_latency.maximum
+    raise AssertionError("transaction never completed")
+
+
+class TestZeroLoadEffect:
+    def test_cross_subtree_trip_faster_with_2x_global(self):
+        """Crossing the global ring takes fewer base cycles at 2x: the
+        global hops complete in half-cycles."""
+        normal = RingSystemConfig(topology="3:4", cache_line_bytes=32)
+        double = RingSystemConfig(
+            topology="3:4", cache_line_bytes=32, global_ring_speed=2
+        )
+        src, dst = 0, 11  # first PM to a PM in the last subtree
+        assert one_round_trip(double, src, dst) <= one_round_trip(normal, src, dst)
+
+    def test_same_subtree_trip_unchanged(self):
+        """Traffic that never touches the global ring sees no change."""
+        normal = RingSystemConfig(topology="3:4", cache_line_bytes=32)
+        double = RingSystemConfig(
+            topology="3:4", cache_line_bytes=32, global_ring_speed=2
+        )
+        assert one_round_trip(double, 0, 1) == one_round_trip(normal, 0, 1)
+
+
+class TestLoadedEffect:
+    @pytest.mark.parametrize("switching", ["wormhole", "slotted"])
+    def test_2x_never_worse_at_saturation(self, switching):
+        workload = WorkloadConfig(miss_rate=0.04, outstanding=4)
+        params = SimulationParams(batch_cycles=1200, batches=4, seed=9,
+                                  deadlock_threshold=8000)
+        results = {}
+        for speed in (1, 2):
+            config = RingSystemConfig(
+                topology="4:3:4",
+                cache_line_bytes=64,
+                global_ring_speed=speed,
+                switching=switching,
+            )
+            results[speed] = simulate(config, workload, params)
+        assert results[2].avg_latency <= 1.05 * results[1].avg_latency
+        assert results[2].remote_transactions >= results[1].remote_transactions * 0.9

@@ -1,0 +1,45 @@
+"""Stability under saturation: the configurations the paper drives past
+their bandwidth limits must keep making progress (no deadlock, no
+livelock), because the processors self-throttle at T outstanding."""
+
+import pytest
+
+from repro.core.config import (
+    MeshSystemConfig,
+    RingSystemConfig,
+    SimulationParams,
+    WorkloadConfig,
+)
+from repro.core.simulation import simulate
+
+SATURATING = WorkloadConfig(locality=1.0, miss_rate=0.04, outstanding=4)
+PARAMS = SimulationParams(batch_cycles=1500, batches=3, seed=3, deadlock_threshold=3000)
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        # Saturated single ring: double its sustainable size.
+        RingSystemConfig(topology="16", cache_line_bytes=32),
+        # Saturated global ring: five local rings on a 2-level hierarchy.
+        RingSystemConfig(topology="5:8", cache_line_bytes=32),
+        # Saturated 3-level hierarchy: four second-level rings.
+        RingSystemConfig(topology="4:3:6", cache_line_bytes=64),
+        # 1-flit mesh buffers with giant worms: the worst mesh case.
+        MeshSystemConfig(side=5, cache_line_bytes=128, buffer_flits=1),
+    ],
+    ids=["single-ring-2x", "2-level-5-rings", "3-level-4-rings", "mesh-1flit-128B"],
+)
+def test_saturated_system_keeps_completing(config):
+    result = simulate(config, SATURATING, PARAMS)
+    assert result.remote_transactions > 100
+    assert result.avg_latency > 0
+
+
+def test_saturated_throughput_is_positive_and_bounded():
+    result = simulate(
+        RingSystemConfig(topology="5:8", cache_line_bytes=32), SATURATING, PARAMS
+    )
+    assert result.throughput is not None
+    # Each of the 40 processors is capped at C = 0.04 misses/cycle.
+    assert 0 < result.throughput.mean < 40 * 0.04 + 0.01

@@ -1,0 +1,78 @@
+"""End-to-end mesh tests: delivery for all pairs and exact zero-load timing."""
+
+import pytest
+
+from repro.analysis.zero_load import mesh_zero_load_round_trip
+from repro.core.config import MeshSystemConfig, WorkloadConfig
+from repro.core.engine import Engine
+from repro.core.pm import MetricsHub
+from repro.mesh.network import MeshNetwork
+
+IDLE = WorkloadConfig(miss_rate=1e-9, outstanding=1)
+
+
+def build_idle(side=3, buffer_flits=4, cache_line=32):
+    config = MeshSystemConfig(
+        side=side, cache_line_bytes=cache_line, buffer_flits=buffer_flits
+    )
+    metrics = MetricsHub()
+    network = MeshNetwork(config, IDLE, metrics, seed=1)
+    engine = Engine()
+    network.register(engine)
+    return config, network, engine, metrics
+
+
+@pytest.mark.parametrize("side", [2, 3, 4])
+@pytest.mark.parametrize("buffer_flits", [1, 4, "cl"])
+def test_all_pairs_delivered(side, buffer_flits):
+    config, network, engine, metrics = build_idle(side, buffer_flits)
+    processors = config.processors
+    completed = 0
+    for src in range(processors):
+        for dst in range(processors):
+            if src == dst:
+                continue
+            network.pms[src].issue_remote(dst, cycle=engine.cycle)
+            for _ in range(600):
+                engine.step()
+                if metrics.remote_completed > completed:
+                    break
+            completed += 1
+            assert metrics.remote_completed == completed, f"{src}->{dst} lost"
+
+
+@pytest.mark.parametrize("is_read", [True, False], ids=["read", "write"])
+@pytest.mark.parametrize("buffer_flits", [1, 4, "cl"])
+def test_zero_load_latency_matches_analytic(buffer_flits, is_read):
+    """Idle-mesh round trips land exactly on the closed form, for any
+    buffer depth (at zero load the buffers never fill)."""
+    config, network, engine, metrics = build_idle(3, buffer_flits)
+    for src, dst in [(0, 1), (0, 8), (4, 2), (7, 0), (3, 5)]:
+        before = metrics.remote_completed
+        network.pms[src].issue_remote(dst, is_read=is_read, cycle=engine.cycle)
+        start = engine.cycle
+        for _ in range(600):
+            engine.step()
+            if metrics.remote_completed > before:
+                break
+        measured = metrics.remote_latency.maximum
+        expected = mesh_zero_load_round_trip(config, src, dst, is_read=is_read)
+        assert measured == expected, (src, dst, measured, expected)
+        metrics.remote_latency.maximum = float("-inf")
+
+
+def test_utilization_counts_only_router_links():
+    config, network, engine, metrics = build_idle(3)
+    network.pms[0].issue_remote(1)
+    engine.run(40)
+    # A 4-flit read request + 12-flit response over one hop each way:
+    # 16 link-flits total on router-router channels.
+    assert network.flits_carried() == 16
+    assert network.opportunities(40) == 24 * 40
+
+
+def test_levels_reported():
+    __, network, __, __ = build_idle(2)
+    assert network.levels_present == ["mesh"]
+    assert network.flits_carried("bogus") == 0
+    assert network.opportunities(10, "bogus") == 0.0

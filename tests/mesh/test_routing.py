@@ -1,0 +1,79 @@
+"""Unit and property tests for e-cube (dimension-order) routing."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mesh.routing import LOCAL, ecube_next_direction, ecube_path
+from repro.mesh.topology import MeshShape
+
+
+class TestNextDirection:
+    def test_x_corrected_first(self):
+        shape = MeshShape(4)
+        # From (0,0) to (2,2): must head East until x matches.
+        assert ecube_next_direction(shape, 0, 10) == "E"
+        # From (2,0) to (2,2): x matches, head South.
+        assert ecube_next_direction(shape, 2, 10) == "S"
+
+    def test_west_and_north(self):
+        shape = MeshShape(4)
+        assert ecube_next_direction(shape, 10, 8) == "W"
+        assert ecube_next_direction(shape, 8, 0) == "N"
+
+    def test_arrival_is_local(self):
+        shape = MeshShape(4)
+        assert ecube_next_direction(shape, 7, 7) == LOCAL
+
+
+class TestPath:
+    def test_path_is_x_then_y(self):
+        shape = MeshShape(4)
+        path = ecube_path(shape, 0, 10)  # (0,0) -> (2,2)
+        assert path == [0, 1, 2, 6, 10]
+
+    def test_path_length_is_manhattan(self):
+        shape = MeshShape(5)
+        for src in range(25):
+            for dst in range(25):
+                path = ecube_path(shape, src, dst)
+                assert len(path) - 1 == shape.hop_distance(src, dst)
+
+
+@given(side=st.integers(2, 7), src=st.integers(0, 48), dst=st.integers(0, 48))
+def test_each_hop_reduces_distance(side, src, dst):
+    shape = MeshShape(side)
+    src %= shape.processors
+    dst %= shape.processors
+    current = src
+    steps = 0
+    while current != dst:
+        direction = ecube_next_direction(shape, current, dst)
+        nxt = shape.neighbors(current)[direction]
+        assert shape.hop_distance(nxt, dst) == shape.hop_distance(current, dst) - 1
+        current = nxt
+        steps += 1
+        assert steps <= 2 * side  # no cycles
+
+
+@given(side=st.integers(2, 6), src=st.integers(0, 35), dst=st.integers(0, 35))
+def test_deadlock_freedom_ordering(side, src, dst):
+    """Dimension order: no E/W hop may follow an N/S hop.
+
+    This ordering is what makes the channel dependency graph acyclic and
+    e-cube deadlock-free on a mesh without end-around links.
+    """
+    shape = MeshShape(side)
+    src %= shape.processors
+    dst %= shape.processors
+    path = ecube_path(shape, src, dst)
+    directions = []
+    for here, there in zip(path, path[1:]):
+        for direction, neighbor in shape.neighbors(here).items():
+            if neighbor == there:
+                directions.append(direction)
+    saw_y = False
+    for direction in directions:
+        if direction in ("N", "S"):
+            saw_y = True
+        elif saw_y:
+            raise AssertionError(f"X hop after Y hop in {directions}")

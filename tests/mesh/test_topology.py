@@ -1,0 +1,78 @@
+"""Unit and property tests for mesh geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import TopologyError
+from repro.mesh.topology import OPPOSITE, MeshShape
+
+
+class TestMeshShape:
+    def test_coordinates_row_major(self):
+        shape = MeshShape(3)
+        assert shape.coordinates(0) == (0, 0)
+        assert shape.coordinates(2) == (2, 0)
+        assert shape.coordinates(3) == (0, 1)
+        assert shape.coordinates(8) == (2, 2)
+
+    def test_pm_id_round_trip(self):
+        shape = MeshShape(4)
+        for pm in range(16):
+            assert shape.pm_id(*shape.coordinates(pm)) == pm
+
+    def test_out_of_range(self):
+        shape = MeshShape(3)
+        with pytest.raises(TopologyError):
+            shape.coordinates(9)
+        with pytest.raises(TopologyError):
+            shape.pm_id(3, 0)
+        with pytest.raises(TopologyError):
+            MeshShape(0)
+
+    def test_hop_distance_is_manhattan(self):
+        shape = MeshShape(4)
+        assert shape.hop_distance(0, 15) == 6
+        assert shape.hop_distance(0, 3) == 3
+        assert shape.hop_distance(5, 5) == 0
+
+    def test_corner_neighbors(self):
+        shape = MeshShape(3)
+        assert shape.neighbors(0) == {"S": 3, "E": 1}
+        assert shape.neighbors(8) == {"N": 5, "W": 7}
+
+    def test_center_neighbors(self):
+        shape = MeshShape(3)
+        assert shape.neighbors(4) == {"N": 1, "S": 7, "E": 5, "W": 3}
+
+    @pytest.mark.parametrize("side,expected", [(2, 8), (3, 24), (4, 48), (11, 440)])
+    def test_internal_links(self, side, expected):
+        """4*k*(k-1) unidirectional links in a k x k mesh."""
+        shape = MeshShape(side)
+        assert shape.internal_links() == expected
+        counted = sum(len(shape.neighbors(pm)) for pm in range(shape.processors))
+        assert counted == expected
+
+    def test_average_distance(self):
+        assert MeshShape(2).average_distance() == pytest.approx(4 / 3)
+
+    def test_opposite_directions(self):
+        assert OPPOSITE == {"N": "S", "S": "N", "E": "W", "W": "E"}
+
+
+@given(side=st.integers(2, 8), a=st.integers(0, 63), b=st.integers(0, 63))
+def test_distance_symmetric_and_triangular(side, a, b):
+    shape = MeshShape(side)
+    a %= shape.processors
+    b %= shape.processors
+    assert shape.hop_distance(a, b) == shape.hop_distance(b, a)
+    assert shape.hop_distance(a, b) <= 2 * (side - 1)
+    assert (shape.hop_distance(a, b) == 0) == (a == b)
+
+
+@given(side=st.integers(2, 6))
+def test_neighbor_relation_is_symmetric(side):
+    shape = MeshShape(side)
+    for pm in range(shape.processors):
+        for direction, other in shape.neighbors(pm).items():
+            assert shape.neighbors(other)[OPPOSITE[direction]] == pm

@@ -1,0 +1,115 @@
+"""Property-based end-to-end tests over randomly drawn systems.
+
+For any design-legal hierarchy or mesh and any source/destination pair,
+a single transaction on an idle network must complete and must take
+exactly the closed-form zero-load time.  This generalizes the
+fixed-topology tests in tests/ring and tests/mesh to the whole
+configuration space.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.zero_load import (
+    mesh_zero_load_round_trip,
+    ring_zero_load_round_trip,
+)
+from repro.core.config import MeshSystemConfig, RingSystemConfig, WorkloadConfig
+from repro.core.engine import Engine
+from repro.core.pm import MetricsHub
+from repro.core.simulation import build_network
+
+IDLE = WorkloadConfig(miss_rate=1e-9, outstanding=1)
+
+
+@st.composite
+def hierarchies(draw):
+    levels = draw(st.integers(1, 3))
+    branching = tuple(
+        draw(st.integers(2, 4)) for _ in range(levels - 1)
+    ) + (draw(st.integers(2, 6)),)
+    return branching
+
+
+def run_one(config, src, dst, is_read):
+    metrics = MetricsHub()
+    network = build_network(config, IDLE, metrics, seed=1)
+    engine = Engine()
+    network.register(engine)
+    network.pms[src].issue_remote(dst, is_read=is_read, cycle=0)
+    for _ in range(1500):
+        engine.step()
+        if metrics.remote_completed:
+            return metrics.remote_latency.maximum
+    raise AssertionError(f"{src}->{dst} never completed on {config}")
+
+
+@given(
+    branching=hierarchies(),
+    pair=st.tuples(st.integers(0, 10_000), st.integers(0, 10_000)),
+    cache_line=st.sampled_from([16, 32, 64, 128]),
+    is_read=st.booleans(),
+    switching=st.sampled_from(["wormhole", "slotted"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_ring_single_transaction_matches_closed_form(
+    branching, pair, cache_line, is_read, switching
+):
+    config = RingSystemConfig(
+        topology=branching, cache_line_bytes=cache_line, switching=switching
+    )
+    processors = config.processors
+    src = pair[0] % processors
+    dst = pair[1] % processors
+    if src == dst:
+        dst = (dst + 1) % processors
+    measured = run_one(config, src, dst, is_read)
+    expected = ring_zero_load_round_trip(config, src, dst, is_read=is_read)
+    assert measured == expected, (branching, src, dst, measured, expected)
+
+
+@given(
+    side=st.integers(2, 5),
+    pair=st.tuples(st.integers(0, 10_000), st.integers(0, 10_000)),
+    cache_line=st.sampled_from([16, 32, 64, 128]),
+    buffer_flits=st.sampled_from([1, 2, 4, "cl"]),
+    is_read=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_mesh_single_transaction_matches_closed_form(
+    side, pair, cache_line, buffer_flits, is_read
+):
+    config = MeshSystemConfig(
+        side=side, cache_line_bytes=cache_line, buffer_flits=buffer_flits
+    )
+    processors = config.processors
+    src = pair[0] % processors
+    dst = pair[1] % processors
+    if src == dst:
+        dst = (dst + 1) % processors
+    measured = run_one(config, src, dst, is_read)
+    expected = mesh_zero_load_round_trip(config, src, dst, is_read=is_read)
+    assert measured == expected, (side, src, dst, measured, expected)
+
+
+@given(
+    branching=hierarchies(),
+    seed=st.integers(0, 10),
+)
+@settings(max_examples=15, deadline=None)
+def test_ring_loaded_run_conserves_transactions(branching, seed):
+    """Under load, every response decrements exactly one open txn and
+    buffers stay flit-conserving (enqueued - dequeued == occupancy)."""
+    config = RingSystemConfig(topology=branching, cache_line_bytes=32)
+    metrics = MetricsHub()
+    network = build_network(
+        config, WorkloadConfig(miss_rate=0.04, outstanding=2), metrics, seed=seed
+    )
+    engine = Engine()
+    network.register(engine)
+    engine.run(400)
+    open_count = sum(len(pm.open_transactions) for pm in network.pms)
+    assert metrics.remote_issued == metrics.remote_completed + open_count
+    for pm in network.pms:
+        for buffer in (pm.in_queue, pm.out_req, pm.out_resp):
+            assert buffer.flits_enqueued - buffer.flits_dequeued == buffer.occupancy

@@ -1,0 +1,119 @@
+"""Structural tests for the hierarchical ring network builder."""
+
+import pytest
+
+from repro.core.config import RingSystemConfig, WorkloadConfig
+from repro.core.errors import ConfigurationError
+from repro.core.pm import MetricsHub
+from repro.ring.network import HierarchicalRingNetwork, level_name
+
+
+def build(topology, cache_line=32, speed=1):
+    config = RingSystemConfig(
+        topology=topology, cache_line_bytes=cache_line, global_ring_speed=speed
+    )
+    return HierarchicalRingNetwork(config, WorkloadConfig(), MetricsHub())
+
+
+class TestLevelNames:
+    def test_single_ring_is_local(self):
+        assert level_name(0, 1) == "local"
+
+    def test_two_levels(self):
+        assert level_name(0, 2) == "global"
+        assert level_name(1, 2) == "local"
+
+    def test_four_levels(self):
+        assert level_name(0, 4) == "global"
+        assert level_name(1, 4) == "intermediate"
+        assert level_name(2, 4) == "intermediate"
+        assert level_name(3, 4) == "local"
+
+
+class TestComponentCounts:
+    def test_single_ring(self):
+        network = build("6")
+        assert len(network.pms) == 6
+        assert len(network.nics) == 6
+        assert len(network.iris) == 0
+        # 6 NICs in a loop -> 6 unidirectional links, all local.
+        assert len(network.channels) == 6
+        assert network.levels_present == ["local"]
+
+    def test_three_level(self):
+        network = build("2:3:4")
+        assert len(network.pms) == 24
+        assert len(network.iris) == 8  # 2 intermediate + 6 local rings
+        # Links: global ring 2; intermediate rings 2*(1+3)=8;
+        # local rings 6*(1+4)=30.
+        by_level = {}
+        for channel in network.channels:
+            by_level[channel.klass] = by_level.get(channel.klass, 0) + 1
+        assert by_level == {"global": 2, "intermediate": 8, "local": 30}
+
+    def test_ring_member_order(self):
+        """Parent IRI occupies position 0, then children in index order."""
+        network = build("2:3")
+        members = network._ring_members(())
+        assert members[0] is network.iris[(0,)].upper_port
+        assert members[1] is network.iris[(1,)].upper_port
+        local_members = network._ring_members((0,))
+        assert local_members[0] is network.iris[(0,)].lower_port
+        assert local_members[1] is network.nics[0]
+        assert local_members[2] is network.nics[1]
+        assert local_members[3] is network.nics[2]
+
+    def test_every_port_wired(self):
+        network = build("3:3:4")
+        ports = list(network.nics)
+        for iri in network.iris.values():
+            ports.extend([iri.lower_port, iri.upper_port])
+        for port in ports:
+            assert port.downstream is not None
+            assert port.out_channel is not None
+
+
+class TestBufferSizing:
+    @pytest.mark.parametrize(
+        "cache_line,expected", [(16, 2), (32, 3), (64, 5), (128, 9)]
+    )
+    def test_all_buffers_hold_one_cl_packet(self, cache_line, expected):
+        network = build("2:3", cache_line=cache_line)
+        for nic in network.nics:
+            assert nic.transit_buffer.capacity == expected
+        for iri in network.iris.values():
+            for buffer in iri.buffers:
+                assert buffer.capacity == expected
+        for pm in network.pms:
+            assert pm.out_req.capacity == expected
+            assert pm.out_resp.capacity == expected
+            assert pm.in_queue.capacity is None
+
+
+class TestDoubleSpeedWiring:
+    def test_global_ring_in_fast_domain(self):
+        network = build("2:3:4", speed=2)
+        for prefix, iri in network.iris.items():
+            if len(prefix) == 1:  # IRIs joining level-1 rings to the global ring
+                assert iri.upper_port.speed == 2
+                assert iri.lower_port.speed == 1
+            else:
+                assert iri.upper_port.speed == 1
+                assert iri.lower_port.speed == 1
+        for channel in network.channels:
+            assert channel.speed == (2 if channel.klass == "global" else 1)
+
+    def test_opportunities_account_for_speed(self):
+        normal = build("2:3:4", speed=1)
+        fast = build("2:3:4", speed=2)
+        cycles = 100
+        assert fast.opportunities(cycles, "global") == 2 * normal.opportunities(
+            cycles, "global"
+        )
+        assert fast.opportunities(cycles, "local") == normal.opportunities(
+            cycles, "local"
+        )
+
+    def test_single_ring_double_speed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build("8", speed=2)

@@ -1,0 +1,165 @@
+"""Behavioural tests for ring ports: classification, arbitration
+priority, and wormhole continuity."""
+
+import pytest
+
+from repro.core.buffers import FlitBuffer
+from repro.core.config import RingSystemConfig, WorkloadConfig
+from repro.core.engine import Engine
+from repro.core.errors import SimulationError
+from repro.core.packet import Packet, PacketType
+from repro.core.pm import MetricsHub
+from repro.ring.iri import InterRingInterface
+from repro.ring.network import HierarchicalRingNetwork
+from repro.ring.topology import HierarchySpec
+
+
+def packet(ptype, dst, size=3, src=0):
+    return Packet(ptype, src, dst, size, transaction_id=1, issue_cycle=0)
+
+
+def build(topology="2:3"):
+    config = RingSystemConfig(topology=topology, cache_line_bytes=32)
+    return HierarchicalRingNetwork(
+        config, WorkloadConfig(miss_rate=1e-9), MetricsHub()
+    )
+
+
+class TestNICClassification:
+    def test_own_packets_sink(self):
+        network = build()
+        nic = network.nics[2]
+        incoming = packet(PacketType.READ_RESPONSE, dst=2)
+        assert nic.classify(incoming) is network.pms[2].in_queue
+
+    def test_transit_packets_continue(self):
+        network = build()
+        nic = network.nics[2]
+        incoming = packet(PacketType.READ_RESPONSE, dst=1)
+        assert nic.classify(incoming) is nic.transit_buffer
+
+
+class TestIRIClassification:
+    def make_iri(self):
+        spec = HierarchySpec.parse("2:3")
+        return InterRingInterface(
+            "iri", spec, child_prefix=(0,), buffer_flits=3
+        )
+
+    def test_lower_side_in_subtree_transits(self):
+        iri = self.make_iri()
+        assert iri._classify_lower(packet(PacketType.READ_REQUEST, dst=1)) \
+            is iri.lower_port.transit_buffer
+
+    def test_lower_side_out_of_subtree_ascends_split_by_type(self):
+        iri = self.make_iri()
+        assert iri._classify_lower(packet(PacketType.READ_REQUEST, dst=4)) is iri.up_req
+        assert iri._classify_lower(packet(PacketType.READ_RESPONSE, dst=4)) is iri.up_resp
+        assert iri._classify_lower(packet(PacketType.WRITE_REQUEST, dst=4)) is iri.up_req
+        assert iri._classify_lower(packet(PacketType.WRITE_RESPONSE, dst=4)) is iri.up_resp
+
+    def test_upper_side_in_subtree_descends_split_by_type(self):
+        iri = self.make_iri()
+        assert iri._classify_upper(packet(PacketType.READ_REQUEST, dst=2)) is iri.down_req
+        assert iri._classify_upper(packet(PacketType.WRITE_RESPONSE, dst=2)) is iri.down_resp
+
+    def test_upper_side_out_of_subtree_transits(self):
+        iri = self.make_iri()
+        assert iri._classify_upper(packet(PacketType.READ_REQUEST, dst=4)) \
+            is iri.upper_port.transit_buffer
+
+
+class TestOutputPriority:
+    """Section 2.1: transit first, then responses, then requests."""
+
+    def run_one_cycle_with(self, transit=None, response=None, request=None):
+        network = build("4")
+        nic = network.nics[0]
+        pm = network.pms[0]
+        engine = Engine()
+        network.register(engine)
+        if transit is not None:
+            for flit in transit:
+                nic.transit_buffer.push(flit)
+        if response is not None:
+            for flit in response:
+                pm.out_resp.push(flit)
+        if request is not None:
+            for flit in request:
+                pm.out_req.push(flit)
+        engine.step()
+        return network, nic, pm
+
+    def test_transit_beats_response(self):
+        transit = packet(PacketType.READ_RESPONSE, dst=2, src=3)
+        own = packet(PacketType.READ_RESPONSE, dst=2, src=0)
+        network, nic, pm = self.run_one_cycle_with(
+            transit=transit.flits, response=own.flits
+        )
+        assert nic.transit_buffer.occupancy == 2  # one transit flit left
+        assert pm.out_resp.occupancy == 3  # response untouched
+
+    def test_response_beats_request(self):
+        own_resp = packet(PacketType.READ_RESPONSE, dst=2, src=0)
+        own_req = packet(PacketType.READ_REQUEST, dst=2, src=0, size=1)
+        network, nic, pm = self.run_one_cycle_with(
+            response=own_resp.flits, request=own_req.flits
+        )
+        assert pm.out_resp.occupancy == 2  # response advanced
+        assert pm.out_req.occupancy == 1  # request waits
+
+    def test_request_sent_when_alone(self):
+        own_req = packet(PacketType.READ_REQUEST, dst=2, src=0, size=1)
+        network, nic, pm = self.run_one_cycle_with(request=own_req.flits)
+        assert pm.out_req.is_empty
+
+
+class TestWormholeContinuity:
+    def test_packet_not_interleaved_once_started(self):
+        """After a response's head is sent, a newly arrived transit flit
+        must wait for the tail even though transit has priority."""
+        network = build("4")
+        nic = network.nics[0]
+        pm = network.pms[0]
+        engine = Engine()
+        network.register(engine)
+        own = packet(PacketType.WRITE_REQUEST, dst=2, src=0)
+        for flit in own.flits:
+            pm.out_resp.push(flit)
+        engine.step()  # head of own packet goes out
+        transit = packet(PacketType.WRITE_REQUEST, dst=2, src=3)
+        for flit in transit.flits:
+            nic.transit_buffer.push(flit)
+        engine.step()
+        engine.step()  # remaining two flits of own packet
+        assert pm.out_resp.is_empty
+        assert nic.transit_buffer.occupancy == 3  # transit waited throughout
+        engine.step()
+        assert nic.transit_buffer.occupancy == 2  # now transit proceeds
+
+    def test_mid_packet_head_of_idle_port_rejected(self):
+        network = build("4")
+        nic = network.nics[0]
+        body = packet(PacketType.READ_RESPONSE, dst=2, src=3).flits[1]
+        nic.transit_buffer.push(body)
+        engine = Engine()
+        network.register(engine)
+        with pytest.raises(SimulationError):
+            engine.step()
+
+
+class TestUnwiredPort:
+    def test_propose_requires_wiring(self):
+        from repro.ring.port import RingPort
+
+        port = RingPort(
+            "lonely",
+            transit_buffer=FlitBuffer("t", 3),
+            injection_sources=[],
+            classify=lambda p: None,
+        )
+        port.transit_buffer.push(packet(PacketType.READ_REQUEST, dst=1, size=1).head)
+        engine = Engine()
+        engine.add_component(port)
+        with pytest.raises(SimulationError):
+            engine.step()

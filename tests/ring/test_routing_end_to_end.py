@@ -1,0 +1,126 @@
+"""End-to-end routing tests: every packet reaches its destination along
+the unique hierarchical route, in exactly the analytically predicted
+number of cycles on an idle network."""
+
+import pytest
+
+from repro.analysis.zero_load import ring_path_length, ring_zero_load_round_trip
+from repro.core.config import RingSystemConfig, SimulationParams, WorkloadConfig
+from repro.core.engine import Engine
+from repro.core.pm import MetricsHub
+from repro.core.simulation import simulate
+from repro.ring.network import HierarchicalRingNetwork
+from repro.ring.topology import HierarchySpec
+
+IDLE = WorkloadConfig(miss_rate=1e-9, outstanding=1)
+
+TOPOLOGIES = ["4", "2:3", "3:4", "2:2:3", "2:3:2", "3:2:2:2"]
+
+
+def build_idle_network(topology, cache_line=32, speed=1):
+    config = RingSystemConfig(
+        topology=topology, cache_line_bytes=cache_line, global_ring_speed=speed
+    )
+    metrics = MetricsHub()
+    network = HierarchicalRingNetwork(config, IDLE, metrics, seed=1)
+    engine = Engine()
+    network.register(engine)
+    return config, network, engine, metrics
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_all_pairs_delivered(topology):
+    """One read transaction per (src, dst) pair completes, serially."""
+    config, network, engine, metrics = build_idle_network(topology)
+    processors = network.spec.processors
+    completed = 0
+    for src in range(processors):
+        for dst in range(processors):
+            if src == dst:
+                continue
+            network.pms[src].issue_remote(dst, is_read=True, cycle=engine.cycle)
+            for _ in range(500):
+                engine.step()
+                if metrics.remote_completed > completed:
+                    break
+            completed += 1
+            assert metrics.remote_completed == completed, (
+                f"transaction {src}->{dst} did not complete"
+            )
+
+
+@pytest.mark.parametrize("topology", ["4", "2:3", "2:2:3"])
+@pytest.mark.parametrize("is_read", [True, False], ids=["read", "write"])
+def test_zero_load_latency_matches_analytic(topology, is_read):
+    """Idle-network round trips land exactly on the closed form."""
+    config, network, engine, metrics = build_idle_network(topology)
+    processors = network.spec.processors
+    for src in range(processors):
+        for dst in range(processors):
+            if src == dst:
+                continue
+            start = engine.cycle
+            network.pms[src].issue_remote(dst, is_read=is_read, cycle=start)
+            before = metrics.remote_completed
+            for _ in range(500):
+                engine.step()
+                if metrics.remote_completed > before:
+                    break
+            measured = metrics.remote_latency.maximum  # latest == max on idle net
+            expected = ring_zero_load_round_trip(config, src, dst, is_read=is_read)
+            assert measured == expected, (src, dst, measured, expected)
+            metrics.remote_latency.maximum = float("-inf")
+
+
+class TestPathLengthModel:
+    def test_single_ring_pairs(self):
+        spec = HierarchySpec.parse("5")
+        assert ring_path_length(spec, 0, 1) == 1
+        assert ring_path_length(spec, 0, 4) == 4
+        assert ring_path_length(spec, 4, 0) == 1
+        assert ring_path_length(spec, 2, 2) == 0
+
+    def test_forward_backward_sum_on_single_ring(self):
+        """On a unidirectional ring the two directions sum to N links."""
+        spec = HierarchySpec.parse("7")
+        for src in range(7):
+            for dst in range(7):
+                if src != dst:
+                    forward = ring_path_length(spec, src, dst)
+                    backward = ring_path_length(spec, dst, src)
+                    assert forward + backward == 7
+
+    def test_hierarchy_same_local_ring(self):
+        spec = HierarchySpec.parse("2:3")
+        # PMs 0,1,2 share local ring (0,): ring has IRI + 3 NICs (size 4).
+        assert ring_path_length(spec, 0, 1) == 1
+        assert ring_path_length(spec, 2, 0) == 2  # wraps via the IRI position
+
+    def test_hierarchy_cross_ring(self):
+        spec = HierarchySpec.parse("2:3")
+        # 0 -> 3: around local ring 0 to IRI (3 hops from NIC pos 1),
+        # across the global ring (1 hop), down into ring 1 to NIC pos 1.
+        assert ring_path_length(spec, 0, 3) == 3 + 1 + 1
+
+
+class TestUtilizationAccounting:
+    def test_flits_counted_per_level(self):
+        __, network, engine, __ = build_idle_network("2:2")
+        network.pms[0].issue_remote(2)  # must cross the global ring
+        engine.run(60)
+        assert network.flits_carried("local") > 0
+        assert network.flits_carried("global") > 0
+        total = network.flits_carried(None)
+        assert total == network.flits_carried("local") + network.flits_carried("global")
+
+
+def test_simulate_front_end_agrees_with_manual_engine():
+    """simulate() on a tiny idle system reports the analytic average."""
+    config = RingSystemConfig(topology="4", cache_line_bytes=32)
+    result = simulate(
+        config,
+        WorkloadConfig(miss_rate=0.003, outstanding=1),
+        SimulationParams(batch_cycles=3000, batches=4, seed=11),
+    )
+    expected = ring_zero_load_round_trip(config, 0, 1)  # pair-independent
+    assert abs(result.avg_latency - expected) < 1.0

@@ -1,0 +1,197 @@
+"""Tests for the slotted (non-blocking) ring switching extension.
+
+The paper simulates wormhole rings but notes (footnote 3, Section 5)
+that Hector and NUMAchine implement slotted switching, which "tends to
+perform somewhat better".  In slotted mode a packet that cannot change
+rings recirculates instead of blocking, and injection only starts into
+a clear station.
+"""
+
+import pytest
+
+from repro.core.config import (
+    ConfigurationError,
+    RingSystemConfig,
+    SimulationParams,
+    WorkloadConfig,
+)
+from repro.core.engine import Engine
+from repro.core.packet import Packet, PacketType
+from repro.core.pm import MetricsHub
+from repro.core.simulation import simulate
+from repro.ring.iri import InterRingInterface
+from repro.ring.network import HierarchicalRingNetwork
+from repro.ring.topology import HierarchySpec
+
+IDLE = WorkloadConfig(miss_rate=1e-9, outstanding=1)
+
+
+def build_idle(topology="2:3", switching="slotted"):
+    config = RingSystemConfig(
+        topology=topology, cache_line_bytes=32, switching=switching
+    )
+    metrics = MetricsHub()
+    network = HierarchicalRingNetwork(config, IDLE, metrics, seed=1)
+    engine = Engine()
+    network.register(engine)
+    return config, network, engine, metrics
+
+
+def packet(ptype, dst, size=3):
+    return Packet(ptype, 0, dst, size, transaction_id=1, issue_cycle=0)
+
+
+class TestConfig:
+    def test_validation(self):
+        RingSystemConfig(switching="slotted").validate()
+        with pytest.raises(ConfigurationError):
+            RingSystemConfig(switching="virtual-cut-through").validate()
+
+    def test_flags_propagate(self):
+        __, network, __, __ = build_idle()
+        assert all(nic.slotted for nic in network.nics)
+        assert all(iri.slotted for iri in network.iris.values())
+        assert all(iri.lower_port.slotted for iri in network.iris.values())
+
+
+class TestRecirculation:
+    def make_iri(self, slotted=True):
+        spec = HierarchySpec.parse("2:3")
+        return InterRingInterface(
+            "iri", spec, child_prefix=(0,), buffer_flits=3, slotted=slotted
+        )
+
+    def test_full_up_queue_recirculates(self):
+        iri = self.make_iri()
+        blocker = packet(PacketType.READ_RESPONSE, dst=4, size=3)
+        for flit in blocker:
+            iri.up_resp.push(flit)
+        arriving = packet(PacketType.READ_RESPONSE, dst=4, size=3)
+        assert iri._classify_lower(arriving) is iri.lower_port.transit_buffer
+        assert iri.recirculations == 1
+
+    def test_partial_space_admits_per_slot(self):
+        """Slots are routed independently: any free entry admits a slot
+        (a packet's remaining slots may recirculate separately)."""
+        iri = self.make_iri()
+        one = packet(PacketType.READ_REQUEST, dst=4, size=1)
+        iri.up_req.push(one.head)
+        arriving = packet(PacketType.WRITE_REQUEST, dst=4, size=3)
+        assert iri._classify_lower(arriving) is iri.up_req
+
+    def test_fitting_packet_ascends(self):
+        iri = self.make_iri()
+        arriving = packet(PacketType.READ_REQUEST, dst=4, size=1)
+        assert iri._classify_lower(arriving) is iri.up_req
+        assert iri.recirculations == 0
+
+    def test_wormhole_mode_blocks_instead(self):
+        iri = self.make_iri(slotted=False)
+        blocker = packet(PacketType.READ_RESPONSE, dst=4, size=3)
+        for flit in blocker:
+            iri.up_resp.push(flit)
+        arriving = packet(PacketType.READ_RESPONSE, dst=4, size=3)
+        assert iri._classify_lower(arriving) is iri.up_resp  # backpressure
+
+    def test_down_queue_recirculates_on_upper_ring(self):
+        iri = self.make_iri()
+        blocker = packet(PacketType.READ_RESPONSE, dst=1, size=3)
+        for flit in blocker:
+            iri.down_resp.push(flit)
+        arriving = packet(PacketType.READ_RESPONSE, dst=2, size=3)
+        assert iri._classify_upper(arriving) is iri.upper_port.transit_buffer
+
+
+class TestInsertionInterleaving:
+    def test_contended_station_alternates(self):
+        """With transit and insertion both waiting, slots alternate
+        (register-insertion fairness): 6 cycles move 3 flits of each."""
+        __, network, engine, __ = build_idle("4")
+        nic = network.nics[0]
+        transit = packet(PacketType.WRITE_REQUEST, dst=2, size=3)
+        own = packet(PacketType.WRITE_REQUEST, dst=2, size=3)
+        for flit in transit:
+            nic.transit_buffer.push(flit)
+        for flit in own:
+            network.pms[0].out_req.push(flit)
+        engine.run(2)
+        # One of each moved in the first two cycles.
+        assert network.pms[0].out_req.occupancy == 2
+        assert nic.transit_buffer.occupancy <= 2
+
+    def test_transit_goes_first_from_idle(self):
+        __, network, engine, __ = build_idle("4")
+        nic = network.nics[0]
+        transit = packet(PacketType.WRITE_REQUEST, dst=2, size=3)
+        own = packet(PacketType.WRITE_REQUEST, dst=2, size=3)
+        for flit in transit:
+            nic.transit_buffer.push(flit)
+        for flit in own:
+            network.pms[0].out_req.push(flit)
+        engine.step()
+        assert nic.transit_buffer.occupancy == 2  # transit advanced first
+        assert network.pms[0].out_req.occupancy == 3
+
+    def test_injection_when_clear(self):
+        __, network, engine, __ = build_idle("4")
+        own = packet(PacketType.WRITE_REQUEST, dst=2, size=3)
+        for flit in own:
+            network.pms[0].out_req.push(flit)
+        engine.step()
+        assert network.pms[0].out_req.occupancy == 2
+
+    def test_slots_of_concurrent_packets_deliver(self):
+        """Unlike wormhole, slotted flits from different packets can mix
+        on a link; destination reassembly is by count (ProcessingModule)."""
+        __, network, engine, metrics = build_idle("4")
+        network.pms[0].issue_remote(2, is_read=False, cycle=0)
+        network.pms[1].issue_remote(2, is_read=False, cycle=0)
+        engine.run(120)
+        assert metrics.remote_completed == 2
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("topology", ["4", "2:3", "2:2:3"])
+    def test_all_pairs_delivered(self, topology):
+        __, network, engine, metrics = build_idle(topology)
+        processors = network.spec.processors
+        completed = 0
+        for src in range(processors):
+            for dst in range(processors):
+                if src == dst:
+                    continue
+                network.pms[src].issue_remote(dst, cycle=engine.cycle)
+                for _ in range(500):
+                    engine.step()
+                    if metrics.remote_completed > completed:
+                        break
+                completed += 1
+                assert metrics.remote_completed == completed, f"{src}->{dst}"
+
+    def test_idle_latency_matches_wormhole(self):
+        """With no contention the two switching modes time identically."""
+        results = {}
+        for switching in ("wormhole", "slotted"):
+            config = RingSystemConfig(
+                topology="2:3", cache_line_bytes=32, switching=switching
+            )
+            results[switching] = simulate(
+                config,
+                WorkloadConfig(miss_rate=0.002, outstanding=1),
+                SimulationParams(batch_cycles=3000, batches=4, seed=3),
+            )
+        assert results["wormhole"].avg_latency == pytest.approx(
+            results["slotted"].avg_latency, rel=0.02
+        )
+
+    def test_saturated_slotted_system_completes(self):
+        config = RingSystemConfig(
+            topology="4:8", cache_line_bytes=32, switching="slotted"
+        )
+        result = simulate(
+            config,
+            WorkloadConfig(miss_rate=0.04, outstanding=4),
+            SimulationParams(batch_cycles=1500, batches=3, seed=3,
+                             deadlock_threshold=5000),
+        )
+        assert result.remote_transactions > 100

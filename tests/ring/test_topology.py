@@ -1,0 +1,180 @@
+"""Unit and property tests for hierarchical ring topology/addressing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import TopologyError
+from repro.ring.topology import (
+    MAX_RINGS_PER_DOUBLE_SPEED_RING,
+    MAX_RINGS_PER_RING,
+    PAPER_TABLE2,
+    SINGLE_RING_MAX,
+    HierarchySpec,
+    candidate_topologies,
+    double_speed_max_processors,
+    max_children,
+    recommended_topology,
+)
+
+branching_strategy = st.lists(
+    st.integers(min_value=2, max_value=6), min_size=1, max_size=4
+).map(tuple)
+
+
+class TestHierarchySpec:
+    def test_basic_shape(self):
+        spec = HierarchySpec.parse("2:3:4")
+        assert spec.levels == 3
+        assert spec.processors == 24
+        assert spec.pms_per_local_ring == 4
+        assert str(spec) == "2:3:4"
+
+    def test_ring_enumeration(self):
+        spec = HierarchySpec.parse("2:3:4")
+        assert list(spec.rings_at_depth(0)) == [()]
+        assert list(spec.rings_at_depth(1)) == [(0,), (1,)]
+        assert len(list(spec.rings_at_depth(2))) == 6
+        assert spec.ring_count() == 9
+        assert spec.iri_count() == 8
+
+    def test_single_ring(self):
+        spec = HierarchySpec.parse("8")
+        assert spec.levels == 1
+        assert spec.ring_count() == 1
+        assert spec.iri_count() == 0
+
+    def test_address_mapping(self):
+        spec = HierarchySpec.parse("2:3:4")
+        assert spec.address_of(0) == (0, 0, 0)
+        assert spec.address_of(23) == (1, 2, 3)
+        assert spec.address_of(13) == (1, 0, 1)
+
+    def test_addresses_are_dfs_order(self):
+        """PM ids follow the linear projection (lexicographic DFS)."""
+        spec = HierarchySpec.parse("2:2:3")
+        addresses = [spec.address_of(pm) for pm in range(spec.processors)]
+        assert addresses == sorted(addresses)
+
+    def test_in_subtree(self):
+        spec = HierarchySpec.parse("2:3:4")
+        assert spec.in_subtree(0, ())
+        assert spec.in_subtree(0, (0,))
+        assert not spec.in_subtree(0, (1,))
+        assert spec.in_subtree(23, (1, 2))
+
+    def test_local_ring_of(self):
+        spec = HierarchySpec.parse("2:3:4")
+        assert spec.local_ring_of(5) == (0, 1)
+
+    def test_hop_levels(self):
+        spec = HierarchySpec.parse("2:3:4")
+        assert spec.hop_levels(0, 1) == 1  # same local ring
+        assert spec.hop_levels(0, 5) == 2  # same intermediate subtree
+        assert spec.hop_levels(0, 23) == 3  # across the global ring
+        assert spec.hop_levels(7, 7) == 0
+
+    def test_out_of_range(self):
+        spec = HierarchySpec.parse("2:3")
+        with pytest.raises(TopologyError):
+            spec.address_of(6)
+        with pytest.raises(TopologyError):
+            spec.pm_id_of((2, 0))
+        with pytest.raises(TopologyError):
+            spec.rings_at_depth(2)
+
+
+@given(branching=branching_strategy)
+def test_address_round_trip(branching):
+    spec = HierarchySpec(branching)
+    for pm in range(spec.processors):
+        assert spec.pm_id_of(spec.address_of(pm)) == pm
+
+
+@given(branching=branching_strategy)
+def test_local_rings_partition_pms(branching):
+    spec = HierarchySpec(branching)
+    count = 0
+    for prefix in spec.rings_at_depth(spec.levels - 1):
+        members = [
+            pm for pm in range(spec.processors) if spec.local_ring_of(pm) == prefix
+        ]
+        assert len(members) == spec.pms_per_local_ring
+        count += len(members)
+    assert count == spec.processors
+
+
+class TestPaperTable2:
+    def test_products_match_processor_counts(self):
+        for table in PAPER_TABLE2.values():
+            for processors, branching in table.items():
+                spec = HierarchySpec(branching)
+                assert spec.processors == processors
+
+    def test_design_rules_hold(self):
+        """Every Table 2 topology obeys the paper's fan-out limits."""
+        for cache_line, table in PAPER_TABLE2.items():
+            for branching in table.values():
+                assert branching[-1] <= SINGLE_RING_MAX[cache_line]
+                for fan in branching[:-1]:
+                    assert fan <= MAX_RINGS_PER_RING
+
+    def test_all_sizes_present(self):
+        sizes = {4, 6, 8, 12, 18, 24, 36, 54, 72, 108}
+        for table in PAPER_TABLE2.values():
+            assert set(table) == sizes
+
+
+class TestCandidateTopologies:
+    def test_products_correct(self):
+        for branching in candidate_topologies(24, 32):
+            assert HierarchySpec(branching).processors == 24
+
+    def test_respects_design_rules(self):
+        for branching in candidate_topologies(36, 128):
+            assert branching[-1] <= SINGLE_RING_MAX[128]
+            for fan in branching[:-1]:
+                assert fan <= MAX_RINGS_PER_RING
+
+    def test_includes_paper_choice(self):
+        for cache_line in (16, 32, 64, 128):
+            for processors, choice in PAPER_TABLE2[cache_line].items():
+                if processors > 36:
+                    continue
+                assert choice in candidate_topologies(processors, cache_line), (
+                    processors, cache_line, choice,
+                )
+
+    def test_unconstrained_mode(self):
+        free = candidate_topologies(16, 128, enforce_design_rules=False)
+        assert (16,) in free  # way over the 128B single-ring max of 4
+
+
+class TestRecommendedTopology:
+    def test_prefers_paper_table(self):
+        assert recommended_topology(24, 32) == (3, 8)
+        assert recommended_topology(108, 128) == (3, 3, 3, 4)
+
+    def test_fallback_for_other_sizes(self):
+        branching = recommended_topology(16, 32)
+        assert HierarchySpec(branching).processors == 16
+        assert branching[-1] <= SINGLE_RING_MAX[32]
+
+    def test_impossible_size_raises(self):
+        with pytest.raises(TopologyError):
+            recommended_topology(7919, 128)  # large prime
+
+
+class TestDesignRuleHelpers:
+    def test_max_children(self):
+        assert max_children(2, 3, 32, 1) == SINGLE_RING_MAX[32]
+        assert max_children(0, 3, 32, 1) == MAX_RINGS_PER_RING
+        assert max_children(0, 3, 32, 2) == MAX_RINGS_PER_DOUBLE_SPEED_RING
+        assert max_children(1, 3, 32, 2) == MAX_RINGS_PER_RING
+
+    def test_double_speed_max_processors(self):
+        """Section 6: 180/120/90/60 processors for 16/32/64/128B lines."""
+        assert double_speed_max_processors(16) == 180
+        assert double_speed_max_processors(32) == 120
+        assert double_speed_max_processors(64) == 90
+        assert double_speed_max_processors(128) == 60

@@ -1,0 +1,148 @@
+"""Tests for the trace-driven workload (record and replay)."""
+
+import pytest
+
+from repro import (
+    ConfigurationError,
+    MeshSystemConfig,
+    RingSystemConfig,
+    SimulationParams,
+    WorkloadConfig,
+    simulate,
+)
+from repro.workload.mmrp import RegionTargetSelector
+from repro.workload.trace import (
+    MemoryTrace,
+    TracePlayer,
+    TraceRecord,
+    record_mmrp_trace,
+    trace_miss_sources,
+)
+
+WORKLOAD = WorkloadConfig(locality=1.0, miss_rate=0.04, outstanding=2)
+
+
+def make_trace():
+    selector = RegionTargetSelector.for_ring(6, locality=1.0)
+    return record_mmrp_trace(6, cycles=2000, workload=WORKLOAD,
+                             select_target=selector, seed=9)
+
+
+class TestMemoryTrace:
+    def test_recording_rate(self):
+        trace = make_trace()
+        # 6 PMs x 2000 cycles x C=0.04 ~ 480 misses.
+        assert 350 < len(trace) < 620
+        assert trace.horizon < 2000
+
+    def test_records_in_order(self):
+        trace = make_trace()
+        for pm in range(6):
+            cycles = [record.cycle for record in trace.records_of(pm)]
+            assert cycles == sorted(cycles)
+
+    def test_out_of_order_append_rejected(self):
+        trace = MemoryTrace(2)
+        trace.append(0, TraceRecord(10, True, 1))
+        with pytest.raises(ValueError):
+            trace.append(0, TraceRecord(5, True, 1))
+
+    def test_bad_pm_rejected(self):
+        trace = MemoryTrace(2)
+        with pytest.raises(IndexError):
+            trace.append(2, TraceRecord(0, True, 1))
+        with pytest.raises(ValueError):
+            MemoryTrace(0)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        trace = make_trace()
+        path = tmp_path / "trace.jsonl"
+        trace.dump_jsonl(path)
+        loaded = MemoryTrace.load_jsonl(path)
+        assert loaded.processors == trace.processors
+        assert len(loaded) == len(trace)
+        for pm in range(6):
+            assert loaded.records_of(pm) == trace.records_of(pm)
+
+    def test_recording_is_deterministic(self):
+        assert make_trace().records_of(3) == make_trace().records_of(3)
+
+
+class TestTracePlayer:
+    def test_releases_at_generation_time(self):
+        player = TracePlayer(0, [TraceRecord(5, True, 2)])
+        assert player.poll(4, lambda: True) is None
+        miss = player.poll(5, lambda: True)
+        assert miss is not None
+        assert miss.target == 2 and miss.is_read
+        assert player.exhausted
+
+    def test_blocks_without_slot(self):
+        player = TracePlayer(0, [TraceRecord(0, True, 2)])
+        assert player.poll(3, lambda: False) is None
+        assert not player.exhausted
+        assert player.poll(4, lambda: True) is not None
+
+    def test_queueing_preserves_order(self):
+        player = TracePlayer(0, [TraceRecord(0, True, 1), TraceRecord(0, False, 2)])
+        first = player.poll(10, lambda: True)
+        second = player.poll(10, lambda: True)
+        assert first.target == 1 and second.target == 2
+
+    def test_repeat_mode_wraps(self):
+        player = TracePlayer(0, [TraceRecord(3, True, 1)], repeat=True)
+        assert player.poll(3, lambda: True) is not None
+        # The wrap is observed at cycle 5; the copy re-times from there.
+        assert player.poll(5, lambda: True) is None
+        assert player.poll(7, lambda: True) is None
+        assert player.poll(5 + 3, lambda: True) is not None
+        assert not player.exhausted
+
+    def test_empty_player(self):
+        player = TracePlayer(0, [])
+        assert player.poll(0, lambda: True) is None
+        assert player.exhausted
+
+
+class TestReplayThroughSimulation:
+    def test_replay_completes_all_trace_misses(self):
+        trace = make_trace()
+        players = trace_miss_sources(trace)
+        config = RingSystemConfig(topology="6", cache_line_bytes=32)
+        result = simulate(
+            config,
+            WORKLOAD,
+            SimulationParams(batch_cycles=1500, batches=3, seed=1),
+            miss_sources=players,
+        )
+        remote = sum(
+            1 for pm in range(6)
+            for record in trace.records_of(pm) if record.target != pm
+        )
+        assert result.remote_transactions == remote
+
+    def test_same_trace_on_ring_and_mesh(self):
+        """The point of traces: identical reference streams on both
+        networks (4 PMs so both a ring and a 2x2 mesh exist)."""
+        selector = RegionTargetSelector.for_ring(4, locality=1.0)
+        trace = record_mmrp_trace(4, 1200, WORKLOAD, selector, seed=5)
+        params = SimulationParams(batch_cycles=1000, batches=3, seed=1)
+        ring = simulate(
+            RingSystemConfig(topology="4", cache_line_bytes=32),
+            WORKLOAD, params, miss_sources=trace_miss_sources(trace),
+        )
+        mesh = simulate(
+            MeshSystemConfig(side=2, cache_line_bytes=32, buffer_flits=4),
+            WORKLOAD, params, miss_sources=trace_miss_sources(trace),
+        )
+        assert ring.remote_transactions == mesh.remote_transactions
+
+    def test_source_count_validated(self):
+        trace = make_trace()
+        with pytest.raises(ConfigurationError):
+            simulate(
+                RingSystemConfig(topology="8"),
+                WORKLOAD,
+                SimulationParams(batch_cycles=200, batches=2),
+                miss_sources=trace_miss_sources(trace),  # 6 sources, 8 PMs
+            )
