@@ -1,0 +1,71 @@
+"""Benchmark: parallel sweep execution and cache-hit replay latency.
+
+Three measurements of the same 2-level growth sweep (the Figure 7
+point grid at BENCH scale):
+
+* ``serial``   — ``run_points`` with one job, no cache: the baseline
+  every older release ran at;
+* ``parallel`` — the same points fanned across worker processes; the
+  speedup over ``serial`` is bounded by the machine's core count (on a
+  single-core runner expect parity minus pool overhead);
+* ``cache_hit`` — the same points served entirely from a pre-warmed
+  on-disk cache; this is what re-running a figure after an unrelated
+  edit costs.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.sweeps import hierarchy_sweep, ring_point_spec
+from repro.experiments._shared import workload
+from repro.runtime import ResultCache, run_points
+
+from .conftest import BENCH
+
+PARALLEL_JOBS = min(4, os.cpu_count() or 1)
+
+
+def _specs():
+    schedule = hierarchy_sweep(2, 32, BENCH.max_nodes)
+    wl = workload(1.0, 4)
+    return [
+        ring_point_spec(branching, 32, wl, BENCH.sim)
+        for __, branching in schedule
+    ]
+
+
+def test_points_serial(benchmark):
+    specs = _specs()
+    results = benchmark.pedantic(
+        lambda: run_points(specs, jobs=1, cache=None),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert len(results) == len(specs)
+
+
+def test_points_parallel(benchmark):
+    specs = _specs()
+    results = benchmark.pedantic(
+        lambda: run_points(specs, jobs=PARALLEL_JOBS, cache=None),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert len(results) == len(specs)
+
+
+def test_points_cache_hit(benchmark, tmp_path):
+    specs = _specs()
+    cache = ResultCache(tmp_path)
+    run_points(specs, jobs=1, cache=cache)  # warm the cache
+
+    hits = []
+
+    def replay():
+        hits.clear()
+        return run_points(
+            specs, jobs=1, cache=cache, progress=lambda p: hits.append(p.cache_hits)
+        )
+
+    results = benchmark.pedantic(replay, rounds=3, iterations=1, warmup_rounds=0)
+    assert len(results) == len(specs)
+    assert hits[-1] == len(specs), "replay must be served entirely from cache"

@@ -16,6 +16,7 @@ curves for families of configurations.  This module provides:
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 
 from ..core.config import (
@@ -24,8 +25,18 @@ from ..core.config import (
     SimulationParams,
     WorkloadConfig,
 )
-from ..core.simulation import SimulationResult, simulate
+from ..core.simulation import SimulationResult
 from ..ring.topology import SINGLE_RING_MAX
+from ..runtime import PointSpec, run_point
+
+#: Tolerance for matching sampled x values: sweep xs are node counts or
+#: small parameter values, so float noise is at machine-epsilon scale.
+_X_REL_TOL = 1e-9
+_X_ABS_TOL = 1e-9
+
+
+def _x_close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=_X_REL_TOL, abs_tol=_X_ABS_TOL)
 
 
 @dataclass
@@ -42,9 +53,27 @@ class Series:
         self.ys.append(y)
         self.meta.append(meta)
 
+    def index_of(self, x: float) -> int | None:
+        """Index of the sampled x closest-matching *x* within tolerance."""
+        for index, sampled in enumerate(self.xs):
+            if _x_close(sampled, x):
+                return index
+        return None
+
+    def has_x(self, x: float) -> bool:
+        return self.index_of(x) is not None
+
     def y_at(self, x: float) -> float:
-        """Exact y for a sampled x (raises if the x was not sampled)."""
-        return self.ys[self.xs.index(x)]
+        """y for a sampled x, matched within float tolerance.
+
+        Raises :class:`ValueError` if no sampled x is within tolerance
+        (exact ``list.index`` matching broke on xs that went through
+        float arithmetic, e.g. locality fractions).
+        """
+        index = self.index_of(x)
+        if index is None:
+            raise ValueError(f"x={x!r} was not sampled in series {self.name!r}")
+        return self.ys[index]
 
     def as_points(self) -> list[tuple[float, float]]:
         return list(zip(self.xs, self.ys))
@@ -76,7 +105,11 @@ class SweepResult:
 
     def format_table(self) -> str:
         """Render all series as one aligned text table (union of xs)."""
-        all_xs = sorted({x for s in self.series.values() for x in s.xs})
+        all_xs: list[float] = []
+        for x in sorted({x for s in self.series.values() for x in s.xs}):
+            # Merge xs that differ only by float noise into one row.
+            if not all_xs or not _x_close(all_xs[-1], x):
+                all_xs.append(x)
         names = list(self.series)
         header = [self.x_label.ljust(12)] + [n.rjust(max(12, len(n))) for n in names]
         lines = [self.title, "  ".join(header)]
@@ -84,7 +117,7 @@ class SweepResult:
             row = [f"{x:<12g}"]
             for name in names:
                 s = self.series[name]
-                if x in s.xs:
+                if s.has_x(x):
                     row.append(f"{s.y_at(x):>{max(12, len(name))}.1f}")
                 else:
                     row.append(" " * max(12, len(name)))
@@ -187,6 +220,44 @@ def mesh_sides(max_nodes: int, minimum_side: int = 2) -> list[int]:
 # ----------------------------------------------------------------------
 # point runners
 # ----------------------------------------------------------------------
+# Sweep points are built as PointSpecs (with a deterministically derived
+# per-point seed) and executed through repro.runtime, which adds
+# parallel fan-out and the on-disk result cache.  The run_*_point
+# helpers keep the old one-call signature for single points.
+def ring_point_spec(
+    topology: tuple[int, ...] | str,
+    cache_line_bytes: int,
+    workload: WorkloadConfig,
+    params: SimulationParams,
+    global_ring_speed: int = 1,
+    memory_latency: int = 10,
+) -> PointSpec:
+    config = RingSystemConfig(
+        topology=topology,
+        cache_line_bytes=cache_line_bytes,
+        global_ring_speed=global_ring_speed,
+        memory_latency=memory_latency,
+    )
+    return PointSpec.of(config, workload, params)
+
+
+def mesh_point_spec(
+    side: int,
+    cache_line_bytes: int,
+    buffer_flits,
+    workload: WorkloadConfig,
+    params: SimulationParams,
+    memory_latency: int = 10,
+) -> PointSpec:
+    config = MeshSystemConfig(
+        side=side,
+        cache_line_bytes=cache_line_bytes,
+        buffer_flits=buffer_flits,
+        memory_latency=memory_latency,
+    )
+    return PointSpec.of(config, workload, params)
+
+
 def run_ring_point(
     topology: tuple[int, ...] | str,
     cache_line_bytes: int,
@@ -195,13 +266,12 @@ def run_ring_point(
     global_ring_speed: int = 1,
     memory_latency: int = 10,
 ) -> SimulationResult:
-    config = RingSystemConfig(
-        topology=topology,
-        cache_line_bytes=cache_line_bytes,
-        global_ring_speed=global_ring_speed,
-        memory_latency=memory_latency,
+    return run_point(
+        ring_point_spec(
+            topology, cache_line_bytes, workload, params,
+            global_ring_speed=global_ring_speed, memory_latency=memory_latency,
+        )
     )
-    return simulate(config, workload, params)
 
 
 def run_mesh_point(
@@ -212,10 +282,9 @@ def run_mesh_point(
     params: SimulationParams,
     memory_latency: int = 10,
 ) -> SimulationResult:
-    config = MeshSystemConfig(
-        side=side,
-        cache_line_bytes=cache_line_bytes,
-        buffer_flits=buffer_flits,
-        memory_latency=memory_latency,
+    return run_point(
+        mesh_point_spec(
+            side, cache_line_bytes, buffer_flits, workload, params,
+            memory_latency=memory_latency,
+        )
     )
-    return simulate(config, workload, params)

@@ -24,7 +24,8 @@ from ..core.config import (
     ring_packet_geometry,
 )
 from ..ring.topology import PAPER_TABLE2, candidate_topologies
-from .sweeps import run_ring_point
+from ..runtime import run_points
+from .sweeps import ring_point_spec
 
 
 @dataclass(frozen=True)
@@ -123,9 +124,13 @@ def table2_topology_search(
     workload = workload or WorkloadConfig(locality=1.0, miss_rate=0.04, outstanding=4)
     params = params or SimulationParams(batch_cycles=1500, batches=4)
     candidates = candidate_topologies(processors, cache_line_bytes, max_levels=max_levels)
-    measured: list[tuple[tuple[int, ...], float]] = []
-    for branching in candidates:
-        result = run_ring_point(branching, cache_line_bytes, workload, params)
-        measured.append((branching, result.avg_latency))
+    specs = [
+        ring_point_spec(branching, cache_line_bytes, workload, params)
+        for branching in candidates
+    ]
+    measured = [
+        (branching, result.avg_latency)
+        for branching, result in zip(candidates, run_points(specs))
+    ]
     measured.sort(key=lambda item: item[1])
     return TopologyRanking(processors, cache_line_bytes, measured)

@@ -26,6 +26,13 @@ from .statistics import RateMeter, Summary
 
 SystemConfig = RingSystemConfig | MeshSystemConfig
 
+#: A run counts as saturated when the latency CI half-width exceeds
+#: this fraction of the mean: past saturation, latencies grow without
+#: bound over the run, so the batch means never tighten.  0.5 is loose
+#: enough that short CI-style runs (few retained batches) of a stable
+#: system stay below it.
+SATURATION_RELATIVE_HALF_WIDTH = 0.5
+
 
 def _processors_of(system: SystemConfig) -> int:
     return system.processors
@@ -65,10 +72,17 @@ class SimulationResult:
 
     @property
     def saturated(self) -> bool:
-        """Heuristic: latency CI too wide or no transactions completed."""
+        """Heuristic: latency CI too wide or no transactions completed.
+
+        "Too wide" means ``latency.relative_half_width`` above
+        :data:`SATURATION_RELATIVE_HALF_WIDTH`; a single retained batch
+        (infinite half-width) therefore also reads as saturated, since
+        the run gives no evidence of stability.
+        """
         return (
             self.remote_transactions == 0
             or math.isnan(self.latency.mean)
+            or self.latency.relative_half_width > SATURATION_RELATIVE_HALF_WIDTH
         )
 
     def describe(self) -> str:

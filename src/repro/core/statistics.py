@@ -15,20 +15,26 @@ from dataclasses import dataclass, field
 _T_TABLE = {
     1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365,
     8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179, 13: 2.160,
-    14: 2.145, 15: 2.131, 20: 2.086, 25: 2.060, 30: 2.042, 40: 2.021,
-    60: 2.000, 120: 1.980,
+    14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093,
+    20: 2.086, 25: 2.060, 30: 2.042, 40: 2.021, 60: 2.000, 120: 1.980,
 }
 
 
 def _t_critical(dof: int) -> float:
+    """Two-sided 95% t critical value, conservative between table keys.
+
+    For a dof between table keys the *nearest lower* key is used: t
+    critical values shrink with dof, so rounding the dof down inflates
+    the half-width slightly rather than understating it.  Beyond the
+    table (dof > 120) the 120-dof value applies — still conservative
+    relative to the normal-limit 1.96.
+    """
     if dof <= 0:
         return math.inf
     if dof in _T_TABLE:
         return _T_TABLE[dof]
-    for key in sorted(_T_TABLE):
-        if dof < key:
-            return _T_TABLE[key]
-    return 1.96
+    floor_key = max((key for key in _T_TABLE if key < dof), default=min(_T_TABLE))
+    return _T_TABLE[floor_key]
 
 
 @dataclass
@@ -89,9 +95,15 @@ class BatchMeans:
 
     @property
     def retained_means(self) -> tuple[float, ...]:
-        """Batch means with the first (warm-up) batch discarded."""
-        kept = [m for m in self._means[1:] if not math.isnan(m)]
-        return tuple(kept)
+        """Batch means with the first *non-empty* (warm-up) batch discarded.
+
+        An empty leading batch (NaN mean) carries no observations, so
+        discarding it would not remove any initialization bias — the
+        warm-up data sits in the first batch that actually recorded
+        something, and that is the one dropped.
+        """
+        kept = [m for m in self._means if not math.isnan(m)]
+        return tuple(kept[1:])
 
     def summary(self) -> Summary:
         means = self.retained_means

@@ -5,23 +5,35 @@ Several paper figures draw different projections of the same runs
 2-level sweep), so runners are memoized on their full parameterization.
 :class:`~repro.experiments.base.Scale` and the workload knobs are
 hashable, making the cache key exact.
+
+Each runner builds its full list of :class:`~repro.runtime.PointSpec`
+first and executes it through :func:`repro.runtime.run_points`, so
+every sweep transparently picks up the ambient job count (``--jobs`` /
+``REPRO_JOBS``) and on-disk result cache configured by the CLI.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
 
-from ..analysis.sweeps import growth_topologies, hierarchy_sweep, run_mesh_point, run_ring_point, single_ring_sizes
+from ..analysis.sweeps import (
+    growth_topologies,
+    hierarchy_sweep,
+    mesh_point_spec,
+    ring_point_spec,
+    single_ring_sizes,
+)
 from ..core.config import WorkloadConfig
 from ..core.simulation import SimulationResult
 from ..ring.topology import PAPER_TABLE2
+from ..runtime import run_points
 from .base import Scale
 
 #: (nodes, result) samples of one sweep.
 Sweep = tuple[tuple[int, SimulationResult], ...]
 
 
-def _measured(points: list[tuple[int, SimulationResult]]) -> Sweep:
+def _measured(points) -> Sweep:
     """Drop degenerate points that completed no remote transactions.
 
     This happens for configs whose locality region contains only the
@@ -50,9 +62,8 @@ def single_ring_sweep(scale: Scale, cache_line: int, outstanding: int) -> Sweep:
     """Latency of single rings across node counts (Figure 6 grid)."""
     sizes = single_ring_sizes(cache_line, min(scale.max_nodes, 64))
     wl = workload(1.0, outstanding)
-    return _measured(
-        [(n, run_ring_point((n,), cache_line, wl, scale.sim)) for n in sizes]
-    )
+    specs = [ring_point_spec((n,), cache_line, wl, scale.sim) for n in sizes]
+    return _measured(zip(sizes, run_points(specs)))
 
 
 @lru_cache(maxsize=None)
@@ -73,18 +84,18 @@ def level_growth_sweep(
     else:
         schedule = growth_topologies(levels, cache_line, cap)
     wl = workload(locality, outstanding)
-    points = []
-    for nodes, branching in schedule:
-        speed = global_ring_speed if len(branching) > 1 else 1
-        points.append(
-            (
-                nodes,
-                run_ring_point(
-                    branching, cache_line, wl, scale.sim, global_ring_speed=speed
-                ),
-            )
+    specs = [
+        ring_point_spec(
+            branching,
+            cache_line,
+            wl,
+            scale.sim,
+            global_ring_speed=global_ring_speed if len(branching) > 1 else 1,
         )
-    return _measured(points)
+        for __, branching in schedule
+    ]
+    sizes = [nodes for nodes, __ in schedule]
+    return _measured(zip(sizes, run_points(specs)))
 
 
 @lru_cache(maxsize=None)
@@ -101,37 +112,31 @@ def table2_size_ring_sweep(
     second-level rings, so the sweep extends beyond Table 2 with the
     Section 6 growth schedule.
     """
-    sizes = sorted(PAPER_TABLE2[cache_line])
     wl = workload(locality, outstanding)
-    points = []
-    for nodes in sizes:
+    schedule: list[tuple[int, tuple[int, ...]]] = []
+    for nodes in sorted(PAPER_TABLE2[cache_line]):
         if nodes > scale.max_nodes:
             continue
-        branching = PAPER_TABLE2[cache_line][nodes]
-        speed = global_ring_speed if len(branching) > 1 else 1
-        points.append(
-            (
-                nodes,
-                run_ring_point(
-                    branching, cache_line, wl, scale.sim, global_ring_speed=speed
-                ),
-            )
-        )
+        schedule.append((nodes, PAPER_TABLE2[cache_line][nodes]))
     if global_ring_speed == 2:
         for nodes, branching in growth_topologies(
             3, cache_line, scale.max_nodes, max_top_fan=5
         ):
-            if all(nodes != existing for existing, __ in points):
-                points.append(
-                    (
-                        nodes,
-                        run_ring_point(
-                            branching, cache_line, wl, scale.sim, global_ring_speed=2
-                        ),
-                    )
-                )
-    points.sort(key=lambda item: item[0])
-    return _measured(points)
+            if all(nodes != existing for existing, __ in schedule):
+                schedule.append((nodes, branching))
+    schedule.sort(key=lambda item: item[0])
+    specs = [
+        ring_point_spec(
+            branching,
+            cache_line,
+            wl,
+            scale.sim,
+            global_ring_speed=global_ring_speed if len(branching) > 1 else 1,
+        )
+        for __, branching in schedule
+    ]
+    sizes = [nodes for nodes, __ in schedule]
+    return _measured(zip(sizes, run_points(specs)))
 
 
 @lru_cache(maxsize=None)
@@ -144,14 +149,9 @@ def mesh_sweep(
 ) -> Sweep:
     """Meshes across the scale's side lengths (Figures 12-18, 21)."""
     wl = workload(locality, outstanding)
-    points = []
-    for side in scale.mesh_sides:
-        if side * side > scale.max_nodes:
-            continue
-        points.append(
-            (
-                side * side,
-                run_mesh_point(side, cache_line, buffer_flits, wl, scale.sim),
-            )
-        )
-    return _measured(points)
+    sides = [side for side in scale.mesh_sides if side * side <= scale.max_nodes]
+    specs = [
+        mesh_point_spec(side, cache_line, buffer_flits, wl, scale.sim)
+        for side in sides
+    ]
+    return _measured(zip((side * side for side in sides), run_points(specs)))

@@ -23,6 +23,7 @@ from typing import Callable
 
 from ..core.config import SimulationParams
 from ..analysis.sweeps import SweepResult
+from ..runtime import runtime_context
 
 
 @dataclass(frozen=True)
@@ -93,9 +94,15 @@ class Experiment:
     check: Check | None = None
     tags: tuple[str, ...] = ()
 
-    def run(self, scale: Scale) -> SweepResult:
-        result = self.runner(scale)
-        return result
+    def run(self, scale: Scale, jobs: int | None = None) -> SweepResult:
+        """Run the experiment's sweeps at *scale*.
+
+        ``jobs`` overrides the worker-process count for this run; when
+        ``None``, the ambient :func:`repro.runtime.runtime_context` (or
+        ``REPRO_JOBS``, default serial) applies.
+        """
+        with runtime_context(jobs=jobs):
+            return self.runner(scale)
 
     def evaluate(self, result: SweepResult) -> list[str]:
         if self.check is None:

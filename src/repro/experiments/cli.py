@@ -5,16 +5,25 @@ Examples::
     python -m repro.experiments --list
     python -m repro.experiments fig14 --scale quick
     python -m repro.experiments fig6 fig7 --scale default --check
-    python -m repro.experiments all --scale full --json results/
+    python -m repro.experiments all --scale full --jobs 4 --json results/
+
+Sweep points run through :mod:`repro.runtime`: ``--jobs N`` fans them
+across N worker processes, and finished points are cached on disk under
+``results/.cache/`` (keyed by the full point spec plus a hash of the
+simulator sources), so re-running a figure after an unrelated edit is
+almost entirely cache hits.  ``--no-cache`` disables the cache,
+``--clear-cache`` wipes it.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 import time
 
+from ..runtime import DEFAULT_CACHE_DIR, ProgressPrinter, ResultCache, runtime_context
 from .base import SCALES, all_experiments, get_experiment
 
 
@@ -36,6 +45,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run sweep points across N worker processes "
+        "(default: REPRO_JOBS or 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=f"on-disk result cache location (default: REPRO_CACHE_DIR or {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache for this run",
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="delete the on-disk result cache (then run any given experiments)",
     )
     parser.add_argument(
         "--check",
@@ -65,8 +98,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_cache(args) -> ResultCache | None:
+    if args.no_cache:
+        return None
+    root = args.cache_dir or os.environ.get("REPRO_CACHE_DIR", "").strip() or None
+    return ResultCache(root)
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     experiments = all_experiments()
 
     if args.summarize:
@@ -74,6 +117,13 @@ def main(argv: list[str] | None = None) -> int:
 
         print(summarize_results_dir(args.summarize))
         return 0
+
+    if args.clear_cache:
+        cache = _build_cache(args) or ResultCache(args.cache_dir)
+        removed = cache.clear()
+        print(f"cleared result cache at {cache.root} ({removed} entries)")
+        if not args.experiments:
+            return 0
 
     if args.list or not args.experiments:
         width = max(len(eid) for eid in experiments)
@@ -84,14 +134,21 @@ def main(argv: list[str] | None = None) -> int:
 
     ids = sorted(experiments, key=_experiment_sort_key) if args.experiments == ["all"] else args.experiments
     scale = SCALES[args.scale]
+    cache = _build_cache(args)
     failures_total = 0
     for eid in ids:
         experiment = get_experiment(eid)
+        reporter = ProgressPrinter(sys.stderr, label=eid, live=sys.stderr.isatty())
         started = time.time()
-        result = experiment.run(scale)
+        with runtime_context(jobs=args.jobs, cache=cache, progress=reporter.update):
+            result = experiment.run(scale)
         elapsed = time.time() - started
+        reporter.finish_line()
         print(result.format_table())
-        print(f"[{eid}] scale={scale.name} elapsed={elapsed:.1f}s")
+        print(
+            f"[{eid}] scale={scale.name} elapsed={elapsed:.1f}s "
+            f"sweep: {reporter.summary()}"
+        )
         if args.check:
             failures = experiment.evaluate(result)
             if failures:

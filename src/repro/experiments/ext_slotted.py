@@ -18,10 +18,10 @@ saturation; see EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from ..analysis.sweeps import SweepResult, growth_topologies, run_ring_point
+from ..analysis.sweeps import SweepResult, growth_topologies
 from ..core.config import RingSystemConfig, WorkloadConfig
-from ..core.simulation import simulate
 from ..ring.topology import SINGLE_RING_MAX
+from ..runtime import PointSpec, run_points
 from .base import Experiment, Scale, register
 
 CACHE_LINE = 32
@@ -38,13 +38,19 @@ def run(scale: Scale) -> SweepResult:
     schedule += growth_topologies(2, CACHE_LINE, scale.max_nodes)
     for switching in ("wormhole", "slotted"):
         series = result.new_series(switching)
-        for nodes, branching in schedule:
-            config = RingSystemConfig(
-                topology=branching,
-                cache_line_bytes=CACHE_LINE,
-                switching=switching,
+        specs = [
+            PointSpec.of(
+                RingSystemConfig(
+                    topology=branching,
+                    cache_line_bytes=CACHE_LINE,
+                    switching=switching,
+                ),
+                workload,
+                scale.sim,
             )
-            point = simulate(config, workload, scale.sim)
+            for __, branching in schedule
+        ]
+        for (nodes, __), point in zip(schedule, run_points(specs)):
             if point.remote_transactions:
                 series.add(nodes, point.avg_latency,
                            transactions=point.remote_transactions)

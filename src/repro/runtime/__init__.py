@@ -1,0 +1,39 @@
+"""repro.runtime — parallel sweep execution, result caching, telemetry.
+
+The substrate under every figure sweep:
+
+* :class:`PointSpec` — a content-hashable description of one
+  ``simulate()`` call with a deterministically derived per-point seed;
+* :class:`ResultCache` — content-addressed on-disk results under
+  ``results/.cache/<code-salt>/``, invalidated implicitly whenever the
+  simulator source changes;
+* :func:`run_points` — ordered fan-out of independent points across
+  worker processes (``--jobs`` / ``REPRO_JOBS``), cache-aware, with a
+  per-point progress hook;
+* :func:`runtime_context` — ambient defaults so the experiments CLI can
+  configure jobs/cache once for all nested sweeps.
+
+``run_points`` with one job and no cache is byte-for-byte the old
+serial behavior; with N jobs it produces identical results in
+identical order, just faster.
+"""
+
+from .cache import DEFAULT_CACHE_DIR, ResultCache, code_version_salt
+from .runner import resolve_jobs, run_point, run_points, runtime_context
+from .spec import PointSpec, derive_point_seed
+from .telemetry import Progress, ProgressHook, ProgressPrinter
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "PointSpec",
+    "Progress",
+    "ProgressHook",
+    "ProgressPrinter",
+    "ResultCache",
+    "code_version_salt",
+    "derive_point_seed",
+    "resolve_jobs",
+    "run_point",
+    "run_points",
+    "runtime_context",
+]

@@ -1,0 +1,86 @@
+"""Content-addressed on-disk cache of simulation results.
+
+Layout::
+
+    <root>/<code-salt>/<key[:2]>/<key>.json
+
+where *key* is :meth:`PointSpec.key` (a SHA-256 of the canonical point
+payload) and *code-salt* hashes every ``.py`` file of the installed
+``repro`` package.  Editing any simulator source therefore invalidates
+the whole cache implicitly — stale entries from older code versions are
+simply never looked up again (``clear()`` removes them for good).
+
+Entries are written atomically (temp file + ``os.replace``) so a
+killed run never leaves a truncated entry; unreadable or corrupt
+entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import shutil
+from functools import lru_cache
+
+from ..core.simulation import SimulationResult
+from .serialization import result_from_payload, result_payload
+from .spec import PointSpec
+
+#: Default cache root, relative to the working directory; override with
+#: the ``REPRO_CACHE_DIR`` environment variable or ``--cache-dir``.
+DEFAULT_CACHE_DIR = pathlib.Path("results") / ".cache"
+
+
+@lru_cache(maxsize=1)
+def code_version_salt() -> str:
+    """Hash of the installed ``repro`` package's Python sources."""
+    root = pathlib.Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+class ResultCache:
+    """Maps :class:`PointSpec` keys to stored :class:`SimulationResult`."""
+
+    def __init__(self, root: "pathlib.Path | str | None" = None, salt: str | None = None):
+        self.root = pathlib.Path(root) if root is not None else DEFAULT_CACHE_DIR
+        self.salt = salt if salt is not None else code_version_salt()
+
+    def path_for(self, spec: PointSpec) -> pathlib.Path:
+        key = spec.key()
+        return self.root / self.salt / key[:2] / f"{key}.json"
+
+    def get(self, spec: PointSpec) -> SimulationResult | None:
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+            return result_from_payload(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, spec: PointSpec, result: SimulationResult) -> None:
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(result_payload(result)))
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Delete the whole cache root; returns entries removed."""
+        removed = len(list(self.root.rglob("*.json"))) if self.root.exists() else 0
+        shutil.rmtree(self.root, ignore_errors=True)
+        return removed
+
+    def entry_count(self) -> int:
+        """Entries stored under the *current* code-version salt."""
+        salted = self.root / self.salt
+        if not salted.exists():
+            return 0
+        return sum(1 for __ in salted.rglob("*.json"))

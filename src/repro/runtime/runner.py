@@ -1,0 +1,137 @@
+"""Parallel sweep-point execution with caching and telemetry.
+
+:func:`run_points` is the one chokepoint every sweep goes through.  It
+
+* serves points from the on-disk :class:`~repro.runtime.cache.ResultCache`
+  when one is active,
+* fans the remaining points across a :class:`~concurrent.futures.ProcessPoolExecutor`
+  when more than one job is requested (results are collected by index,
+  so output order always matches input order regardless of completion
+  order), and
+* invokes a progress hook after every completed point.
+
+Defaults come from an ambient :func:`runtime_context`, so the CLI can
+set ``--jobs``/cache policy once and every nested sweep — including the
+memoized runners in :mod:`repro.experiments._shared` — picks them up
+without parameter plumbing.  Outside any context, ``REPRO_JOBS``
+selects the job count (default 1: serial, exactly the old behavior)
+and ``REPRO_CACHE_DIR`` activates the on-disk cache.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
+from typing import Iterable, Sequence
+
+from ..core.errors import ConfigurationError
+from ..core.simulation import SimulationResult, simulate
+from .cache import ResultCache
+from .spec import PointSpec
+from .telemetry import Progress, ProgressHook
+
+_UNSET = object()
+
+#: Ambient defaults installed by :func:`runtime_context`.
+_context: dict = {"jobs": None, "cache": _UNSET, "progress": None}
+
+
+@contextmanager
+def runtime_context(jobs=None, cache=_UNSET, progress=None):
+    """Set default jobs / cache / progress hook for nested ``run_points``.
+
+    ``jobs=None``, ``cache=_UNSET`` or ``progress=None`` leave the
+    corresponding outer setting untouched; ``cache=None`` explicitly
+    disables caching inside the block.
+    """
+    saved = dict(_context)
+    if jobs is not None:
+        _context["jobs"] = jobs
+    if cache is not _UNSET:
+        _context["cache"] = cache
+    if progress is not None:
+        _context["progress"] = progress
+    try:
+        yield
+    finally:
+        _context.update(saved)
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Explicit argument, else ambient context, else ``REPRO_JOBS``, else 1."""
+    if jobs is None:
+        jobs = _context["jobs"]
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        jobs = int(env) if env else 1
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _resolve_cache(cache) -> ResultCache | None:
+    if cache is not _UNSET:
+        return cache
+    if _context["cache"] is not _UNSET:
+        return _context["cache"]
+    env = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    return ResultCache(env) if env else None
+
+
+def _execute(spec: PointSpec) -> SimulationResult:
+    """Worker entry point: run one fully-resolved simulation point."""
+    return simulate(spec.system, spec.workload, spec.params)
+
+
+def run_point(spec: PointSpec, *, cache=_UNSET) -> SimulationResult:
+    """Run (or fetch from cache) a single point, always in-process."""
+    return run_points([spec], jobs=1, cache=cache)[0]
+
+
+def run_points(
+    specs: "Sequence[PointSpec] | Iterable[PointSpec]",
+    *,
+    jobs: int | None = None,
+    cache=_UNSET,
+    progress: ProgressHook | None = None,
+) -> list[SimulationResult]:
+    """Run every point, in input order, honoring cache and job count."""
+    specs = list(specs)
+    jobs = resolve_jobs(jobs)
+    active_cache = _resolve_cache(cache)
+    hook = progress if progress is not None else _context["progress"]
+
+    tracker = Progress(total=len(specs))
+    results: list[SimulationResult | None] = [None] * len(specs)
+    pending: list[int] = []
+    for index, spec in enumerate(specs):
+        hit = active_cache.get(spec) if active_cache is not None else None
+        if hit is not None:
+            results[index] = hit
+            tracker.done += 1
+            tracker.cache_hits += 1
+            if hook:
+                hook(tracker)
+        else:
+            pending.append(index)
+
+    def _record(index: int, result: SimulationResult) -> None:
+        results[index] = result
+        if active_cache is not None:
+            active_cache.put(specs[index], result)
+        tracker.done += 1
+        if hook:
+            hook(tracker)
+
+    if pending and jobs == 1:
+        for index in pending:
+            _record(index, _execute(specs[index]))
+    elif pending:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {pool.submit(_execute, specs[i]): i for i in pending}
+            for future in as_completed(futures):
+                _record(futures[future], future.result())
+
+    return results  # type: ignore[return-value]  # every slot is filled above

@@ -1,0 +1,179 @@
+"""JSON payloads for configs, summaries and simulation results.
+
+The on-disk result cache and the parallel runner both need a stable,
+content-addressable representation of a simulation point and its
+result.  This module is the single place that knows how to turn the
+frozen config dataclasses and :class:`~repro.core.simulation.SimulationResult`
+into plain dictionaries and back.
+
+Payloads are canonicalized (topology specs normalised to the paper's
+``"a:b:c"`` notation, keys sorted on encode) so that two equal specs
+always hash identically regardless of how the caller spelled them.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..core.config import (
+    MeshSystemConfig,
+    RingSystemConfig,
+    SimulationParams,
+    WorkloadConfig,
+    format_hierarchy,
+    parse_hierarchy,
+)
+from ..core.errors import ConfigurationError
+from ..core.simulation import SimulationResult
+from ..core.statistics import Summary
+
+#: Bumped whenever the payload schema changes; old cache entries with a
+#: different version are treated as misses.
+PAYLOAD_VERSION = 1
+
+SystemConfig = RingSystemConfig | MeshSystemConfig
+
+
+def canonical_json(payload: dict) -> str:
+    """Deterministic JSON: sorted keys, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# configs
+# ----------------------------------------------------------------------
+def system_payload(system: SystemConfig) -> dict:
+    if isinstance(system, RingSystemConfig):
+        return {
+            "kind": "ring",
+            "topology": format_hierarchy(parse_hierarchy(system.topology)),
+            "cache_line_bytes": system.cache_line_bytes,
+            "global_ring_speed": system.global_ring_speed,
+            "memory_latency": system.memory_latency,
+            "transit_priority": system.transit_priority,
+            "response_priority": system.response_priority,
+            "switching": system.switching,
+        }
+    if isinstance(system, MeshSystemConfig):
+        return {
+            "kind": "mesh",
+            "side": system.side,
+            "cache_line_bytes": system.cache_line_bytes,
+            "buffer_flits": system.buffer_flits,
+            "memory_latency": system.memory_latency,
+        }
+    raise ConfigurationError(f"unknown system config type: {type(system).__name__}")
+
+
+def system_from_payload(payload: dict) -> SystemConfig:
+    kind = payload.get("kind")
+    if kind == "ring":
+        return RingSystemConfig(
+            topology=payload["topology"],
+            cache_line_bytes=payload["cache_line_bytes"],
+            global_ring_speed=payload["global_ring_speed"],
+            memory_latency=payload["memory_latency"],
+            transit_priority=payload["transit_priority"],
+            response_priority=payload["response_priority"],
+            switching=payload["switching"],
+        )
+    if kind == "mesh":
+        return MeshSystemConfig(
+            side=payload["side"],
+            cache_line_bytes=payload["cache_line_bytes"],
+            buffer_flits=payload["buffer_flits"],
+            memory_latency=payload["memory_latency"],
+        )
+    raise ConfigurationError(f"unknown system payload kind: {kind!r}")
+
+
+def workload_payload(workload: WorkloadConfig) -> dict:
+    return {
+        "locality": workload.locality,
+        "miss_rate": workload.miss_rate,
+        "outstanding": workload.outstanding,
+        "read_fraction": workload.read_fraction,
+    }
+
+
+def workload_from_payload(payload: dict) -> WorkloadConfig:
+    return WorkloadConfig(**payload)
+
+
+def params_payload(params: SimulationParams) -> dict:
+    return {
+        "batch_cycles": params.batch_cycles,
+        "batches": params.batches,
+        "seed": params.seed,
+        "deadlock_threshold": params.deadlock_threshold,
+        "flow_control": params.flow_control,
+    }
+
+
+def params_from_payload(payload: dict) -> SimulationParams:
+    return SimulationParams(**payload)
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+def summary_payload(summary: Summary) -> dict:
+    return {
+        "mean": summary.mean,
+        "half_width": summary.half_width,
+        "batch_means": list(summary.batch_means),
+    }
+
+
+def summary_from_payload(payload: dict) -> Summary:
+    return Summary(
+        mean=payload["mean"],
+        half_width=payload["half_width"],
+        batch_means=tuple(payload["batch_means"]),
+    )
+
+
+def result_payload(result: SimulationResult) -> dict:
+    return {
+        "version": PAYLOAD_VERSION,
+        "system": system_payload(result.system),
+        "workload": workload_payload(result.workload),
+        "params": params_payload(result.params),
+        "cycles": result.cycles,
+        "latency": summary_payload(result.latency),
+        "local_latency": summary_payload(result.local_latency),
+        "utilization": {
+            level: summary_payload(s) for level, s in result.utilization.items()
+        },
+        "throughput": (
+            summary_payload(result.throughput) if result.throughput is not None else None
+        ),
+        "remote_transactions": result.remote_transactions,
+        "local_transactions": result.local_transactions,
+        "flits_moved": result.flits_moved,
+    }
+
+
+def result_from_payload(payload: dict) -> SimulationResult:
+    if payload.get("version") != PAYLOAD_VERSION:
+        raise ValueError(f"unsupported result payload version: {payload.get('version')!r}")
+    return SimulationResult(
+        system=system_from_payload(payload["system"]),
+        workload=workload_from_payload(payload["workload"]),
+        params=params_from_payload(payload["params"]),
+        cycles=payload["cycles"],
+        latency=summary_from_payload(payload["latency"]),
+        local_latency=summary_from_payload(payload["local_latency"]),
+        utilization={
+            level: summary_from_payload(s)
+            for level, s in payload["utilization"].items()
+        },
+        throughput=(
+            summary_from_payload(payload["throughput"])
+            if payload["throughput"] is not None
+            else None
+        ),
+        remote_transactions=payload["remote_transactions"],
+        local_transactions=payload["local_transactions"],
+        flits_moved=payload["flits_moved"],
+    )

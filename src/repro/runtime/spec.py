@@ -1,0 +1,81 @@
+"""Point specifications: one fully-determined simulation run.
+
+A :class:`PointSpec` bundles everything ``simulate()`` needs for one
+sweep point — system config, workload, simulation params — and gives it
+a stable content hash (:meth:`PointSpec.key`) used both as the on-disk
+cache key and to derive the point's random seed.
+
+Seeds are *derived per point*: two different points never share a
+random stream (sweep points are statistically independent, as the
+paper's batch-means analysis assumes), yet the same point always gets
+the same stream no matter how many worker processes the sweep is
+fanned across or in which order points complete.  The derivation mixes
+the caller's base seed with the system and workload payloads only, so
+running the same system longer (more batches/cycles) extends the same
+stream rather than resampling it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+
+from ..core.config import SimulationParams, WorkloadConfig
+from .serialization import (
+    SystemConfig,
+    canonical_json,
+    params_payload,
+    system_payload,
+    workload_payload,
+)
+
+
+def derive_point_seed(
+    system: SystemConfig, workload: WorkloadConfig, base_seed: int
+) -> int:
+    """Deterministic per-point seed from the base seed and the point."""
+    payload = {
+        "base_seed": base_seed,
+        "system": system_payload(system),
+        "workload": workload_payload(workload),
+    }
+    digest = hashlib.sha256(canonical_json(payload).encode("utf-8")).digest()
+    return 1 + int.from_bytes(digest[:4], "big") % (2**31 - 1)
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One simulation point: (system, workload, params), fully resolved."""
+
+    system: SystemConfig
+    workload: WorkloadConfig
+    params: SimulationParams
+
+    @classmethod
+    def of(
+        cls,
+        system: SystemConfig,
+        workload: WorkloadConfig,
+        params: SimulationParams,
+    ) -> "PointSpec":
+        """Build a spec with the per-point seed already derived.
+
+        ``params.seed`` is treated as the sweep's *base* seed and
+        replaced by :func:`derive_point_seed`.  Use the plain
+        constructor to pin an exact seed instead.
+        """
+        seed = derive_point_seed(system, workload, params.seed)
+        return cls(system=system, workload=workload, params=replace(params, seed=seed))
+
+    def payload(self) -> dict:
+        return {
+            "system": system_payload(self.system),
+            "workload": workload_payload(self.workload),
+            "params": params_payload(self.params),
+        }
+
+    def key(self) -> str:
+        """Stable content hash of the full point specification."""
+        return hashlib.sha256(
+            canonical_json(self.payload()).encode("utf-8")
+        ).hexdigest()

@@ -24,6 +24,22 @@ class TestSeries:
         assert s.as_points() == [(4, 10.0), (8, 20.0)]
         assert s.meta[0] == {"note": "a"}
 
+    def test_y_at_matches_within_float_tolerance(self):
+        """Regression: exact list.index matching broke on xs produced by
+        float arithmetic (0.1 + 0.2 != 0.3)."""
+        s = Series("s")
+        s.add(0.1 + 0.2, 42.0)
+        assert s.y_at(0.3) == 42.0
+        assert s.has_x(0.3)
+        assert s.index_of(0.3) == 0
+
+    def test_y_at_unsampled_raises(self):
+        s = Series("s")
+        s.add(4, 10.0)
+        assert not s.has_x(5)
+        with pytest.raises(ValueError, match="not sampled"):
+            s.y_at(5)
+
     def test_nondecreasing(self):
         s = Series("s")
         for x, y in [(1, 10), (2, 12), (3, 11.9)]:
@@ -51,6 +67,18 @@ class TestSweepResult:
         assert "Title" in text
         assert "ring" in text and "mesh" in text
         assert "note: hello" in text
+
+    def test_format_table_tolerant_x_membership(self):
+        """A series sampled at a float-noise x must still fill its cell."""
+        result = SweepResult("Title", "R", "latency")
+        a = result.new_series("a")
+        a.add(0.1 + 0.2, 10.0)
+        b = result.new_series("b")
+        b.add(0.3, 20.0)
+        table = result.format_table()
+        rows = [line for line in table.splitlines() if line.startswith("0.3")]
+        assert len(rows) == 1
+        assert "10.0" in rows[0] and "20.0" in rows[0]
 
     def test_to_json_round_trips(self):
         result = SweepResult("Title", "nodes", "latency")

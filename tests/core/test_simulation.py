@@ -109,6 +109,51 @@ class TestResultObject:
             simulate(object(), heavy_workload, tiny_sim)  # type: ignore[arg-type]
 
 
+class TestSaturatedHeuristic:
+    """``saturated`` must consult the latency CI width, per its docstring."""
+
+    @staticmethod
+    def _result(latency, transactions=100):
+        from repro.core.simulation import SimulationResult
+
+        return SimulationResult(
+            system=RingSystemConfig(topology="8"),
+            workload=WorkloadConfig(),
+            params=SimulationParams(),
+            cycles=1000,
+            latency=latency,
+            local_latency=latency,
+            remote_transactions=transactions,
+        )
+
+    def test_tight_ci_is_not_saturated(self):
+        from repro.core.statistics import Summary
+
+        result = self._result(Summary(mean=50.0, half_width=2.0, batch_means=(49.0, 51.0)))
+        assert not result.saturated
+
+    def test_wide_ci_is_saturated(self):
+        """CI wider than SATURATION_RELATIVE_HALF_WIDTH of the mean."""
+        from repro.core.statistics import Summary
+
+        result = self._result(Summary(mean=50.0, half_width=40.0, batch_means=(20.0, 80.0)))
+        assert result.saturated
+
+    def test_single_batch_unbounded_ci_is_saturated(self):
+        from repro.core.statistics import Summary
+
+        result = self._result(Summary(mean=50.0, half_width=math.inf, batch_means=(50.0,)))
+        assert result.saturated
+
+    def test_no_transactions_is_saturated(self):
+        from repro.core.statistics import Summary
+
+        result = self._result(
+            Summary(mean=math.nan, half_width=math.nan, batch_means=()), transactions=0
+        )
+        assert result.saturated
+
+
 class TestDoubleSpeedGlobalRing:
     def test_double_speed_helps_saturated_hierarchy(self):
         """4 second-level rings saturate a normal global ring; 2x relieves it."""

@@ -5,7 +5,7 @@ import math
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core.statistics import BatchMeans, LatencyStats, RateMeter
+from repro.core.statistics import BatchMeans, LatencyStats, RateMeter, _T_TABLE, _t_critical
 
 
 class TestBatchMeans:
@@ -54,11 +54,60 @@ class TestBatchMeans:
 
     def test_observe_many(self):
         bm = BatchMeans()
-        bm.close_batch()
+        bm.close_batch()  # empty: holds no warm-up data, discards nothing
         bm.observe_many(total=30.0, count=3)
+        bm.close_batch()  # first non-empty batch is the warm-up
+        bm.observe_many(total=40.0, count=2)
+        bm.close_batch()
+        assert bm.retained_means == (20.0,)
+        assert bm.total_observations == 5
+
+    def test_empty_first_batch_does_not_consume_the_discard(self):
+        """Warm-up leakage: an empty leading batch must not count as the
+        discarded warm-up batch — the first batch with real data is the
+        one carrying initialization bias."""
+        bm = BatchMeans()
+        bm.close_batch()  # batch 0: empty (NaN)
+        bm.observe(1000.0)  # warm-up junk lands in batch 1
+        bm.close_batch()
+        bm.observe(10.0)
         bm.close_batch()
         assert bm.retained_means == (10.0,)
-        assert bm.total_observations == 3
+
+
+class TestTCritical:
+    def test_exact_table_entries(self):
+        assert _t_critical(1) == 12.706
+        assert _t_critical(15) == 2.131
+
+    def test_dof_16_to_19_have_exact_entries(self):
+        """Regression: these dofs used to fall through to the *next
+        higher* key (20 → 2.086), understating every CI at 17-20
+        retained batches."""
+        assert _t_critical(16) == 2.120
+        assert _t_critical(17) == 2.110
+        assert _t_critical(18) == 2.101
+        assert _t_critical(19) == 2.093
+
+    def test_between_keys_uses_nearest_lower_key(self):
+        """A dof between table keys must round *down* (conservative:
+        smaller dof → larger critical value)."""
+        assert _t_critical(35) == _T_TABLE[30]
+        assert _t_critical(119) == _T_TABLE[60]
+
+    def test_beyond_table_stays_conservative(self):
+        """Regression: dof > 120 used to return the normal-limit 1.96,
+        below the finite-sample critical value."""
+        for dof in (121, 500, 10**6):
+            assert _t_critical(dof) == _T_TABLE[120]
+            assert _t_critical(dof) >= 1.96
+
+    def test_monotone_nonincreasing(self):
+        values = [_t_critical(dof) for dof in range(1, 200)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_nonpositive_dof_is_unbounded(self):
+        assert _t_critical(0) == math.inf
 
 
 class TestRateMeter:

@@ -1,0 +1,57 @@
+"""Tests for the content-addressed on-disk result cache."""
+
+from repro.core.config import RingSystemConfig, SimulationParams, WorkloadConfig
+from repro.core.simulation import simulate
+from repro.runtime import PointSpec, ResultCache, code_version_salt
+
+WORKLOAD = WorkloadConfig(locality=1.0, miss_rate=0.1, outstanding=4)
+PARAMS = SimulationParams(batch_cycles=100, batches=2, seed=7)
+
+
+def _spec(topology="2:4"):
+    return PointSpec.of(RingSystemConfig(topology=topology), WORKLOAD, PARAMS)
+
+
+class TestResultCache:
+    def test_miss_then_hit_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        assert cache.get(spec) is None
+        result = simulate(spec.system, spec.workload, spec.params)
+        cache.put(spec, result)
+        hit = cache.get(spec)
+        assert hit is not None
+        assert hit.latency.mean == result.latency.mean
+        assert hit.system == result.system
+        assert cache.entry_count() == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        result = simulate(spec.system, spec.workload, spec.params)
+        cache.put(spec, result)
+        cache.path_for(spec).write_text("{not json")
+        assert cache.get(spec) is None
+
+    def test_entries_are_salted_by_code_version(self, tmp_path):
+        """Entries written by a different simulator version never hit."""
+        spec = _spec()
+        old = ResultCache(tmp_path, salt="0123456789abcdef")
+        old.put(spec, simulate(spec.system, spec.workload, spec.params))
+        current = ResultCache(tmp_path)
+        assert current.get(spec) is None
+        assert current.entry_count() == 0
+
+    def test_clear_removes_all_salts(self, tmp_path):
+        spec = _spec()
+        result = simulate(spec.system, spec.workload, spec.params)
+        ResultCache(tmp_path, salt="aaaa").put(spec, result)
+        cache = ResultCache(tmp_path)
+        cache.put(spec, result)
+        assert cache.clear() == 2
+        assert not tmp_path.exists()
+        assert cache.get(spec) is None
+
+    def test_salt_is_stable_within_a_process(self):
+        assert code_version_salt() == code_version_salt()
+        assert len(code_version_salt()) == 16

@@ -1,0 +1,107 @@
+"""Tests for point specs: canonical hashing and per-point seeds."""
+
+import math
+
+from repro.core.config import (
+    MeshSystemConfig,
+    RingSystemConfig,
+    SimulationParams,
+    WorkloadConfig,
+)
+from repro.runtime import PointSpec, derive_point_seed
+from repro.runtime.serialization import (
+    result_from_payload,
+    result_payload,
+    summary_from_payload,
+    summary_payload,
+)
+from repro.core.simulation import simulate
+from repro.core.statistics import Summary
+
+WORKLOAD = WorkloadConfig(locality=1.0, miss_rate=0.1, outstanding=4)
+PARAMS = SimulationParams(batch_cycles=100, batches=2, seed=7)
+
+
+class TestPointKey:
+    def test_key_is_stable_and_spelling_invariant(self):
+        """The same point spelled differently must hash identically."""
+        a = PointSpec.of(RingSystemConfig(topology="2:4"), WORKLOAD, PARAMS)
+        b = PointSpec.of(RingSystemConfig(topology=(2, 4)), WORKLOAD, PARAMS)
+        assert a.key() == b.key()
+
+    def test_key_distinguishes_points(self):
+        a = PointSpec.of(RingSystemConfig(topology="2:4"), WORKLOAD, PARAMS)
+        b = PointSpec.of(RingSystemConfig(topology="2:5"), WORKLOAD, PARAMS)
+        c = PointSpec.of(MeshSystemConfig(side=3), WORKLOAD, PARAMS)
+        assert len({a.key(), b.key(), c.key()}) == 3
+
+    def test_key_changes_with_params(self):
+        a = PointSpec.of(RingSystemConfig(topology="2:4"), WORKLOAD, PARAMS)
+        longer = SimulationParams(batch_cycles=200, batches=2, seed=7)
+        b = PointSpec.of(RingSystemConfig(topology="2:4"), WORKLOAD, longer)
+        assert a.key() != b.key()
+
+
+class TestDerivedSeeds:
+    def test_deterministic(self):
+        system = RingSystemConfig(topology="2:4")
+        assert derive_point_seed(system, WORKLOAD, 7) == derive_point_seed(
+            system, WORKLOAD, 7
+        )
+
+    def test_distinct_points_get_distinct_streams(self):
+        seeds = {
+            derive_point_seed(RingSystemConfig(topology=(n,)), WORKLOAD, 7)
+            for n in range(2, 20)
+        }
+        assert len(seeds) == 18
+
+    def test_base_seed_changes_stream(self):
+        system = RingSystemConfig(topology="2:4")
+        assert derive_point_seed(system, WORKLOAD, 1) != derive_point_seed(
+            system, WORKLOAD, 2
+        )
+
+    def test_of_replaces_base_seed(self):
+        system = RingSystemConfig(topology="2:4")
+        spec = PointSpec.of(system, WORKLOAD, PARAMS)
+        assert spec.params.seed == derive_point_seed(system, WORKLOAD, PARAMS.seed)
+        assert spec.params.batch_cycles == PARAMS.batch_cycles
+
+    def test_run_length_does_not_change_stream(self):
+        """Longer runs of the same system extend the same random stream."""
+        system = RingSystemConfig(topology="2:4")
+        short = PointSpec.of(system, WORKLOAD, PARAMS)
+        long = PointSpec.of(
+            system, WORKLOAD, SimulationParams(batch_cycles=500, batches=4, seed=7)
+        )
+        assert short.params.seed == long.params.seed
+
+
+class TestResultSerialization:
+    def test_summary_round_trips_nan_and_inf(self):
+        for summary in (
+            Summary(mean=10.0, half_width=1.5, batch_means=(9.0, 11.0)),
+            Summary(mean=math.nan, half_width=math.nan, batch_means=()),
+            Summary(mean=5.0, half_width=math.inf, batch_means=(5.0,)),
+        ):
+            restored = summary_from_payload(summary_payload(summary))
+            assert restored.batch_means == summary.batch_means
+            if math.isnan(summary.mean):
+                assert math.isnan(restored.mean)
+            else:
+                assert restored.mean == summary.mean
+                assert restored.half_width == summary.half_width
+
+    def test_simulation_result_round_trips(self):
+        spec = PointSpec.of(RingSystemConfig(topology="2:4"), WORKLOAD, PARAMS)
+        result = simulate(spec.system, spec.workload, spec.params)
+        restored = result_from_payload(result_payload(result))
+        assert restored.system == result.system
+        assert restored.workload == result.workload
+        assert restored.params == result.params
+        assert restored.cycles == result.cycles
+        assert restored.latency.mean == result.latency.mean
+        assert restored.utilization.keys() == result.utilization.keys()
+        assert restored.remote_transactions == result.remote_transactions
+        assert restored.flits_moved == result.flits_moved
