@@ -1,0 +1,130 @@
+"""Kernel throughput: active-set vs naive scheduler, in cycles/second.
+
+Standalone script (not a pytest-benchmark — CI needs its JSON output):
+runs the same 2-level ring point at three offered loads under both
+schedulers and reports simulated cycles per wall-clock second plus the
+active/naive speedup.  The three loads bracket the kernel's operating
+regimes:
+
+* ``low``  — almost every component idle almost every cycle; the
+  active-set scheduler's best case (it fast-forwards between misses);
+* ``mid``  — the knee of the latency curve, a realistic mix;
+* ``sat``  — saturation, everything busy every cycle; the active sets
+  degenerate to "all components", so this point guards against the
+  bookkeeping costing more than the scan it replaces.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.bench_kernel            # full
+    PYTHONPATH=src python -m benchmarks.bench_kernel --smoke    # CI
+    PYTHONPATH=src python -m benchmarks.bench_kernel -o BENCH_kernel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+
+from repro.core.config import RingSystemConfig, SimulationParams, WorkloadConfig
+
+SYSTEM = RingSystemConfig(topology="3:8", cache_line_bytes=32)
+
+#: (label, miss rate C) — see module docstring for why these three.
+LOAD_POINTS = (
+    ("low", 0.002),
+    ("mid", 0.02),
+    ("sat", 0.08),
+)
+
+FULL_PARAMS = SimulationParams(batch_cycles=3000, batches=6, seed=1)
+SMOKE_PARAMS = SimulationParams(batch_cycles=600, batches=3, seed=1)
+
+
+def measure(params: SimulationParams, repeats: int) -> dict:
+    """Run every (load, scheduler) cell; return the structured report."""
+    from repro.core.simulation import simulate
+
+    report: dict = {
+        "system": str(SYSTEM.topology),
+        "batch_cycles": params.batch_cycles,
+        "batches": params.batches,
+        "points": {},
+    }
+    for label, miss_rate in LOAD_POINTS:
+        workload = WorkloadConfig(miss_rate=miss_rate, outstanding=4)
+        cell: dict = {"miss_rate": miss_rate}
+        for scheduler in ("active", "naive"):
+            run_params = replace(params, scheduler=scheduler)
+            best = 0.0
+            flits = None
+            for __ in range(repeats):
+                start = time.perf_counter()
+                result = simulate(SYSTEM, workload, run_params)
+                elapsed = time.perf_counter() - start
+                best = max(best, result.cycles / elapsed)
+                if flits is None:
+                    flits = result.flits_moved
+                elif flits != result.flits_moved:
+                    raise AssertionError(
+                        f"{label}/{scheduler}: non-deterministic flits_moved"
+                    )
+            cell[scheduler] = {"cycles_per_sec": round(best, 1), "flits_moved": flits}
+        if cell["active"]["flits_moved"] != cell["naive"]["flits_moved"]:
+            raise AssertionError(f"{label}: schedulers disagree on flits_moved")
+        cell["speedup"] = round(
+            cell["active"]["cycles_per_sec"] / cell["naive"]["cycles_per_sec"], 2
+        )
+        report["points"][label] = cell
+    return report
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short CI runs (fewer cycles, single repeat)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timing repeats per cell; best-of is reported (default 3, smoke 1)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the report as JSON to this path",
+    )
+    args = parser.parse_args(argv)
+
+    params = SMOKE_PARAMS if args.smoke else FULL_PARAMS
+    repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 3)
+    report = measure(params, repeats)
+    report["mode"] = "smoke" if args.smoke else "full"
+
+    width = max(len(label) for label, __ in LOAD_POINTS)
+    print(f"kernel throughput, ring {report['system']} "
+          f"({params.batch_cycles}x{params.batches} cycles, best of {repeats}):")
+    for label, cell in report["points"].items():
+        print(
+            f"  {label:<{width}}  C={cell['miss_rate']:<6}"
+            f"  active {cell['active']['cycles_per_sec']:>10.0f} cyc/s"
+            f"  naive {cell['naive']['cycles_per_sec']:>10.0f} cyc/s"
+            f"  speedup {cell['speedup']:.2f}x"
+        )
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

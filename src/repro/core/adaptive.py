@@ -45,6 +45,7 @@ def simulate_to_precision(
     seed: int = 1,
     deadlock_threshold: int = 50_000,
     flow_control: str = "bypass",
+    scheduler: str = "active",
 ) -> AdaptiveResult:
     """Run until the latency CI half-width is within *relative_precision*.
 
@@ -62,7 +63,11 @@ def simulate_to_precision(
 
     metrics = MetricsHub()
     network = build_network(system, workload, metrics, seed=seed)
-    engine = Engine(deadlock_threshold=deadlock_threshold, flow_control=flow_control)
+    engine = Engine(
+        deadlock_threshold=deadlock_threshold,
+        flow_control=flow_control,
+        scheduler=scheduler,
+    )
     network.register(engine)
 
     levels = list(network.levels_present)
@@ -103,6 +108,7 @@ def simulate_to_precision(
         seed=seed,
         deadlock_threshold=deadlock_threshold,
         flow_control=flow_control,
+        scheduler=scheduler,
     )
     result = SimulationResult(
         system=system,

@@ -28,7 +28,15 @@ class FlitBuffer:
         (used only for endpoint sinks and PM-internal staging queues).
     """
 
-    __slots__ = ("name", "capacity", "_flits", "flits_enqueued", "flits_dequeued")
+    __slots__ = (
+        "name",
+        "capacity",
+        "_flits",
+        "flits_enqueued",
+        "flits_dequeued",
+        "_wake_on_push",
+        "_wake_on_pop",
+    )
 
     def __init__(self, name: str, capacity: int | None):
         if capacity is not None and capacity < 1:
@@ -38,6 +46,11 @@ class FlitBuffer:
         self._flits: deque[Flit] = deque()
         self.flits_enqueued = 0
         self.flits_dequeued = 0
+        # Filled in by the engine's active-set scheduler at finalize time
+        # (attribute access beats a dict lookup in the commit hot loop):
+        # components to wake when a transfer lands in / drains this buffer.
+        self._wake_on_push: "tuple | None" = None
+        self._wake_on_pop: "tuple[int, ...] | None" = None
 
     @property
     def occupancy(self) -> int:
@@ -81,6 +94,10 @@ class FlitBuffer:
 
     def __len__(self) -> int:
         return len(self._flits)
+
+    def __bool__(self) -> bool:
+        """Truthy iff non-empty (kernel hot path; bypasses ``__len__``)."""
+        return bool(self._flits)
 
     def __iter__(self) -> Iterator[Flit]:
         return iter(self._flits)

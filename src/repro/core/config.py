@@ -289,6 +289,13 @@ class SimulationParams:
     ``flow_control`` selects the engine's resolver: ``"bypass"`` models
     the paper's hardware (send and receive a flit in the same cycle);
     ``"conservative"`` is the occupancy-at-cycle-start ablation.
+
+    ``scheduler`` selects the engine's component visitation strategy:
+    ``"active"`` (default) skips provably idle components, ``"naive"``
+    scans everything every cycle.  The two are behavior-identical (same
+    ``SimulationResult`` for every config — enforced by the kernel
+    equivalence test matrix), so the choice is an execution detail and
+    deliberately not part of the cached-result identity.
     """
 
     batch_cycles: int = 3000
@@ -296,6 +303,7 @@ class SimulationParams:
     seed: int = 1
     deadlock_threshold: int = 50_000
     flow_control: str = "bypass"
+    scheduler: str = "active"
 
     def validate(self) -> "SimulationParams":
         if self.batch_cycles < 1:
@@ -308,6 +316,10 @@ class SimulationParams:
             raise ConfigurationError(
                 f"flow_control must be 'bypass' or 'conservative', "
                 f"got {self.flow_control!r}"
+            )
+        if self.scheduler not in ("active", "naive"):
+            raise ConfigurationError(
+                f"scheduler must be 'active' or 'naive', got {self.scheduler!r}"
             )
         return self
 

@@ -34,10 +34,38 @@ accesses, and new packets are injected into the (bounded) output queues.
 A watchdog raises :class:`~repro.core.errors.DeadlockError` if transfers
 are proposed but none commits for ``deadlock_threshold`` consecutive
 base cycles.
+
+Scheduling
+----------
+
+Two schedulers drive the same propose/resolve/commit machinery:
+
+* ``"naive"`` scans every component every subcycle and runs every
+  ``update`` every cycle — the straightforward implementation;
+* ``"active"`` (default) keeps *active sets*: only components that can
+  possibly do work are visited.  A component sleeps when it reports it
+  may (:meth:`Component.may_sleep_propose` /
+  :meth:`Component.next_update_cycle`) and is woken by one of three
+  events — a committed transfer into a buffer it reads
+  (:meth:`Component.propose_wake_buffers` /
+  :meth:`Component.update_wake_buffers`), a committed transfer *out of*
+  a buffer it refills (:meth:`Component.drain_wake_buffers`), or a
+  registered timer (returned from :meth:`Component.next_update_cycle`).
+  When both active sets are empty, :meth:`Engine.run` fast-forwards the
+  clock straight to the earliest registered timer instead of spinning
+  through empty cycles.
+
+The two schedulers are behavior-identical: active sets are iterated in
+component-registration order and sleeping is only allowed when the
+naive scan would have been a no-op, so every simulation produces the
+same transfers, the same metrics and the same random streams under
+either scheduler (see tests/integration/test_kernel_equivalence.py and
+DESIGN.md for the wake/sleep invariants).
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Iterable
 
 from .buffers import FlitBuffer
@@ -45,9 +73,17 @@ from .channel import Channel
 from .errors import DeadlockError, SimulationError
 from .packet import Flit
 
+SCHEDULERS = ("active", "naive")
+
 
 class Transfer:
-    """A proposed single-flit movement between two buffers."""
+    """A proposed single-flit movement between two buffers.
+
+    Instances are pooled by the engine (a sweep proposes tens of
+    millions of transfers); a ``Transfer`` is only valid until the end
+    of the subcycle that proposed it and must not be retained by
+    ``on_transfer_commit`` hooks.
+    """
 
     __slots__ = ("flit", "source", "dest", "channel", "owner", "committed")
 
@@ -77,9 +113,24 @@ class Component:
     Subclasses override :meth:`propose` (switching logic) and/or
     :meth:`update` (endpoint logic).  ``speed`` is the clock multiplier:
     1 for normal components, 2 for components on a double-speed ring.
+
+    The scheduling hooks below feed the active-set scheduler.  The
+    defaults are deliberately conservative — a component that overrides
+    none of them is simply visited every subcycle and every cycle,
+    exactly as under the naive scheduler — so custom components stay
+    correct without knowing about scheduling at all.  Overriding them is
+    purely a performance contract: a component may only report it can
+    sleep when its :meth:`propose`/:meth:`update` would be a no-op until
+    one of its declared wake events fires.
     """
 
     speed: int = 1
+
+    #: Set by the engine at finalize time; lets endpoint APIs called
+    #: from *outside* the clock loop (e.g. ``ProcessingModule.issue_remote``)
+    #: wake their component.
+    _engine: "Engine | None" = None
+    _engine_index: int = -1
 
     def propose(self, engine: "Engine") -> None:
         """Propose flit transfers for this subcycle via ``engine.propose``."""
@@ -89,6 +140,43 @@ class Component:
 
     def update(self, engine: "Engine") -> None:
         """Per-base-cycle endpoint logic (injection, ejection, timers)."""
+
+    # ------------------------------------------------------------------
+    # active-set scheduling contract (defaults: never sleep)
+    # ------------------------------------------------------------------
+    def propose_wake_buffers(self) -> "tuple[FlitBuffer, ...]":
+        """Buffers whose *fill* re-activates this component's propose()."""
+        return ()
+
+    def update_wake_buffers(self) -> "tuple[FlitBuffer, ...]":
+        """Buffers whose *fill* re-activates this component's update()."""
+        return ()
+
+    def drain_wake_buffers(self) -> "tuple[FlitBuffer, ...]":
+        """Buffers whose *drain* re-activates this component's update()."""
+        return ()
+
+    def update_output_buffers(self) -> "tuple[FlitBuffer, ...]":
+        """Buffers this component's update() may fill.
+
+        After each update the engine re-activates the proposers reading
+        any of these buffers that is non-empty (covers pushes that
+        bypass the transfer machinery, e.g. PM packet injection).
+        """
+        return ()
+
+    def may_sleep_propose(self) -> bool:
+        """True when propose() is a no-op until a declared wake event."""
+        return False
+
+    def next_update_cycle(self, engine: "Engine") -> int | None:
+        """Earliest future cycle whose update() may do work.
+
+        ``engine.cycle + 1`` (the default) keeps the component hot;
+        a later cycle registers a timer; ``None`` sleeps until a
+        declared buffer event (or an explicit ``Engine.wake``).
+        """
+        return engine.cycle + 1
 
 
 class Engine:
@@ -103,12 +191,25 @@ class Engine:
       start, the simplistic model; kept as an ablation — it halves
       pipeline throughput through single-slot buffers and can wedge a
       full ring (see benchmarks/bench_ablations.py).
+
+    ``scheduler`` selects the component visitation strategy (see the
+    module docstring): ``"active"`` (default) or ``"naive"``.  Both are
+    behavior-identical; ``"naive"`` is kept for the equivalence tests
+    and ablation benchmarks.
     """
 
-    def __init__(self, deadlock_threshold: int = 50_000, flow_control: str = "bypass"):
+    def __init__(
+        self,
+        deadlock_threshold: int = 50_000,
+        flow_control: str = "bypass",
+        scheduler: str = "active",
+    ):
         if flow_control not in ("bypass", "conservative"):
             raise SimulationError(f"unknown flow control mode {flow_control!r}")
+        if scheduler not in SCHEDULERS:
+            raise SimulationError(f"unknown scheduler {scheduler!r}")
         self.flow_control = flow_control
+        self.scheduler = scheduler
         self.components: list[Component] = []
         self.channels: list[Channel] = []
         self.cycle = 0
@@ -119,8 +220,26 @@ class Engine:
         self._transfers: list[Transfer] = []
         self._by_source: dict[FlitBuffer, Transfer] = {}
         self._by_dest: dict[FlitBuffer, Transfer] = {}
+        self._pool: list[Transfer] = []
         self._subcycles = 1
         self._finalized = False
+        self._active_mode = scheduler == "active"
+        # Active-set state (used only by the "active" scheduler).  The
+        # sets hold component registration indices; the `_order` lists
+        # cache their sorted iteration order (component order — shared
+        # with the naive scan so metric-recording order is identical)
+        # and are rebuilt lazily when a `_dirty` flag is raised.
+        self._active_prop: set[int] = set()
+        self._active_upd: set[int] = set()
+        self._prop_order: list[int] = []
+        self._upd_order: list[int] = []
+        self._prop_dirty = True
+        self._upd_dirty = True
+        self._timers: list[tuple[int, int]] = []  # heap of (cycle, index)
+        self._timer_at: list[int] = []  # earliest live heap entry per index
+        # per-component: ((output buffer, proposer indices), ...) pairs
+        # checked after its update() for injection that bypasses commit
+        self._upd_out_wakes: list[tuple] = []
 
     # ------------------------------------------------------------------
     # construction
@@ -143,7 +262,61 @@ class Engine:
         if unsupported:
             raise SimulationError(f"unsupported component speeds: {sorted(unsupported)}")
         self._subcycles = 2 if 2 in speeds else 1
+        if self._active_mode:
+            self._finalize_active_sets()
         self._finalized = True
+
+    def _finalize_active_sets(self) -> None:
+        """Index components, build the wake maps, start everything hot."""
+        push_prop: dict[FlitBuffer, list[int]] = {}
+        push_upd: dict[FlitBuffer, list[int]] = {}
+        pop_upd: dict[FlitBuffer, list[int]] = {}
+        for index, component in enumerate(self.components):
+            component._engine = self
+            component._engine_index = index
+            for buffer in component.propose_wake_buffers():
+                push_prop.setdefault(buffer, []).append(index)
+            for buffer in component.update_wake_buffers():
+                push_upd.setdefault(buffer, []).append(index)
+            for buffer in component.drain_wake_buffers():
+                pop_upd.setdefault(buffer, []).append(index)
+        # Wake routing lives on the buffers themselves: the commit loop
+        # reads one slot attribute per transfer endpoint instead of
+        # probing dicts keyed by buffer.
+        for buffer in push_prop.keys() | push_upd.keys():
+            buffer._wake_on_push = (
+                tuple(push_prop[buffer]) if buffer in push_prop else None,
+                tuple(push_upd[buffer]) if buffer in push_upd else None,
+            )
+        for buffer, indices in pop_upd.items():
+            buffer._wake_on_pop = tuple(indices)
+        self._upd_out_wakes = [
+            tuple(
+                (buffer, tuple(push_prop[buffer]))
+                for buffer in component.update_output_buffers()
+                if buffer in push_prop
+            )
+            for component in self.components
+        ]
+        # Everything starts active; the first sweeps put idle components
+        # to sleep, which keeps cycle 0 identical to the naive scan.
+        everyone = range(len(self.components))
+        self._active_prop = set(everyone)
+        self._active_upd = set(everyone)
+        self._prop_dirty = True
+        self._upd_dirty = True
+        self._timer_at = [0] * len(self.components)
+
+    # ------------------------------------------------------------------
+    # wake API (active scheduler; no-ops under the naive scheduler)
+    # ------------------------------------------------------------------
+    def wake(self, component: Component) -> None:
+        """Re-activate *component* for both phases (external state change)."""
+        if self._active_mode and component._engine_index >= 0:
+            self._active_prop.add(component._engine_index)
+            self._active_upd.add(component._engine_index)
+            self._prop_dirty = True
+            self._upd_dirty = True
 
     # ------------------------------------------------------------------
     # proposal API (called by components from propose())
@@ -157,17 +330,29 @@ class Engine:
         owner: Component,
     ) -> None:
         """Register one proposed flit transfer for the current subcycle."""
-        if source.peek() is not flit:
+        flits = source._flits
+        if not flits or flits[0] is not flit:
             raise SimulationError(
                 f"component proposed non-head flit {flit!r} from {source.name!r}"
             )
-        transfer = Transfer(flit, source, dest, channel, owner)
         if source in self._by_source:
             raise SimulationError(f"two transfers source from buffer {source.name!r}")
-        if dest.capacity is not None and dest in self._by_dest:
+        bounded_dest = dest.capacity is not None
+        if bounded_dest and dest in self._by_dest:
             raise SimulationError(f"two transfers target bounded buffer {dest.name!r}")
+        pool = self._pool
+        if pool:
+            transfer = pool.pop()
+            transfer.flit = flit
+            transfer.source = source
+            transfer.dest = dest
+            transfer.channel = channel
+            transfer.owner = owner
+            transfer.committed = True
+        else:
+            transfer = Transfer(flit, source, dest, channel, owner)
         self._by_source[source] = transfer
-        if dest.capacity is not None:
+        if bounded_dest:
             self._by_dest[dest] = transfer
         self._transfers.append(transfer)
 
@@ -178,26 +363,137 @@ class Engine:
         """Advance the simulation by one base clock cycle."""
         if not self._finalized:
             self._finalize()
-        committed_this_cycle = 0
-        proposed_this_cycle = 0
-        for subcycle in range(self._subcycles):
-            self._transfers.clear()
-            self._by_source.clear()
-            self._by_dest.clear()
-            for component in self.components:
-                if subcycle == 0 or component.speed == 2:
-                    component.propose(self)
-            proposed_this_cycle += len(self._transfers)
-            self._resolve()
-            committed_this_cycle += self._commit()
-        for component in self.components:
-            component.update(self)
-        self.cycle += 1
-        self._watchdog(proposed_this_cycle, committed_this_cycle)
+        self._step()
 
     def run(self, cycles: int) -> None:
-        for _ in range(cycles):
-            self.step()
+        if not self._finalized:
+            self._finalize()
+        if not self._active_mode:
+            for __ in range(cycles):
+                self._step()
+            return
+        end = self.cycle + cycles
+        timers = self._timers
+        while self.cycle < end:
+            if not self._active_prop and not self._active_upd:
+                # Nothing can propose or update: fast-forward straight
+                # to the earliest timer (every skipped cycle is a no-op
+                # under the naive scheduler too, so metrics and streams
+                # are unaffected; the watchdog counter is necessarily 0
+                # here because an idle cycle resets it).
+                target = end if not timers else min(end, timers[0][0])
+                if target > self.cycle:
+                    self.cycle = target
+                    continue
+            self._step()
+
+    def _step(self) -> None:
+        cycle = self.cycle
+        active = self._active_mode
+        if active:
+            timers = self._timers
+            if timers and timers[0][0] <= cycle:
+                active_upd = self._active_upd
+                timer_at = self._timer_at
+                while timers and timers[0][0] <= cycle:
+                    fired, index = heappop(timers)
+                    active_upd.add(index)
+                    if timer_at[index] == fired:
+                        timer_at[index] = 0
+                self._upd_dirty = True
+        committed_this_cycle = 0
+        proposed_this_cycle = 0
+        components = self.components
+        transfers = self._transfers
+        for subcycle in range(self._subcycles):
+            if active:
+                if self._prop_dirty:
+                    self._prop_order = sorted(self._active_prop)
+                    self._prop_dirty = False
+                if subcycle == 0:
+                    for index in self._prop_order:
+                        components[index].propose(self)
+                else:
+                    for index in self._prop_order:
+                        component = components[index]
+                        if component.speed == 2:
+                            component.propose(self)
+            else:
+                for component in components:
+                    if subcycle == 0 or component.speed == 2:
+                        component.propose(self)
+            if transfers:
+                proposed_this_cycle += len(transfers)
+                self._resolve()
+                committed_this_cycle += self._commit()
+                self._pool.extend(transfers)
+                transfers.clear()
+                self._by_source.clear()
+                self._by_dest.clear()
+        if active:
+            self._update_active(cycle)
+        else:
+            for component in components:
+                component.update(self)
+        self.cycle = cycle + 1
+        self._watchdog(proposed_this_cycle, committed_this_cycle)
+
+    def _update_active(self, cycle: int) -> None:
+        """Update phase plus the wake/sleep bookkeeping of both sets."""
+        components = self.components
+        active_upd = self._active_upd
+        if active_upd:
+            if self._upd_dirty:
+                self._upd_order = sorted(active_upd)
+                self._upd_dirty = False
+            active_prop = self._active_prop
+            upd_out_wakes = self._upd_out_wakes
+            timers = self._timers
+            timer_at = self._timer_at
+            hot_threshold = cycle + 1
+            prop_grew = False
+            upd_shrank = False
+            for index in self._upd_order:
+                component = components[index]
+                component.update(self)
+                # Wake the proposers reading any buffer this update filled
+                # (injection bypasses the transfer machinery).
+                for buffer, wakes in upd_out_wakes[index]:
+                    if buffer._flits:
+                        active_prop.update(wakes)
+                        prop_grew = True
+                nxt = component.next_update_cycle(self)
+                if nxt is None:
+                    active_upd.discard(index)
+                    upd_shrank = True
+                elif nxt > hot_threshold:
+                    active_upd.discard(index)
+                    upd_shrank = True
+                    # Dedup: skip the push when an earlier live timer
+                    # already guarantees a wake at or before `nxt`.
+                    live = timer_at[index]
+                    if live <= cycle or nxt < live:
+                        heappush(timers, (nxt, index))
+                        timer_at[index] = nxt
+            if prop_grew:
+                self._prop_dirty = True
+            if upd_shrank:
+                self._upd_dirty = True
+        # Sweep proposers to sleep — but only every 16 cycles, or when
+        # the update set just went quiet (so the fast-forward path opens
+        # promptly at low load).  Sleeping a few cycles late is always
+        # safe: an awake-but-idle propose() is a no-op, exactly what the
+        # naive scan does every cycle.  Under load the sweep would churn
+        # (busy components never sleep), so amortizing it is pure win.
+        active_prop = self._active_prop
+        if active_prop and (cycle & 15 == 0 or not active_upd):
+            swept = False
+            for index in tuple(active_prop):
+                if components[index].may_sleep_propose():
+                    active_prop.discard(index)
+                    swept = True
+            if swept:
+                self._prop_dirty = True
 
     # ------------------------------------------------------------------
     # resolution
@@ -212,6 +508,8 @@ class Engine:
         reduces to: destination full and not draining this subcycle.
         """
         bypass = self.flow_control == "bypass"
+        by_source = self._by_source
+        by_dest = self._by_dest
         worklist = list(self._transfers)
         while worklist:
             transfer = worklist.pop()
@@ -220,33 +518,67 @@ class Engine:
             dest = transfer.dest
             if dest.capacity is None:
                 continue  # unbounded sinks always accept
-            drain = self._by_source.get(dest)
+            drain = by_source.get(dest)
             draining = bypass and drain is not None and drain.committed
             if dest.occupancy - (1 if draining else 0) + 1 > dest.capacity:
                 transfer.committed = False
                 # The source no longer drains; recheck the transfer into it.
-                upstream = self._by_dest.get(transfer.source)
+                upstream = by_dest.get(transfer.source)
                 if upstream is not None and upstream.committed:
                     worklist.append(upstream)
 
     def _commit(self) -> int:
         committed = 0
+        transfers = self._transfers
         # All pops first: a flit may move into a slot freed in this very
         # subcycle, so drains must complete before fills.
-        survivors = [t for t in self._transfers if t.committed]
-        for transfer in survivors:
-            flit = transfer.source.pop()
-            if flit is not transfer.flit:
-                raise SimulationError(
-                    f"buffer {transfer.source.name!r} head changed between "
-                    f"propose and commit"
-                )
-        for transfer in survivors:
-            transfer.dest.push(transfer.flit)
-            if transfer.channel is not None:
-                transfer.channel.record_flit()
-            transfer.owner.on_transfer_commit(transfer, self)
-            committed += 1
+        for transfer in transfers:
+            if transfer.committed:
+                flit = transfer.source.pop()
+                if flit is not transfer.flit:
+                    raise SimulationError(
+                        f"buffer {transfer.source.name!r} head changed between "
+                        f"propose and commit"
+                    )
+        if self._active_mode:
+            active_prop = self._active_prop
+            active_upd = self._active_upd
+            prop_before = len(active_prop)
+            upd_before = len(active_upd)
+            for transfer in transfers:
+                if not transfer.committed:
+                    continue
+                dest = transfer.dest
+                dest.push(transfer.flit)
+                channel = transfer.channel
+                if channel is not None:
+                    channel.flits_carried += 1
+                transfer.owner.on_transfer_commit(transfer, self)
+                committed += 1
+                pair = dest._wake_on_push
+                if pair is not None:
+                    prop_wakes, upd_wakes = pair
+                    if prop_wakes is not None:
+                        active_prop.update(prop_wakes)
+                    if upd_wakes is not None:
+                        active_upd.update(upd_wakes)
+                wakes = transfer.source._wake_on_pop
+                if wakes is not None:
+                    active_upd.update(wakes)
+            if len(active_prop) != prop_before:
+                self._prop_dirty = True
+            if len(active_upd) != upd_before:
+                self._upd_dirty = True
+        else:
+            for transfer in transfers:
+                if not transfer.committed:
+                    continue
+                transfer.dest.push(transfer.flit)
+                channel = transfer.channel
+                if channel is not None:
+                    channel.flits_carried += 1
+                transfer.owner.on_transfer_commit(transfer, self)
+                committed += 1
         self.flits_moved += committed
         return committed
 

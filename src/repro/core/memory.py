@@ -46,3 +46,8 @@ class MemoryModel:
     @property
     def in_service(self) -> int:
         return len(self._pending)
+
+    @property
+    def next_ready_cycle(self) -> int | None:
+        """Cycle the earliest in-service access completes, or ``None``."""
+        return self._pending[0][0] if self._pending else None

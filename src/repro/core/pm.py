@@ -112,6 +112,9 @@ class ProcessingModule(Component):
         #: Set False to stop issuing new misses (used to drain the
         #: network at the end of conservation tests).
         self.generation_enabled = True
+        self._outstanding_limit = workload.outstanding
+        self._can_issue = lambda: self.outstanding < self._outstanding_limit
+        self._next_issue_cycle = getattr(self.generator, "next_issue_cycle", None)
 
     # ------------------------------------------------------------------
     def _new_transaction_id(self) -> int:
@@ -151,8 +154,15 @@ class ProcessingModule(Component):
         ptype = PacketType.READ_REQUEST if is_read else PacketType.WRITE_REQUEST
         request = self._make_request(ptype, target, cycle)
         self.outstanding += 1
+        if is_read:
+            self.metrics.reads_issued += 1
+        else:
+            self.metrics.writes_issued += 1
+        self.metrics.remote_issued += 1
         self.open_transactions.add(request.transaction_id)
         self._req_staging.append(request)
+        if self._engine is not None:
+            self._engine.wake(self)
         return request
 
     # ------------------------------------------------------------------
@@ -204,9 +214,7 @@ class ProcessingModule(Component):
     def _generate(self, cycle: int) -> None:
         if not self.generation_enabled:
             return
-        miss = self.generator.poll(
-            cycle, can_issue=lambda: self.outstanding < self.workload.outstanding
-        )
+        miss = self.generator.poll(cycle, can_issue=self._can_issue)
         if miss is None:
             return
         self.outstanding += 1
@@ -239,3 +247,44 @@ class ProcessingModule(Component):
                 queue.push_packet(iter(packet.flits))
                 if packet.ptype.is_request:
                     engine.packets_in_flight += 1
+
+    # ------------------------------------------------------------------
+    # active-set scheduling contract (see core.engine.Component)
+    # ------------------------------------------------------------------
+    def may_sleep_propose(self) -> bool:
+        return True  # PMs never propose; injection happens in update()
+
+    def update_wake_buffers(self) -> tuple[FlitBuffer, ...]:
+        return (self.in_queue,)
+
+    def drain_wake_buffers(self) -> tuple[FlitBuffer, ...]:
+        return (self.out_req, self.out_resp)
+
+    def update_output_buffers(self) -> tuple[FlitBuffer, ...]:
+        return (self.out_resp, self.out_req)
+
+    def next_update_cycle(self, engine: Engine) -> int | None:
+        """Earliest future cycle with work: a timer, or a staged packet.
+
+        Staged packets that could not drain this cycle are waiting for
+        the output queue to free up, which is a declared drain-wake
+        event — so they do not keep the PM hot by themselves.  Ejection
+        is fill-woken through ``in_queue``; only the three timer-like
+        events (memory service, local completion, next generated miss)
+        need an explicit wake cycle.
+        """
+        cycle = engine.cycle
+        nxt = self.memory.next_ready_cycle
+        if self._local_pending:
+            local = self._local_pending[0][0]
+            if nxt is None or local < nxt:
+                nxt = local
+        if self.generation_enabled:
+            if self._next_issue_cycle is None:
+                return cycle + 1  # unknown miss source: poll every cycle
+            issue = self._next_issue_cycle(cycle)
+            if issue is not None and (nxt is None or issue < nxt):
+                nxt = issue
+        if nxt is None:
+            return None
+        return nxt if nxt > cycle else cycle + 1

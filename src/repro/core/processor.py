@@ -38,6 +38,13 @@ class MissSource(Protocol):
     trace-driven workload (:mod:`repro.workload.trace`) provides a
     player with the same interface, so a PM never knows whether its
     misses are synthetic or replayed.
+
+    Sources may additionally implement
+    ``next_issue_cycle(cycle) -> int | None`` — the earliest future
+    cycle at which ``poll`` could release a miss (``None`` while a
+    released miss is parked waiting for an outstanding slot).  The
+    active-set scheduler uses it to let an idle PM sleep; sources
+    without it simply keep their PM polling every cycle.
     """
 
     def poll(self, cycle: int, can_issue: "Callable[[], bool]") -> "Miss | None": ...
@@ -52,10 +59,41 @@ class Miss:
     generated_cycle: int
 
 
-class MissGenerator:
-    """Bernoulli-per-cycle miss source with a one-deep blocked-miss slot."""
+#: How many cycles of Bernoulli draws a scheduling query runs ahead of
+#: real time.  Bounds the work per query at very low miss rates (where
+#: the next success may be astronomically far away) while keeping the
+#: timer wakes of an idle PM rare.
+LOOKAHEAD_CHUNK = 4096
 
-    __slots__ = ("pm_id", "workload", "rng", "_pending", "misses_generated", "_select")
+
+class MissGenerator:
+    """Bernoulli-per-cycle miss source with a one-deep blocked-miss slot.
+
+    While the processor is unblocked the per-cycle Bernoulli draws are
+    independent of network state, so the generator may draw them *ahead*
+    of real time: :meth:`next_issue_cycle` bursts up to
+    :data:`LOOKAHEAD_CHUNK` cycles of draws looking for the next success
+    and parks the resulting miss as ``_scheduled``.  Every cycle is
+    drawn exactly once, in order, whether it is drawn lazily (one draw
+    per ``poll``, the full-scan scheduler's pattern) or in a burst — so
+    the random stream is consumed identically either way.  While a miss
+    is blocked waiting for an outstanding slot no draws occur, and after
+    it issues at cycle *r* drawing resumes at *r + 1* — again exactly as
+    in the one-draw-per-poll formulation, making results bit-identical
+    under both schedulers.
+    """
+
+    __slots__ = (
+        "pm_id",
+        "workload",
+        "rng",
+        "_pending",
+        "misses_generated",
+        "_select",
+        "_scheduled",
+        "_scheduled_cycle",
+        "_next_draw_cycle",
+    )
 
     def __init__(
         self,
@@ -70,14 +108,63 @@ class MissGenerator:
         self._select: TargetSelector = select_target
         self._pending: Miss | None = None
         self.misses_generated = 0
+        self._scheduled: Miss | None = None
+        self._scheduled_cycle = 0
+        self._next_draw_cycle = 0
 
     @property
     def blocked(self) -> bool:
         """True when a generated miss is waiting for an outstanding slot."""
         return self._pending is not None
 
+    def _advance_schedule(self, limit: int) -> None:
+        """Draw the per-cycle Bernoullis for every cycle up to *limit*.
+
+        Stops early at the first success (the scheduled miss must be
+        consumed before later cycles may be drawn — consuming it while
+        blocked suspends drawing entirely, exactly as lazy per-poll
+        drawing would).
+        """
+        if self._scheduled is not None or self._pending is not None:
+            return
+        rng = self.rng
+        rng_random = rng.random
+        miss_rate = self.workload.miss_rate
+        cycle = self._next_draw_cycle
+        while cycle <= limit:
+            if rng_random() < miss_rate:
+                self._scheduled = Miss(
+                    is_read=rng_random() < self.workload.read_fraction,
+                    target=self._select(self.pm_id, rng),
+                    generated_cycle=cycle,
+                )
+                self._scheduled_cycle = cycle
+                self._next_draw_cycle = cycle + 1
+                return
+            cycle += 1
+        self._next_draw_cycle = cycle
+
+    def next_issue_cycle(self, cycle: int) -> int | None:
+        """Cycle at which ``poll`` will next have a miss to release.
+
+        ``None`` while a miss is parked blocked (its release is gated on
+        an outstanding slot freeing, which the PM observes through its
+        own wake events) and at zero load.  When the bounded lookahead
+        finds no success, returns the first undrawn cycle so the PM
+        wakes to draw the next chunk.
+        """
+        if self._pending is not None:
+            return None
+        if self._scheduled is None:
+            if self.workload.miss_rate <= 0.0:
+                return None  # zero load: no miss, ever
+            self._advance_schedule(cycle + LOOKAHEAD_CHUNK)
+        if self._scheduled is not None:
+            return self._scheduled_cycle
+        return self._next_draw_cycle
+
     def poll(self, cycle: int, can_issue: Callable[[], bool]) -> Miss | None:
-        """Advance one cycle; return a miss to issue now, if any.
+        """Advance to ``cycle``; return a miss to issue now, if any.
 
         ``can_issue`` reports whether the processor has a free
         outstanding-transaction slot *right now* (it is re-queried after
@@ -87,16 +174,15 @@ class MissGenerator:
             if not can_issue():
                 return None
             miss, self._pending = self._pending, None
+            self._next_draw_cycle = cycle + 1
             return miss
-        if self.rng.random() >= self.workload.miss_rate:
+        self._advance_schedule(cycle)
+        if self._scheduled is None or self._scheduled_cycle > cycle:
             return None
-        miss = Miss(
-            is_read=self.rng.random() < self.workload.read_fraction,
-            target=self._select(self.pm_id, self.rng),
-            generated_cycle=cycle,
-        )
+        miss, self._scheduled = self._scheduled, None
         self.misses_generated += 1
         if can_issue():
+            self._next_draw_cycle = cycle + 1
             return miss
         self._pending = miss
         return None

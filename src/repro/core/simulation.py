@@ -156,6 +156,7 @@ def simulate(
     engine = Engine(
         deadlock_threshold=params.deadlock_threshold,
         flow_control=params.flow_control,
+        scheduler=params.scheduler,
     )
     network.register(engine)
 

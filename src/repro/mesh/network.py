@@ -76,10 +76,10 @@ class MeshNetwork:
 
     # ------------------------------------------------------------------
     def register(self, engine: Engine) -> None:
-        for pm in self.pms:
-            engine.add_component(pm)
-        for router in self.routers:
-            engine.add_component(router)
+        # PMs first: update order (and hence metric recording order)
+        # is registration order, shared by both schedulers.
+        engine.add_components(self.pms)
+        engine.add_components(self.routers)
         for channel in self.channels:
             engine.register_channel(channel)
 

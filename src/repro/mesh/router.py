@@ -76,6 +76,16 @@ class MeshRouter(Component):
         self._input_of_source[pm.out_req] = LOCAL
         self._output_of_dest: dict[FlitBuffer, str] = {pm.in_queue: LOCAL}
 
+        # Wired outputs in arbitration order, rebuilt by connect();
+        # propose() walks this every active cycle.
+        self._connected: tuple[str, ...] = (LOCAL,)
+        self._local_queues = (pm.out_resp, pm.out_req)
+        self._wake_buffers = (
+            *self.input_buffers.values(),
+            pm.out_resp,
+            pm.out_req,
+        )
+
         self.packets_routed = 0
 
     # ------------------------------------------------------------------
@@ -87,16 +97,36 @@ class MeshRouter(Component):
         self._out_dest[direction] = dest
         self._out_channel[direction] = channel
         self._output_of_dest[dest] = direction
+        self._connected = tuple(d for d in OUTPUT_ORDER if d in self._out_dest)
 
     @property
     def connected_outputs(self) -> list[str]:
-        return [d for d in OUTPUT_ORDER if d in self._out_dest]
+        return list(self._connected)
+
+    # ------------------------------------------------------------------
+    # active-set scheduling contract (see core.engine.Component)
+    # ------------------------------------------------------------------
+    def propose_wake_buffers(self) -> tuple[FlitBuffer, ...]:
+        return self._wake_buffers
+
+    def may_sleep_propose(self) -> bool:
+        """Idle iff no output is mid-packet and every feed buffer is empty."""
+        for lock in self._output_lock.values():
+            if lock is not None:
+                return False
+        for buffer in self._wake_buffers:
+            if buffer._flits:
+                return False
+        return True
+
+    def next_update_cycle(self, engine: Engine) -> int | None:
+        return None  # routers have no update(); all work happens in propose()
 
     # ------------------------------------------------------------------
     def _head_candidate(self, in_key: str) -> tuple[Flit, FlitBuffer] | None:
         """The new-packet head flit offered by input *in_key*, if any."""
         if in_key == LOCAL:
-            for queue in (self.pm.out_resp, self.pm.out_req):
+            for queue in self._local_queues:
                 flit = queue.peek()
                 if flit is not None:
                     if not flit.is_head:
@@ -121,8 +151,9 @@ class MeshRouter(Component):
 
     # ------------------------------------------------------------------
     def propose(self, engine: Engine) -> None:
-        for out_key in self.connected_outputs:
-            lock = self._output_lock[out_key]
+        output_lock = self._output_lock
+        for out_key in self._connected:
+            lock = output_lock[out_key]
             if lock is not None:
                 self._propose_continuation(engine, out_key, lock)
             else:

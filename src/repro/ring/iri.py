@@ -55,6 +55,17 @@ class InterRingInterface:
         #: full to hold it entirely recirculates instead of blocking.
         self.slotted = slotted
 
+        # PM ids are assigned depth-first, so the child subtree is the
+        # contiguous id range [lo, hi) — an O(1) classification test,
+        # where spec.in_subtree would re-derive the mixed-radix address
+        # of every head flit's destination.
+        subtree_size = 1
+        for radix in spec.branching[len(child_prefix):]:
+            subtree_size *= radix
+        pad = (0,) * (spec.levels - len(child_prefix))
+        self._subtree_lo = spec.pm_id_of(child_prefix + pad)
+        self._subtree_hi = self._subtree_lo + subtree_size
+
         self.up_req = FlitBuffer(f"{name}.up_req", capacity=buffer_flits)
         self.up_resp = FlitBuffer(f"{name}.up_resp", capacity=buffer_flits)
         self.down_req = FlitBuffer(f"{name}.down_req", capacity=buffer_flits)
@@ -115,14 +126,14 @@ class InterRingInterface:
 
     def _classify_lower(self, packet: Packet) -> FlitBuffer:
         """Arriving on the child ring: ascend unless destined in-subtree."""
-        if self.spec.in_subtree(packet.destination, self.child_prefix):
+        if self._subtree_lo <= packet.destination < self._subtree_hi:
             return self.lower_port.transit_buffer
         queue = self.up_resp if packet.ptype.is_response else self.up_req
         return self._take_or_recirculate(queue, packet, self.lower_port.transit_buffer)
 
     def _classify_upper(self, packet: Packet) -> FlitBuffer:
         """Arriving on the parent ring: descend if destined in-subtree."""
-        if self.spec.in_subtree(packet.destination, self.child_prefix):
+        if self._subtree_lo <= packet.destination < self._subtree_hi:
             queue = self.down_resp if packet.ptype.is_response else self.down_req
             return self._take_or_recirculate(
                 queue, packet, self.upper_port.transit_buffer

@@ -37,6 +37,10 @@ class RingNIC(RingPort):
         slotted: bool = False,
     ):
         self.pm = pm
+        # classify() runs on every head flit passing the NIC; avoid the
+        # two attribute hops through the PM each time.
+        self._pm_id = pm.pm_id
+        self._pm_in_queue = pm.in_queue
         ring_buffer = FlitBuffer(f"{name}.ring_buffer", capacity=ring_buffer_flits)
         injection = (
             [pm.out_resp, pm.out_req] if response_first else [pm.out_req, pm.out_resp]
@@ -52,6 +56,6 @@ class RingNIC(RingPort):
         )
 
     def _classify(self, packet: Packet) -> FlitBuffer:
-        if packet.destination == self.pm.pm_id:
-            return self.pm.in_queue
+        if packet.destination == self._pm_id:
+            return self._pm_in_queue
         return self.transit_buffer

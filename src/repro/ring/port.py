@@ -60,6 +60,13 @@ class RingPort(Component):
         #: local insertions (register-insertion style) so neither can
         #: starve the other.
         self.slotted = slotted
+        #: Send arbitration order, precomputed: priority never changes
+        #: after construction and propose() walks it every active cycle.
+        self.sources_by_priority: tuple[FlitBuffer, ...] = (
+            (transit_buffer, *injection_sources)
+            if transit_first
+            else (*injection_sources, transit_buffer)
+        )
         self._insertion_turn = False
         # Wired by the network builder:
         self.out_channel: Channel | None = None
@@ -79,11 +86,23 @@ class RingPort(Component):
         self.out_channel = channel
         downstream.in_channel = channel
 
-    @property
-    def sources_by_priority(self) -> list[FlitBuffer]:
-        if self.transit_first:
-            return [self.transit_buffer, *self.injection_sources]
-        return [*self.injection_sources, self.transit_buffer]
+    # ------------------------------------------------------------------
+    # active-set scheduling contract (see core.engine.Component)
+    # ------------------------------------------------------------------
+    def propose_wake_buffers(self) -> tuple[FlitBuffer, ...]:
+        return self.sources_by_priority
+
+    def may_sleep_propose(self) -> bool:
+        """Idle iff no open wormhole send and every send buffer is empty."""
+        if self._sending is not None:
+            return False
+        for source in self.sources_by_priority:
+            if source._flits:
+                return False
+        return True
+
+    def next_update_cycle(self, engine: Engine) -> int | None:
+        return None  # ports have no update(); all work happens in propose()
 
     # ------------------------------------------------------------------
     def propose(self, engine: Engine) -> None:

@@ -101,6 +101,10 @@ def workload_from_payload(payload: dict) -> WorkloadConfig:
 
 
 def params_payload(params: SimulationParams) -> dict:
+    # ``params.scheduler`` is deliberately omitted: the two schedulers
+    # are behavior-identical (enforced by the kernel equivalence tests),
+    # so cache keys and result payloads must not depend on which one
+    # computed a point.
     return {
         "batch_cycles": params.batch_cycles,
         "batches": params.batches,

@@ -160,6 +160,22 @@ class TracePlayer:
     def exhausted(self) -> bool:
         return not self._pending and not self.repeat
 
+    def next_issue_cycle(self, cycle: int) -> int | None:
+        """Earliest cycle ``poll`` could release a record (see MissSource).
+
+        An exhausted player never releases again (``None`` lets its PM
+        sleep for good).  In repeat mode the refill offset is stamped by
+        the next ``poll`` call, so the PM must keep polling; and a due
+        record returns a past cycle, which the PM clamps to "next
+        cycle" — polling every cycle while blocked, exactly like the
+        full-scan scheduler.
+        """
+        if not self._pending:
+            if not self.repeat or not self._original:
+                return None
+            return cycle + 1
+        return self._pending[0].cycle + self._cycle_offset
+
     def poll(self, cycle: int, can_issue: Callable[[], bool]) -> Miss | None:
         if not self._pending:
             if not self.repeat or not self._original:
