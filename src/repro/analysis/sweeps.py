@@ -103,6 +103,21 @@ class SweepResult:
         self.series[name] = created
         return created
 
+    def unconverged_points(self) -> list[str]:
+        """Points whose simulation saturated without converging.
+
+        Experiments stamp ``saturated=...`` into each point's series
+        meta (from :attr:`SimulationResult.saturated`); this collects
+        the flagged ones as human-readable descriptions so the CLI can
+        fail a run whose numbers are not statistically trustworthy.
+        """
+        problems: list[str] = []
+        for name, series in self.series.items():
+            for x, meta in zip(series.xs, series.meta):
+                if meta.get("saturated"):
+                    problems.append(f"series {name!r} at {self.x_label}={x:g}")
+        return problems
+
     def format_table(self) -> str:
         """Render all series as one aligned text table (union of xs)."""
         all_xs: list[float] = []

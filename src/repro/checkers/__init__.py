@@ -1,0 +1,53 @@
+"""Simulator-specific static analysis.
+
+The whole value of this reproduction rests on *bit-identical
+determinism* (jobs-1-vs-N byte-identical JSON, active-set vs naive
+scheduler equivalence) and on structural correctness claims the paper
+makes but never re-checks (transit-priority rings and e-cube meshes are
+deadlock-free, ring buffers are packet-sized).  Nothing in a dynamic
+test suite stops the next change from iterating an unordered ``set``,
+pulling an unseeded RNG, or mutating engine state outside its kernel
+phase — the hazards only show up as rare, unreproducible divergence.
+
+This package checks those properties *statically*, in two layers:
+
+* **Layer 1 — AST lints** (:mod:`repro.checkers.lint`,
+  :mod:`repro.checkers.rules`): a small rule framework (registry,
+  per-rule codes, ``# repro: noqa[CODE]`` suppressions, JSON and human
+  output) with simulator-specific rules RPR001-RPR004.
+* **Layer 2 — static model checker** (:mod:`repro.checkers.model`):
+  builds the ring-hierarchy and mesh topology graphs without running a
+  simulation and verifies deadlock freedom (acyclic channel-dependency
+  graph under e-cube XY routing; ring wait-for cycles limited to the
+  rotating transit rings), packet-sized buffering, the paper's 2x2 IRI
+  crossbar spec, and routing totality.
+
+Run both from the command line::
+
+    python -m repro.checkers --strict
+
+which is also what the CI ``checks`` job gates on.
+"""
+
+from __future__ import annotations
+
+from .lint import Finding, LintRule, all_rules, lint_file, lint_tree, rule
+from .model import (
+    ModelFinding,
+    paper_model_report,
+    verify_mesh_network,
+    verify_ring_network,
+)
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "ModelFinding",
+    "all_rules",
+    "lint_file",
+    "lint_tree",
+    "paper_model_report",
+    "rule",
+    "verify_mesh_network",
+    "verify_ring_network",
+]

@@ -1,0 +1,135 @@
+"""``python -m repro.checkers`` — run both static analysis layers.
+
+Exit status: 0 when every check passes, 1 when the lint layer reports
+findings, 2 when the model checker does (3 when both do).  ``--json``
+emits a machine-readable report; the default output is one line per
+finding plus a summary, which is what the CI ``checks`` job greps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .lint import Finding, all_rules, lint_tree
+from .model import ModelFinding, paper_model_report
+
+EXIT_OK = 0
+EXIT_LINT = 1
+EXIT_MODEL = 2
+
+
+def _package_root() -> Path:
+    """The ``src/repro`` tree this installation runs from."""
+    return Path(__file__).resolve().parents[1]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.checkers",
+        description="Simulator-specific static analysis: determinism / "
+        "phase-discipline lints plus the static deadlock and invariant "
+        "verifier.",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="package tree to lint (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on blanket '# repro: noqa' suppressions without "
+        "a rule code",
+    )
+    parser.add_argument(
+        "--lint-only",
+        action="store_true",
+        help="run only the AST lint layer",
+    )
+    parser.add_argument(
+        "--model-only",
+        action="store_true",
+        help="run only the static model checker",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit a JSON report instead of human-readable lines",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered lint rules and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    options = build_parser().parse_args(argv)
+    if options.lint_only and options.model_only:
+        print("--lint-only and --model-only are mutually exclusive", file=sys.stderr)
+        return 2
+
+    if options.list_rules:
+        for lint_rule in all_rules():
+            print(f"{lint_rule.code}  {lint_rule.name}")
+            print(f"    scope: {', '.join(lint_rule.scope)}")
+            print(f"    {lint_rule.description}")
+        return EXIT_OK
+
+    root = (options.root or _package_root()).resolve()
+    lint_findings: list[Finding] = []
+    model_findings: list[ModelFinding] = []
+    model_stats: dict[str, int] = {}
+
+    if not options.model_only:
+        lint_findings = lint_tree(root, strict=options.strict)
+    if not options.lint_only:
+        model_findings, model_stats = paper_model_report()
+
+    if options.as_json:
+        print(
+            json.dumps(
+                {
+                    "root": str(root),
+                    "lint": [finding.payload() for finding in lint_findings],
+                    "model": [finding.payload() for finding in model_findings],
+                    "model_stats": model_stats,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for finding in lint_findings:
+            print(finding.format())
+        for model_finding in model_findings:
+            print(model_finding.format())
+        parts = []
+        if not options.model_only:
+            parts.append(f"lint: {len(lint_findings)} finding(s)")
+        if not options.lint_only:
+            parts.append(
+                f"model: {len(model_findings)} finding(s) over "
+                f"{model_stats.get('ring_configs', 0)} ring + "
+                f"{model_stats.get('mesh_configs', 0)} mesh configs "
+                f"({model_stats.get('routes_walked', 0)} routes walked)"
+            )
+        print("; ".join(parts))
+
+    status = EXIT_OK
+    if lint_findings:
+        status |= EXIT_LINT
+    if model_findings:
+        status |= EXIT_MODEL
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

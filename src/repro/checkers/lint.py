@@ -1,0 +1,232 @@
+"""The AST lint engine: rules, findings, suppressions, tree walking.
+
+A :class:`LintRule` couples a code (``RPR001``), a scope (which
+top-level ``repro`` sub-packages it applies to) and a check function
+mapping a parsed module to :class:`Finding` objects.  Rules register
+themselves through the :func:`rule` decorator at import time; the
+engine walks a source tree, matches each file against every rule's
+scope, and filters the findings through ``# repro: noqa[CODE]``
+suppression comments.
+
+Suppressions are deliberate and visible: a bare ``# repro: noqa``
+(without a code) suppresses everything on its line but is itself
+reported as a finding under ``--strict``, so blanket opt-outs cannot
+accumulate silently.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+#: Matches the suppression marker in comments — bare, or carrying the
+#: suppressed codes in brackets (``[RPR001,RPR003]``).
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9, ]+)\])?", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    column: int = 0
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.column + 1}: {self.code} {self.message}"
+
+    def payload(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+        }
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule sees about one source file."""
+
+    path: Path
+    relative: str
+    source: str
+    tree: ast.Module
+
+    def finding(self, code: str, message: str, node: ast.AST) -> Finding:
+        return Finding(
+            code=code,
+            message=message,
+            path=self.relative,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+        )
+
+
+CheckFunction = Callable[[ModuleContext], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """A registered lint rule."""
+
+    code: str
+    name: str
+    description: str
+    scope: tuple[str, ...]
+    check: CheckFunction
+
+    def applies_to(self, relative: str) -> bool:
+        """Whether *relative* (posix path under the tree root) is in scope."""
+        if not self.scope:
+            return True
+        first = relative.split("/", 1)[0]
+        return first in self.scope
+
+
+_REGISTRY: dict[str, LintRule] = {}
+
+
+def rule(
+    code: str, name: str, description: str, scope: tuple[str, ...]
+) -> Callable[[CheckFunction], CheckFunction]:
+    """Class/function decorator registering a check under *code*."""
+
+    def decorate(check: CheckFunction) -> CheckFunction:
+        if code in _REGISTRY:
+            raise ValueError(f"duplicate lint rule code {code!r}")
+        _REGISTRY[code] = LintRule(
+            code=code, name=name, description=description, scope=scope, check=check
+        )
+        return check
+
+    return decorate
+
+
+def all_rules() -> tuple[LintRule, ...]:
+    """Every registered rule, sorted by code."""
+    from . import rules as _rules  # noqa: F401  (registration side effects)
+
+    return tuple(_REGISTRY[code] for code in sorted(_REGISTRY))
+
+
+@dataclass
+class Suppressions:
+    """Per-line ``# repro: noqa`` markers of one file."""
+
+    #: line -> frozenset of codes; an empty set means "suppress all".
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    @classmethod
+    def scan(cls, source: str) -> "Suppressions":
+        found: dict[int, frozenset[str]] = {}
+        # Tokenize so only real comments count — the marker text may
+        # legitimately appear inside docstrings (this package documents
+        # itself) without suppressing anything.
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(source).readline)
+            )
+        except (tokenize.TokenizeError, SyntaxError):
+            return cls(found)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
+            if match is None:
+                continue
+            lineno = token.start[0]
+            codes = match.group("codes")
+            if codes is None:
+                found[lineno] = frozenset()
+            else:
+                found[lineno] = frozenset(
+                    code.strip().upper() for code in codes.split(",") if code.strip()
+                )
+        return cls(found)
+
+    def suppresses(self, finding: Finding) -> bool:
+        codes = self.by_line.get(finding.line)
+        if codes is None:
+            return False
+        return not codes or finding.code in codes
+
+    def blanket_findings(self, relative: str) -> list[Finding]:
+        """Report code-less ``# repro: noqa`` markers (strict mode)."""
+        return [
+            Finding(
+                code="RPR000",
+                message=(
+                    "blanket '# repro: noqa' without a rule code; "
+                    "name the codes being suppressed, e.g. noqa[RPR002]"
+                ),
+                path=relative,
+                line=line,
+            )
+            for line, codes in sorted(self.by_line.items())
+            if not codes
+        ]
+
+
+def lint_file(
+    path: Path,
+    root: Path,
+    rules: Iterable[LintRule] | None = None,
+    strict: bool = False,
+) -> list[Finding]:
+    """Lint one file against every in-scope rule."""
+    active = tuple(rules) if rules is not None else all_rules()
+    relative = path.resolve().relative_to(root.resolve()).as_posix()
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                code="RPR999",
+                message=f"syntax error: {exc.msg}",
+                path=relative,
+                line=exc.lineno or 1,
+            )
+        ]
+    context = ModuleContext(path=path, relative=relative, source=source, tree=tree)
+    suppressions = Suppressions.scan(source)
+    findings: list[Finding] = []
+    for lint_rule in active:
+        if not lint_rule.applies_to(relative):
+            continue
+        for finding in lint_rule.check(context):
+            if not suppressions.suppresses(finding):
+                findings.append(finding)
+    if strict:
+        findings.extend(suppressions.blanket_findings(relative))
+    findings.sort(key=lambda f: (f.line, f.column, f.code))
+    return findings
+
+
+def _iter_python_files(root: Path) -> Iterator[Path]:
+    for path in sorted(root.rglob("*.py")):
+        yield path
+
+
+def lint_tree(
+    root: Path,
+    rules: Iterable[LintRule] | None = None,
+    strict: bool = False,
+) -> list[Finding]:
+    """Lint every ``.py`` file under *root* (scopes are relative to it)."""
+    active = tuple(rules) if rules is not None else all_rules()
+    findings: list[Finding] = []
+    for path in _iter_python_files(root):
+        findings.extend(lint_file(path, root, rules=active, strict=strict))
+    return findings

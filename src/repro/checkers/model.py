@@ -1,0 +1,684 @@
+"""Layer 2 — the static model checker.
+
+Builds the *real* network objects (construction wires every buffer,
+channel and classifier but runs no simulation) and verifies, purely
+structurally, the properties the paper asserts and the simulator
+assumes:
+
+* **Deadlock freedom.**  For the mesh, the channel-dependency graph
+  under e-cube XY routing must be acyclic (the paper's Section 2
+  argument).  For the hierarchical ring, buffer wait-for cycles are
+  computed from all-pairs route walks through the actual ``classify``
+  functions; the only admissible strongly-connected components are the
+  transit-buffer rotations of individual rings, which cannot deadlock
+  because (a) inter-ring and ejection dependencies leave the SCC — the
+  up-then-down level changes are monotone, so a packet re-enters no
+  ring — and (b) the engine's bypass flow control advances a full ring
+  of packet-sized transit buffers simultaneously (every flit moves into
+  the slot its downstream neighbour vacates the same cycle), so the
+  rotation itself always makes progress given transit priority and the
+  unbounded ejection sinks.  Any SCC that mixes rings, includes an
+  inter-ring queue, or covers only part of a ring breaks that argument
+  and is reported.
+* **Buffering invariants.**  Every ring transit buffer and IRI queue
+  holds at least one full cache-line packet (wormhole stalls would
+  otherwise wedge a packet across a ring change), mesh input buffers
+  match the configured depth, and every PM ejection sink is unbounded
+  (DESIGN.md's protocol-deadlock rule).
+* **IRI 2x2 crossbar spec** (paper Figure 4): exactly two ports per
+  IRI, six single-packet buffers, split request/response queues on both
+  the up and down paths.
+* **Routing totality.**  Every PM reaches every other: mesh e-cube
+  paths terminate at the destination in exactly the Manhattan distance;
+  ring route walks (both request and response framing) terminate in the
+  destination PM's ejection sink within a bounded hop count.
+
+Everything here is pure graph analysis on constructed objects — no
+``Engine`` is ever created, no cycle simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence, TypeVar
+
+from ..core.buffers import FlitBuffer
+from ..core.config import (
+    CACHE_LINE_SIZES,
+    MeshSystemConfig,
+    RingSystemConfig,
+    WorkloadConfig,
+)
+from ..core.packet import Packet, PacketType
+from ..core.pm import MetricsHub
+from ..mesh.network import MeshNetwork
+from ..mesh.routing import LOCAL, ecube_path
+from ..mesh.topology import OPPOSITE, MeshShape
+from ..ring.network import HierarchicalRingNetwork
+from ..ring.port import RingPort
+from ..ring.topology import PAPER_TABLE2
+
+#: Safety bound on ring route walks, in buffer hops per walk, as a
+#: multiple of the total port count (a legal route visits each port at
+#: most once per level transition; 4x leaves slack for diagnostics).
+_WALK_HOP_FACTOR = 4
+
+#: Graph node type for the SCC helpers (ints for mesh channels,
+#: ``(buffer id, phase)`` tuples for ring wait-for analysis).
+_N = TypeVar("_N", bound="int | tuple[int, bool]")
+
+
+@dataclass(frozen=True)
+class ModelFinding:
+    """One violated structural invariant of a built network."""
+
+    check: str
+    subject: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.subject}: {self.check}: {self.message}"
+
+    def payload(self) -> dict[str, object]:
+        return {"check": self.check, "subject": self.subject, "message": self.message}
+
+
+def _probe_packet(source: int, destination: int, ptype: PacketType) -> Packet:
+    """A minimal synthetic packet for classification walks."""
+    return Packet(
+        ptype=ptype,
+        source=source,
+        destination=destination,
+        size_flits=1,
+        transaction_id=0,
+        issue_cycle=0,
+    )
+
+
+# ----------------------------------------------------------------------
+# generic graph helpers
+# ----------------------------------------------------------------------
+def _strongly_connected_components(
+    nodes: Sequence[_N], edges: Mapping[_N, set[_N]]
+) -> list[list[_N]]:
+    """Tarjan's SCC algorithm, iterative (rings can be deep)."""
+    index_of: dict[_N, int] = {}
+    lowlink: dict[_N, int] = {}
+    on_stack: set[_N] = set()
+    stack: list[_N] = []
+    components: list[list[_N]] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index_of:
+            continue
+        work: list[tuple[_N, Iterator[_N]]] = [
+            (root, iter(sorted(edges.get(root, ()))))
+        ]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index_of:
+                    index_of[successor] = lowlink[successor] = counter
+                    counter += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append(
+                        (successor, iter(sorted(edges.get(successor, ()))))
+                    )
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: list[_N] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def _nontrivial_sccs(
+    nodes: Sequence[_N], edges: Mapping[_N, set[_N]]
+) -> list[list[_N]]:
+    return [
+        component
+        for component in _strongly_connected_components(nodes, edges)
+        if len(component) > 1
+        or component[0] in edges.get(component[0], set())
+    ]
+
+
+# ----------------------------------------------------------------------
+# hierarchical ring verification
+# ----------------------------------------------------------------------
+def _build_ring_network(config: RingSystemConfig) -> HierarchicalRingNetwork:
+    return HierarchicalRingNetwork(
+        config=config,
+        workload=WorkloadConfig(),
+        metrics=MetricsHub(),
+    )
+
+
+def _ring_structure_findings(
+    network: HierarchicalRingNetwork, subject: str
+) -> Iterator[ModelFinding]:
+    config = network.config
+    spec = network.spec
+    packet_flits = config.geometry.cl_packet_flits
+
+    if len(network.nics) != spec.processors:
+        yield ModelFinding(
+            "pm-count",
+            subject,
+            f"{len(network.nics)} NICs for {spec.processors} processors",
+        )
+    if len(network.iris) != spec.iri_count():
+        yield ModelFinding(
+            "iri-count",
+            subject,
+            f"{len(network.iris)} IRIs built, topology needs {spec.iri_count()}",
+        )
+
+    # Buffer capacities: every ring-side buffer holds >= one full
+    # cache-line packet; ejection sinks are unbounded.
+    def check_capacity(buffer: FlitBuffer) -> Iterator[ModelFinding]:
+        if buffer.capacity is None or buffer.capacity < packet_flits:
+            yield ModelFinding(
+                "buffer-capacity",
+                subject,
+                f"buffer {buffer.name!r} holds "
+                f"{buffer.capacity if buffer.capacity is not None else 'inf'} "
+                f"flits; a cache-line packet needs {packet_flits} "
+                "(wormhole ring changes would wedge mid-packet)",
+            )
+
+    for nic in network.nics:
+        yield from check_capacity(nic.transit_buffer)
+        if nic.pm.in_queue.capacity is not None:
+            yield ModelFinding(
+                "ejection-sink",
+                subject,
+                f"PM {nic.pm.pm_id} ejection sink is bounded "
+                f"({nic.pm.in_queue.capacity} flits); protocol deadlock "
+                "freedom requires unbounded endpoint sinks (DESIGN.md §4)",
+            )
+    for prefix in sorted(network.iris):
+        iri = network.iris[prefix]
+        # Figure 4's 2x2 crossbar: two ring ports, six buffers, split
+        # request/response queues both ways.
+        buffers = iri.buffers
+        if len(buffers) != 6 or len(set(id(b) for b in buffers)) != 6:
+            yield ModelFinding(
+                "iri-crossbar",
+                subject,
+                f"IRI {iri.name} has {len(buffers)} buffers, the 2x2 "
+                "crossbar spec needs 6 distinct (2 transit + up/down "
+                "request/response)",
+            )
+        for port in (iri.lower_port, iri.upper_port):
+            if len(port.injection_sources) != 2:
+                yield ModelFinding(
+                    "iri-crossbar",
+                    subject,
+                    f"IRI port {port.name} has "
+                    f"{len(port.injection_sources)} injection queues; the "
+                    "2x2 crossbar feeds each ring from split "
+                    "request/response queues (2)",
+                )
+        for buffer in buffers:
+            yield from check_capacity(buffer)
+
+    # Every ring is a single closed cycle in member order.
+    for prefix in spec.all_rings():
+        members = network._ring_members(prefix)
+        for position, port in enumerate(members):
+            expected = members[(position + 1) % len(members)]
+            if port.downstream is not expected:
+                yield ModelFinding(
+                    "ring-wiring",
+                    subject,
+                    f"ring {list(prefix)}: {port.name} feeds "
+                    f"{port.downstream.name if port.downstream else 'nothing'}, "
+                    f"expected {expected.name}",
+                )
+            if port.out_channel is None:
+                yield ModelFinding(
+                    "ring-wiring", subject, f"{port.name} has no output channel"
+                )
+
+
+def _drain_port_map(network: HierarchicalRingNetwork) -> dict[int, RingPort]:
+    """``id(buffer) -> port`` for every buffer some ring port drains."""
+    ports: list[RingPort] = list(network.nics)
+    for prefix in sorted(network.iris):
+        iri = network.iris[prefix]
+        ports.append(iri.lower_port)
+        ports.append(iri.upper_port)
+    drains: dict[int, RingPort] = {}
+    for port in ports:
+        for buffer in port.sources_by_priority:
+            drains[id(buffer)] = port
+    return drains
+
+
+def _walk_ring_route(
+    network: HierarchicalRingNetwork,
+    drains: Mapping[int, RingPort],
+    source: int,
+    destination: int,
+    ptype: PacketType,
+    max_hops: int,
+) -> tuple[list[FlitBuffer], ModelFinding | None]:
+    """Follow one packet's buffer sequence from injection to ejection.
+
+    Mirrors exactly what the simulation does per hop: the port draining
+    the packet's current buffer sends it to its downstream port, whose
+    ``classify`` picks the receiving buffer.
+    """
+    packet = _probe_packet(source, destination, ptype)
+    pm = network.pms[source]
+    start = pm.out_resp if ptype.is_response else pm.out_req
+    trail: list[FlitBuffer] = [start]
+    current = start
+    subject = f"route {source}->{destination} ({ptype.name})"
+    for _hop in range(max_hops):
+        port = drains.get(id(current))
+        if port is None:
+            return trail, ModelFinding(
+                "routing-totality",
+                subject,
+                f"packet stranded in {current.name!r}: no ring port "
+                "drains this buffer",
+            )
+        if port.downstream is None:
+            return trail, ModelFinding(
+                "routing-totality",
+                subject,
+                f"port {port.name} is not wired to a downstream port",
+            )
+        nxt = port.downstream.classify(packet)
+        trail.append(nxt)
+        target_pm = network.pms[destination]
+        if nxt is target_pm.in_queue:
+            return trail, None
+        if nxt.capacity is None:
+            return trail, ModelFinding(
+                "routing-totality",
+                subject,
+                f"packet ejected into {nxt.name!r}, which is not PM "
+                f"{destination}'s input queue",
+            )
+        current = nxt
+    return trail, ModelFinding(
+        "routing-totality",
+        subject,
+        f"route did not terminate within {max_hops} buffer hops "
+        "(routing livelock)",
+    )
+
+
+def verify_ring_network(
+    target: "HierarchicalRingNetwork | RingSystemConfig",
+    routes: bool = True,
+) -> list[ModelFinding]:
+    """Verify all static invariants of a hierarchical ring system.
+
+    *target* may be a config (a fresh network is built) or an
+    already-built network — the mis-wiring tests pass damaged instances
+    directly.  ``routes=False`` runs only the structural checks, which
+    is what the CLI uses for topologies differing from an
+    already-walked one only in cache-line size (routing is independent
+    of packet geometry).
+    """
+    network = (
+        target
+        if isinstance(target, HierarchicalRingNetwork)
+        else _build_ring_network(target)
+    )
+    subject = f"ring {network.spec} cl={network.config.cache_line_bytes}B"
+    findings = list(_ring_structure_findings(network, subject))
+    if not routes:
+        return findings
+
+    drains = _drain_port_map(network)
+    spec = network.spec
+    processors = spec.processors
+    max_hops = _WALK_HOP_FACTOR * max(len(drains), 8)
+
+    # Which ring each buffer lives on.  A port's transit buffer sits on
+    # the ring the port is a member of; an IRI's up queues feed the
+    # parent ring, its down queues the child ring; a PM's output queues
+    # feed its local ring.
+    ring_of: dict[int, tuple[int, ...]] = {}
+    transit_ring_of: dict[int, tuple[int, ...]] = {}
+    for prefix in spec.all_rings():
+        for port in network._ring_members(prefix):
+            ring_of[id(port.transit_buffer)] = prefix
+            transit_ring_of[id(port.transit_buffer)] = prefix
+    for child_prefix in sorted(network.iris):
+        iri = network.iris[child_prefix]
+        ring_of[id(iri.up_req)] = child_prefix[:-1]
+        ring_of[id(iri.up_resp)] = child_prefix[:-1]
+        ring_of[id(iri.down_req)] = child_prefix
+        ring_of[id(iri.down_resp)] = child_prefix
+    for pm in network.pms:
+        local = spec.local_ring_of(pm.pm_id)
+        ring_of[id(pm.out_req)] = local
+        ring_of[id(pm.out_resp)] = local
+        # Ejection sinks are normally unbounded and never enter the
+        # wait-for graph, but a mis-built bounded sink must map to a
+        # ring so the walk reports it instead of crashing.
+        ring_of[id(pm.in_queue)] = local
+
+    # Wait-for graph over bounded buffers, with each occupancy annotated
+    # by routing phase: *ascending* while the destination lies outside
+    # the subtree of the buffer's ring (the packet still has to climb),
+    # *descending* once inside.  The hierarchical route is monotone —
+    # ascend, turn exactly once, descend — so the same physical transit
+    # buffer serves two provably distinct dependency roles; without the
+    # annotation the roles conflate and every hierarchy looks cyclic.
+    # Unbounded ejection sinks never block, so edges into them are
+    # dropped.
+    Node = tuple[int, bool]
+    buffer_index: dict[int, FlitBuffer] = {}
+    edges: dict[Node, set[Node]] = {}
+    nodes: set[Node] = set()
+
+    def node(buffer: FlitBuffer, destination: int) -> Node:
+        buffer_index[id(buffer)] = buffer
+        descending = spec.in_subtree(destination, ring_of[id(buffer)])
+        key = (id(buffer), descending)
+        nodes.add(key)
+        return key
+
+    for source in range(processors):
+        for destination in range(processors):
+            if source == destination:
+                continue
+            for ptype in (PacketType.READ_REQUEST, PacketType.READ_RESPONSE):
+                trail, failure = _walk_ring_route(
+                    network, drains, source, destination, ptype, max_hops
+                )
+                if failure is not None:
+                    findings.append(failure)
+                    continue
+                for hop, nxt in zip(trail, trail[1:]):
+                    if nxt.capacity is None:
+                        continue  # ejection sinks absorb, never block
+                    edges.setdefault(node(hop, destination), set()).add(
+                        node(nxt, destination)
+                    )
+
+    # The only admissible wait-for cycles are single-ring transit
+    # rotations in a single phase: those always progress, because the
+    # bypass (greatest-fixed-point) flow control rotates a full ring of
+    # packet-sized buffers simultaneously and unbounded ejection plus
+    # the monotone descent guarantee the rotation eventually drains.
+    for component in _nontrivial_sccs(sorted(nodes), edges):
+        rings = {transit_ring_of.get(buffer_id) for buffer_id, __ in component}
+        phases = {descending for __, descending in component}
+        if len(rings) == 1 and None not in rings and len(phases) == 1:
+            continue
+        names = sorted(
+            f"{buffer_index[buffer_id].name}"
+            f"[{'desc' if descending else 'asc'}]"
+            for buffer_id, descending in component
+        )
+        if None in rings:
+            reason = (
+                "cycle passes through inter-ring or injection queues — "
+                "level changes are no longer monotone, the hierarchical "
+                "deadlock-freedom argument fails"
+            )
+        else:
+            reason = (
+                "cycle spans multiple rings or mixes ascent with descent "
+                "— the bypass-rotation progress argument does not cover it"
+            )
+        findings.append(
+            ModelFinding(
+                "deadlock-freedom",
+                subject,
+                f"unexpected wait-for cycle [{', '.join(names)}]: {reason}",
+            )
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# mesh verification
+# ----------------------------------------------------------------------
+def _build_mesh_network(config: MeshSystemConfig) -> MeshNetwork:
+    return MeshNetwork(
+        config=config,
+        workload=WorkloadConfig(),
+        metrics=MetricsHub(),
+    )
+
+
+def _mesh_structure_findings(
+    network: MeshNetwork, subject: str
+) -> Iterator[ModelFinding]:
+    config = network.config
+    shape = network.shape
+    depth = config.input_buffer_flits
+    for router in network.routers:
+        neighbors = shape.neighbors(router.node)
+        for direction, buffer in router.input_buffers.items():
+            if buffer.capacity != depth:
+                yield ModelFinding(
+                    "buffer-capacity",
+                    subject,
+                    f"{buffer.name!r} holds "
+                    f"{buffer.capacity if buffer.capacity is not None else 'inf'} "
+                    f"flits, configured depth is {depth}",
+                )
+        for direction, neighbor_id in neighbors.items():
+            dest = router._out_dest.get(direction)
+            expected = network.routers[neighbor_id].input_buffers[
+                OPPOSITE[direction]
+            ]
+            if dest is not expected:
+                yield ModelFinding(
+                    "mesh-wiring",
+                    subject,
+                    f"router {router.node} output {direction} feeds "
+                    f"{dest.name if dest is not None else 'nothing'!r}, "
+                    f"expected {expected.name!r}",
+                )
+        expected_outputs = set(neighbors) | {LOCAL}
+        if set(router.connected_outputs) != expected_outputs:
+            yield ModelFinding(
+                "mesh-wiring",
+                subject,
+                f"router {router.node} wires outputs "
+                f"{sorted(router.connected_outputs)}, expected "
+                f"{sorted(expected_outputs)}",
+            )
+        if router.pm.in_queue.capacity is not None:
+            yield ModelFinding(
+                "ejection-sink",
+                subject,
+                f"PM {router.node} ejection sink is bounded; protocol "
+                "deadlock freedom requires unbounded endpoint sinks",
+            )
+
+
+def _mesh_routing_findings(shape: MeshShape, subject: str) -> Iterator[ModelFinding]:
+    """Routing totality + channel-dependency-graph acyclicity."""
+    # Channels are (node, direction); ids are compact ints.
+    channel_id: dict[tuple[int, str], int] = {}
+    edges: dict[int, set[int]] = {}
+
+    def channel(node: int, direction: str) -> int:
+        key = (node, direction)
+        if key not in channel_id:
+            channel_id[key] = len(channel_id)
+        return channel_id[key]
+
+    for source in range(shape.processors):
+        for destination in range(shape.processors):
+            if source == destination:
+                continue
+            path = ecube_path(shape, source, destination)
+            if path[-1] != destination:
+                yield ModelFinding(
+                    "routing-totality",
+                    subject,
+                    f"e-cube route {source}->{destination} ends at {path[-1]}",
+                )
+                continue
+            if len(path) - 1 != shape.hop_distance(source, destination):
+                yield ModelFinding(
+                    "routing-minimality",
+                    subject,
+                    f"e-cube route {source}->{destination} takes "
+                    f"{len(path) - 1} hops, Manhattan distance is "
+                    f"{shape.hop_distance(source, destination)}",
+                )
+            previous: int | None = None
+            for here, nxt in zip(path, path[1:]):
+                direction = next(
+                    d for d, n in shape.neighbors(here).items() if n == nxt
+                )
+                current = channel(here, direction)
+                if previous is not None:
+                    edges.setdefault(previous, set()).add(current)
+                previous = current
+
+    cycles = _nontrivial_sccs(sorted(channel_id.values()), edges)
+    if cycles:
+        by_id = {cid: key for key, cid in channel_id.items()}
+        for component in cycles:
+            names = sorted(f"{node}.{direction}" for node, direction in
+                           (by_id[member] for member in component))
+            yield ModelFinding(
+                "deadlock-freedom",
+                subject,
+                "channel dependency graph has a cycle under e-cube XY "
+                f"routing: [{', '.join(names)}]",
+            )
+
+
+def verify_mesh_network(
+    target: "MeshNetwork | MeshSystemConfig",
+    routes: bool = True,
+) -> list[ModelFinding]:
+    """Verify all static invariants of a square-mesh system."""
+    network = (
+        target if isinstance(target, MeshNetwork) else _build_mesh_network(target)
+    )
+    subject = (
+        f"mesh {network.shape.side}x{network.shape.side} "
+        f"cl={network.config.cache_line_bytes}B "
+        f"buf={network.config.buffer_flits}"
+    )
+    findings = list(_mesh_structure_findings(network, subject))
+    if routes:
+        findings.extend(_mesh_routing_findings(network.shape, subject))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# paper coverage: every topology the fig06-fig21/table experiments use
+# ----------------------------------------------------------------------
+def paper_ring_configs() -> list[RingSystemConfig]:
+    """Every distinct ring config the experiment suite can build."""
+    from ..analysis.sweeps import growth_topologies, hierarchy_sweep, single_ring_sizes
+
+    seen: set[tuple[tuple[int, ...], int, int]] = set()
+    configs: list[RingSystemConfig] = []
+
+    def add(branching: tuple[int, ...], cache_line: int, speed: int = 1) -> None:
+        key = (branching, cache_line, speed)
+        if key in seen:
+            return
+        seen.add(key)
+        configs.append(
+            RingSystemConfig(
+                topology=branching,
+                cache_line_bytes=cache_line,
+                global_ring_speed=speed,
+            )
+        )
+
+    for cache_line in CACHE_LINE_SIZES:
+        for nodes in single_ring_sizes(cache_line, 64):
+            add((nodes,), cache_line)
+        for levels in (2, 3):
+            for __, branching in hierarchy_sweep(levels, cache_line, 150):
+                add(branching, cache_line)
+        for __, branching in growth_topologies(3, cache_line, 150, max_top_fan=5):
+            if len(branching) > 1:
+                add(branching, cache_line, speed=2)
+        for branching in PAPER_TABLE2[cache_line].values():
+            add(branching, cache_line)
+    return configs
+
+
+def paper_mesh_configs() -> list[MeshSystemConfig]:
+    """Every distinct mesh config the experiment suite can build."""
+    sides = (2, 3, 4, 5, 6, 7, 8, 9, 10, 11)
+    configs: list[MeshSystemConfig] = []
+    for cache_line in CACHE_LINE_SIZES:
+        for buffer_flits in (1, 4, "cl"):
+            for side in sides:
+                configs.append(
+                    MeshSystemConfig(
+                        side=side,
+                        cache_line_bytes=cache_line,
+                        buffer_flits=buffer_flits,
+                    )
+                )
+    return configs
+
+
+def paper_model_report() -> tuple[list[ModelFinding], dict[str, int]]:
+    """Run the model checker over the full experiment topology grid.
+
+    Route walking depends only on the topology shape (packet geometry
+    never influences a routing decision), so each distinct branching /
+    mesh side is walked once and the remaining cache-line variants get
+    the cheap structural pass.
+    """
+    findings: list[ModelFinding] = []
+    stats = {"ring_configs": 0, "mesh_configs": 0, "routes_walked": 0}
+
+    walked_rings: set[tuple[int, ...]] = set()
+    for config in paper_ring_configs():
+        branching = config.branching
+        routes = branching not in walked_rings
+        walked_rings.add(branching)
+        findings.extend(verify_ring_network(config, routes=routes))
+        stats["ring_configs"] += 1
+        if routes:
+            processors = config.processors
+            stats["routes_walked"] += processors * (processors - 1) * 2
+
+    walked_sides: set[int] = set()
+    for mesh_config in paper_mesh_configs():
+        routes = mesh_config.side not in walked_sides
+        walked_sides.add(mesh_config.side)
+        findings.extend(verify_mesh_network(mesh_config, routes=routes))
+        stats["mesh_configs"] += 1
+        if routes:
+            processors = mesh_config.processors
+            stats["routes_walked"] += processors * (processors - 1)
+
+    return findings, stats

@@ -49,7 +49,9 @@ class FlitBuffer:
         # Filled in by the engine's active-set scheduler at finalize time
         # (attribute access beats a dict lookup in the commit hot loop):
         # components to wake when a transfer lands in / drains this buffer.
-        self._wake_on_push: "tuple | None" = None
+        self._wake_on_push: (
+            "tuple[tuple[int, ...] | None, tuple[int, ...] | None] | None"
+        ) = None
         self._wake_on_pop: "tuple[int, ...] | None" = None
 
     @property

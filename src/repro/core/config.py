@@ -15,7 +15,7 @@ All paper constants live here:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Literal
+from typing import Any, Literal
 
 from .errors import ConfigurationError
 from .packet import PacketType
@@ -237,7 +237,7 @@ class MeshSystemConfig:
         return self
 
     @classmethod
-    def for_processors(cls, processors: int, **kwargs) -> "MeshSystemConfig":
+    def for_processors(cls, processors: int, **kwargs: Any) -> "MeshSystemConfig":
         """Build the smallest square mesh holding *processors* nodes."""
         side = 1
         while side * side < processors:

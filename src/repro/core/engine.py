@@ -239,7 +239,7 @@ class Engine:
         self._timer_at: list[int] = []  # earliest live heap entry per index
         # per-component: ((output buffer, proposer indices), ...) pairs
         # checked after its update() for injection that bypasses commit
-        self._upd_out_wakes: list[tuple] = []
+        self._upd_out_wakes: list[tuple[tuple[FlitBuffer, tuple[int, ...]], ...]] = []
 
     # ------------------------------------------------------------------
     # construction
@@ -282,8 +282,15 @@ class Engine:
                 pop_upd.setdefault(buffer, []).append(index)
         # Wake routing lives on the buffers themselves: the commit loop
         # reads one slot attribute per transfer endpoint instead of
-        # probing dicts keyed by buffer.
-        for buffer in push_prop.keys() | push_upd.keys():
+        # probing dicts keyed by buffer.  Iterate the dicts in insertion
+        # order rather than over a keys() union (RPR001 regression:
+        # per-buffer slot writes are order-independent today, but an
+        # unordered-set walk here is one refactor away from making wake
+        # routing — and with it the active-set schedule — run-dependent).
+        for buffer in (
+            *push_prop,
+            *(extra for extra in push_upd if extra not in push_prop),
+        ):
             buffer._wake_on_push = (
                 tuple(push_prop[buffer]) if buffer in push_prop else None,
                 tuple(push_upd[buffer]) if buffer in push_upd else None,
@@ -488,7 +495,10 @@ class Engine:
         active_prop = self._active_prop
         if active_prop and (cycle & 15 == 0 or not active_upd):
             swept = False
-            for index in tuple(active_prop):
+            # sorted(): sweep in component-index order, not set order
+            # (RPR001 regression — discards are order-independent, but a
+            # frozen set order must never leak into scheduling decisions).
+            for index in sorted(active_prop):
                 if components[index].may_sleep_propose():
                     active_prop.discard(index)
                     swept = True

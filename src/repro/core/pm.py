@@ -154,11 +154,15 @@ class ProcessingModule(Component):
         ptype = PacketType.READ_REQUEST if is_read else PacketType.WRITE_REQUEST
         request = self._make_request(ptype, target, cycle)
         self.outstanding += 1
+        # Deliberate phase exception: issue_remote is external stimulus
+        # (tests, trace players) applied between engine cycles, never
+        # from inside the clock loop, so these issue counters cannot
+        # race a phase hook's metric recording.
         if is_read:
-            self.metrics.reads_issued += 1
+            self.metrics.reads_issued += 1  # repro: noqa[RPR003]
         else:
-            self.metrics.writes_issued += 1
-        self.metrics.remote_issued += 1
+            self.metrics.writes_issued += 1  # repro: noqa[RPR003]
+        self.metrics.remote_issued += 1  # repro: noqa[RPR003]
         self.open_transactions.add(request.transaction_id)
         self._req_staging.append(request)
         if self._engine is not None:

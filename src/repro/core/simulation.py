@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
 
 from .config import (
     DEFAULT_SIM,
@@ -22,7 +23,12 @@ from .config import (
 from .engine import Engine
 from .errors import ConfigurationError
 from .pm import MetricsHub
+from .processor import MissSource
 from .statistics import RateMeter, Summary
+
+if TYPE_CHECKING:
+    from ..mesh.network import MeshNetwork
+    from ..ring.network import HierarchicalRingNetwork
 
 SystemConfig = RingSystemConfig | MeshSystemConfig
 
@@ -110,8 +116,8 @@ def build_network(
     workload: WorkloadConfig,
     metrics: MetricsHub,
     seed: int,
-    miss_sources: list | None = None,
-):
+    miss_sources: Sequence[MissSource] | None = None,
+) -> "HierarchicalRingNetwork | MeshNetwork":
     """Instantiate the network matching the config type."""
     # Imported here to keep core free of circular imports.
     from ..mesh.network import MeshNetwork
@@ -132,7 +138,7 @@ def simulate(
     system: SystemConfig,
     workload: WorkloadConfig | None = None,
     params: SimulationParams | None = None,
-    miss_sources: list | None = None,
+    miss_sources: Sequence[MissSource] | None = None,
 ) -> SimulationResult:
     """Run one batch-means simulation and collect all paper metrics.
 

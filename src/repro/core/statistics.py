@@ -12,7 +12,7 @@ import math
 from dataclasses import dataclass, field
 
 # Two-sided 95% Student-t critical values indexed by degrees of freedom.
-_T_TABLE = {
+_T_TABLE: dict[int, float] = {
     1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365,
     8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179, 13: 2.160,
     14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093,
@@ -59,7 +59,7 @@ class Summary:
 class BatchMeans:
     """Accumulates per-batch means; the first closed batch is discarded."""
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "") -> None:
         self.name = name
         self._batch_sum = 0.0
         self._batch_count = 0
@@ -126,7 +126,7 @@ class RateMeter:
     the counter at batch boundaries.
     """
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "") -> None:
         self.name = name
         self._last_numerator = 0.0
         self._last_denominator = 0.0

@@ -76,6 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate the paper-shape checks and report pass/fail",
     )
     parser.add_argument(
+        "--allow-saturated",
+        action="store_true",
+        help="exit 0 even when sweep points saturated without converging "
+        "(expected when sweeping past a network's saturation knee)",
+    )
+    parser.add_argument(
         "--json",
         metavar="DIR",
         help="also write each result as JSON into this directory",
@@ -136,6 +142,7 @@ def main(argv: list[str] | None = None) -> int:
     scale = SCALES[args.scale]
     cache = _build_cache(args)
     failures_total = 0
+    unconverged_total = 0
     for eid in ids:
         experiment = get_experiment(eid)
         reporter = ProgressPrinter(sys.stderr, label=eid, live=sys.stderr.isatty())
@@ -149,6 +156,16 @@ def main(argv: list[str] | None = None) -> int:
             f"[{eid}] scale={scale.name} elapsed={elapsed:.1f}s "
             f"sweep: {reporter.summary()}"
         )
+        unconverged = result.unconverged_points()
+        if unconverged:
+            unconverged_total += len(unconverged)
+            verdict = "allowed" if args.allow_saturated else "FAILING the run"
+            print(
+                f"[{eid}] {len(unconverged)} point(s) saturated without "
+                f"converging ({verdict}):"
+            )
+            for description in unconverged:
+                print(f"[{eid}]   {description}")
         if args.check:
             failures = experiment.evaluate(result)
             if failures:
@@ -176,7 +193,12 @@ def main(argv: list[str] | None = None) -> int:
             write_svg(result, out_file)
             print(f"[{eid}] wrote {out_file}")
         print()
-    return 1 if failures_total else 0
+    # Exit status is a bitmask: 1 = paper-shape check failures, 2 =
+    # saturated-without-convergence points (unless --allow-saturated).
+    status = 1 if failures_total else 0
+    if unconverged_total and not args.allow_saturated:
+        status |= 2
+    return status
 
 
 def _experiment_sort_key(eid: str) -> tuple:

@@ -53,7 +53,8 @@ def run(scale: Scale) -> SweepResult:
         for (nodes, __), point in zip(schedule, run_points(specs)):
             if point.remote_transactions:
                 series.add(nodes, point.avg_latency,
-                           transactions=point.remote_transactions)
+                           transactions=point.remote_transactions,
+                           saturated=point.saturated)
     return result
 
 

@@ -29,6 +29,7 @@ def run(scale: Scale) -> SweepResult:
                     point.avg_latency,
                     utilization=point.utilization_percent("local"),
                     transactions=point.remote_transactions,
+                    saturated=point.saturated,
                 )
     return result
 

@@ -32,6 +32,7 @@ def run(scale: Scale) -> SweepResult:
                 point.avg_latency,
                 local_utilization=point.utilization_percent("local"),
                 global_utilization=point.utilization_percent("global"),
+                saturated=point.saturated,
             )
     return result
 

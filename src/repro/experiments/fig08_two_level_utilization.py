@@ -27,9 +27,15 @@ def run(scale: Scale) -> SweepResult:
             scale, levels=2, cache_line=cache_line, outstanding=4, max_nodes=72
         )
         for nodes, point in sweep:
-            local_series.add(nodes, point.utilization_percent("local"))
+            local_series.add(
+                nodes, point.utilization_percent("local"), saturated=point.saturated
+            )
             if "global" in point.utilization:
-                global_series.add(nodes, point.utilization_percent("global"))
+                global_series.add(
+                    nodes,
+                    point.utilization_percent("global"),
+                    saturated=point.saturated,
+                )
     return result
 
 

@@ -37,7 +37,7 @@ def run(scale: Scale) -> SweepResult:
                 continue
             series = result.new_series(f"{levels}-level R={locality}")
             for nodes, point in sweep:
-                series.add(nodes, point.avg_latency)
+                series.add(nodes, point.avg_latency, saturated=point.saturated)
     return result
 
 

@@ -32,6 +32,7 @@ def run(scale: Scale) -> SweepResult:
                     nodes,
                     point.avg_latency,
                     utilization=point.utilization_percent("mesh"),
+                    saturated=point.saturated,
                 )
     return result
 

@@ -22,7 +22,9 @@ def run(scale: Scale) -> SweepResult:
     for cache_line in scale.cache_lines:
         series = result.new_series(f"{cache_line}B")
         for nodes, point in mesh_sweep(scale, cache_line, 4, 4):
-            series.add(nodes, point.utilization_percent("mesh"))
+            series.add(
+                nodes, point.utilization_percent("mesh"), saturated=point.saturated
+            )
     return result
 
 

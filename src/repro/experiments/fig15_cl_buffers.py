@@ -25,10 +25,10 @@ def run(scale: Scale) -> SweepResult:
     for outstanding in scale.t_values:
         ring_series = result.new_series(f"ring T={outstanding}")
         for nodes, point in table2_size_ring_sweep(scale, CACHE_LINE, outstanding):
-            ring_series.add(nodes, point.avg_latency)
+            ring_series.add(nodes, point.avg_latency, saturated=point.saturated)
         mesh_series = result.new_series(f"mesh T={outstanding}")
         for nodes, point in mesh_sweep(scale, CACHE_LINE, CL_BUFFER, outstanding):
-            mesh_series.add(nodes, point.avg_latency)
+            mesh_series.add(nodes, point.avg_latency, saturated=point.saturated)
         crossing = crossover_point(ring_series, mesh_series)
         result.notes.append(
             f"cross-over T={outstanding}: "

@@ -27,10 +27,10 @@ def run(scale: Scale) -> SweepResult:
             for nodes, point in table2_size_ring_sweep(
                 scale, cache_line, 4, locality=locality
             ):
-                ring_series.add(nodes, point.avg_latency)
+                ring_series.add(nodes, point.avg_latency, saturated=point.saturated)
             mesh_series = result.new_series(f"mesh {cache_line}B R={locality}")
             for nodes, point in mesh_sweep(scale, cache_line, 4, 4, locality=locality):
-                mesh_series.add(nodes, point.avg_latency)
+                mesh_series.add(nodes, point.avg_latency, saturated=point.saturated)
     return result
 
 

@@ -27,12 +27,12 @@ def run(scale: Scale) -> SweepResult:
         for nodes, point in table2_size_ring_sweep(
             scale, CACHE_LINE, 4, locality=locality
         ):
-            ring_series.add(nodes, point.avg_latency)
+            ring_series.add(nodes, point.avg_latency, saturated=point.saturated)
         mesh_series = result.new_series(f"mesh R={locality}")
         for nodes, point in mesh_sweep(
             scale, CACHE_LINE, CL_BUFFER, 4, locality=locality
         ):
-            mesh_series.add(nodes, point.avg_latency)
+            mesh_series.add(nodes, point.avg_latency, saturated=point.saturated)
         crossing = crossover_point(ring_series, mesh_series)
         result.notes.append(
             f"cross-over R={locality}: "

@@ -42,6 +42,7 @@ def run(scale: Scale) -> SweepResult:
                     nodes,
                     point.avg_latency,
                     global_utilization=point.utilization_percent("global"),
+                    saturated=point.saturated,
                 )
     return result
 

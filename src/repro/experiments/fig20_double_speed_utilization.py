@@ -36,7 +36,11 @@ def run(scale: Scale) -> SweepResult:
             )
             for nodes, point in sweep:
                 if "global" in point.utilization:
-                    series.add(nodes, point.utilization_percent("global"))
+                    series.add(
+                        nodes,
+                        point.utilization_percent("global"),
+                        saturated=point.saturated,
+                    )
     return result
 
 

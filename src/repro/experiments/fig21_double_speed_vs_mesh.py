@@ -29,10 +29,10 @@ def run(scale: Scale) -> SweepResult:
         for nodes, point in table2_size_ring_sweep(
             scale, cache_line, 4, global_ring_speed=2
         ):
-            ring_series.add(nodes, point.avg_latency)
+            ring_series.add(nodes, point.avg_latency, saturated=point.saturated)
         mesh_series = result.new_series(f"mesh {cache_line}B")
         for nodes, point in mesh_sweep(scale, cache_line, 4, 4):
-            mesh_series.add(nodes, point.avg_latency)
+            mesh_series.add(nodes, point.avg_latency, saturated=point.saturated)
         crossing = crossover_point(ring_series, mesh_series)
         result.notes.append(
             f"cross-over {cache_line}B: "

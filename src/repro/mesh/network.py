@@ -14,11 +14,13 @@ the paper's "percent of maximum network utilization".
 from __future__ import annotations
 
 import random
+from typing import Sequence
 
 from ..core.channel import Channel
 from ..core.config import MeshSystemConfig, WorkloadConfig
 from ..core.engine import Engine
 from ..core.pm import MetricsHub, ProcessingModule
+from ..core.processor import MissSource
 from ..workload.mmrp import RegionTargetSelector
 from .router import MeshRouter
 from .topology import MeshShape
@@ -33,7 +35,7 @@ class MeshNetwork:
         workload: WorkloadConfig,
         metrics: MetricsHub,
         seed: int = 1,
-        miss_sources: "list | None" = None,
+        miss_sources: "Sequence[MissSource] | None" = None,
     ):
         config.validate()
         workload.validate()
@@ -65,9 +67,18 @@ class MeshNetwork:
         self._wire()
 
     def _wire(self) -> None:
+        # RPR001 regression note: wiring follows a fixed N/S/E/W
+        # direction order (the insertion order of MeshShape.neighbors),
+        # made explicit here so channel registration order — and with it
+        # utilization accounting and the active-set wake maps — can
+        # never depend on an unordered container.
         for node in range(self.shape.processors):
             router = self.routers[node]
-            for direction, neighbor_id in self.shape.neighbors(node).items():
+            neighbors = self.shape.neighbors(node)
+            for direction in ("N", "S", "E", "W"):
+                if direction not in neighbors:
+                    continue
+                neighbor_id = neighbors[direction]
                 channel = Channel(
                     name=f"mesh.link{node}{direction}", klass="mesh", speed=1
                 )

@@ -21,12 +21,14 @@ the global ring's ports and channels run in the fast clock domain.
 from __future__ import annotations
 
 import random
+from typing import Sequence
 
 from ..core.channel import Channel
 from ..core.config import RingSystemConfig, WorkloadConfig
 from ..core.engine import Engine
 from ..core.errors import ConfigurationError
 from ..core.pm import MetricsHub, ProcessingModule
+from ..core.processor import MissSource
 from ..workload.mmrp import RegionTargetSelector
 from .iri import InterRingInterface
 from .nic import RingNIC
@@ -52,7 +54,7 @@ class HierarchicalRingNetwork:
         workload: WorkloadConfig,
         metrics: MetricsHub,
         seed: int = 1,
-        miss_sources: "list | None" = None,
+        miss_sources: "Sequence[MissSource] | None" = None,
     ):
         config.validate()
         workload.validate()
@@ -172,6 +174,12 @@ class HierarchicalRingNetwork:
 
     # ------------------------------------------------------------------
     def register(self, engine: Engine) -> None:
+        # RPR001 regression note: registration order is behaviour — it
+        # fixes update order, metric recording order and therefore the
+        # float-summation order behind byte-identical results.  PMs and
+        # NICs register in PM-id order; IRIs in the depth-then-prefix
+        # insertion order of ``self.iris`` (a dict, never a set), which
+        # _build() constructs deterministically.  Do not reorder.
         for pm in self.pms:
             engine.add_component(pm)
         for nic in self.nics:

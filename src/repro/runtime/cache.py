@@ -49,7 +49,9 @@ def code_version_salt() -> str:
 class ResultCache:
     """Maps :class:`PointSpec` keys to stored :class:`SimulationResult`."""
 
-    def __init__(self, root: "pathlib.Path | str | None" = None, salt: str | None = None):
+    def __init__(
+        self, root: "pathlib.Path | str | None" = None, salt: str | None = None
+    ) -> None:
         self.root = pathlib.Path(root) if root is not None else DEFAULT_CACHE_DIR
         self.salt = salt if salt is not None else code_version_salt()
 

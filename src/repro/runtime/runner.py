@@ -23,7 +23,8 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import contextmanager
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Final, Iterable, Iterator, Sequence, cast
 
 from ..core.errors import ConfigurationError
 from ..core.simulation import SimulationResult, simulate
@@ -31,37 +32,60 @@ from .cache import ResultCache
 from .spec import PointSpec
 from .telemetry import Progress, ProgressHook
 
-_UNSET = object()
 
-#: Ambient defaults installed by :func:`runtime_context`.
-_context: dict = {"jobs": None, "cache": _UNSET, "progress": None}
+class _UnsetType:
+    """Sentinel type distinguishing "not passed" from an explicit ``None``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<UNSET>"
+
+
+_UNSET: Final = _UnsetType()
+
+
+@dataclass
+class _Context:
+    """Ambient defaults installed by :func:`runtime_context`."""
+
+    jobs: int | None = None
+    cache: ResultCache | None | _UnsetType = _UNSET
+    progress: ProgressHook | None = None
+
+
+_context = _Context()
 
 
 @contextmanager
-def runtime_context(jobs=None, cache=_UNSET, progress=None):
+def runtime_context(
+    jobs: int | None = None,
+    cache: ResultCache | None | _UnsetType = _UNSET,
+    progress: ProgressHook | None = None,
+) -> Iterator[None]:
     """Set default jobs / cache / progress hook for nested ``run_points``.
 
     ``jobs=None``, ``cache=_UNSET`` or ``progress=None`` leave the
     corresponding outer setting untouched; ``cache=None`` explicitly
     disables caching inside the block.
     """
-    saved = dict(_context)
+    saved = _Context(jobs=_context.jobs, cache=_context.cache, progress=_context.progress)
     if jobs is not None:
-        _context["jobs"] = jobs
-    if cache is not _UNSET:
-        _context["cache"] = cache
+        _context.jobs = jobs
+    if not isinstance(cache, _UnsetType):
+        _context.cache = cache
     if progress is not None:
-        _context["progress"] = progress
+        _context.progress = progress
     try:
         yield
     finally:
-        _context.update(saved)
+        _context.jobs = saved.jobs
+        _context.cache = saved.cache
+        _context.progress = saved.progress
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
     """Explicit argument, else ambient context, else ``REPRO_JOBS``, else 1."""
     if jobs is None:
-        jobs = _context["jobs"]
+        jobs = _context.jobs
     if jobs is None:
         env = os.environ.get("REPRO_JOBS", "").strip()
         jobs = int(env) if env else 1
@@ -71,11 +95,11 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return jobs
 
 
-def _resolve_cache(cache) -> ResultCache | None:
-    if cache is not _UNSET:
+def _resolve_cache(cache: ResultCache | None | _UnsetType) -> ResultCache | None:
+    if not isinstance(cache, _UnsetType):
         return cache
-    if _context["cache"] is not _UNSET:
-        return _context["cache"]
+    if not isinstance(_context.cache, _UnsetType):
+        return _context.cache
     env = os.environ.get("REPRO_CACHE_DIR", "").strip()
     return ResultCache(env) if env else None
 
@@ -85,7 +109,9 @@ def _execute(spec: PointSpec) -> SimulationResult:
     return simulate(spec.system, spec.workload, spec.params)
 
 
-def run_point(spec: PointSpec, *, cache=_UNSET) -> SimulationResult:
+def run_point(
+    spec: PointSpec, *, cache: ResultCache | None | _UnsetType = _UNSET
+) -> SimulationResult:
     """Run (or fetch from cache) a single point, always in-process."""
     return run_points([spec], jobs=1, cache=cache)[0]
 
@@ -94,14 +120,14 @@ def run_points(
     specs: "Sequence[PointSpec] | Iterable[PointSpec]",
     *,
     jobs: int | None = None,
-    cache=_UNSET,
+    cache: ResultCache | None | _UnsetType = _UNSET,
     progress: ProgressHook | None = None,
 ) -> list[SimulationResult]:
     """Run every point, in input order, honoring cache and job count."""
     specs = list(specs)
     jobs = resolve_jobs(jobs)
     active_cache = _resolve_cache(cache)
-    hook = progress if progress is not None else _context["progress"]
+    hook = progress if progress is not None else _context.progress
 
     tracker = Progress(total=len(specs))
     results: list[SimulationResult | None] = [None] * len(specs)
@@ -134,4 +160,4 @@ def run_points(
             for future in as_completed(futures):
                 _record(futures[future], future.result())
 
-    return results  # type: ignore[return-value]  # every slot is filled above
+    return cast("list[SimulationResult]", results)  # every slot is filled above

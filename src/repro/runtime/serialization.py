@@ -14,6 +14,7 @@ always hash identically regardless of how the caller spelled them.
 from __future__ import annotations
 
 import json
+from typing import Any
 
 from ..core.config import (
     MeshSystemConfig,
@@ -34,7 +35,7 @@ PAYLOAD_VERSION = 1
 SystemConfig = RingSystemConfig | MeshSystemConfig
 
 
-def canonical_json(payload: dict) -> str:
+def canonical_json(payload: dict[str, Any]) -> str:
     """Deterministic JSON: sorted keys, no whitespace."""
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
@@ -42,7 +43,7 @@ def canonical_json(payload: dict) -> str:
 # ----------------------------------------------------------------------
 # configs
 # ----------------------------------------------------------------------
-def system_payload(system: SystemConfig) -> dict:
+def system_payload(system: SystemConfig) -> dict[str, Any]:
     if isinstance(system, RingSystemConfig):
         return {
             "kind": "ring",
@@ -65,7 +66,7 @@ def system_payload(system: SystemConfig) -> dict:
     raise ConfigurationError(f"unknown system config type: {type(system).__name__}")
 
 
-def system_from_payload(payload: dict) -> SystemConfig:
+def system_from_payload(payload: dict[str, Any]) -> SystemConfig:
     kind = payload.get("kind")
     if kind == "ring":
         return RingSystemConfig(
@@ -87,7 +88,7 @@ def system_from_payload(payload: dict) -> SystemConfig:
     raise ConfigurationError(f"unknown system payload kind: {kind!r}")
 
 
-def workload_payload(workload: WorkloadConfig) -> dict:
+def workload_payload(workload: WorkloadConfig) -> dict[str, Any]:
     return {
         "locality": workload.locality,
         "miss_rate": workload.miss_rate,
@@ -96,11 +97,11 @@ def workload_payload(workload: WorkloadConfig) -> dict:
     }
 
 
-def workload_from_payload(payload: dict) -> WorkloadConfig:
+def workload_from_payload(payload: dict[str, Any]) -> WorkloadConfig:
     return WorkloadConfig(**payload)
 
 
-def params_payload(params: SimulationParams) -> dict:
+def params_payload(params: SimulationParams) -> dict[str, Any]:
     # ``params.scheduler`` is deliberately omitted: the two schedulers
     # are behavior-identical (enforced by the kernel equivalence tests),
     # so cache keys and result payloads must not depend on which one
@@ -114,14 +115,14 @@ def params_payload(params: SimulationParams) -> dict:
     }
 
 
-def params_from_payload(payload: dict) -> SimulationParams:
+def params_from_payload(payload: dict[str, Any]) -> SimulationParams:
     return SimulationParams(**payload)
 
 
 # ----------------------------------------------------------------------
 # results
 # ----------------------------------------------------------------------
-def summary_payload(summary: Summary) -> dict:
+def summary_payload(summary: Summary) -> dict[str, Any]:
     return {
         "mean": summary.mean,
         "half_width": summary.half_width,
@@ -129,7 +130,7 @@ def summary_payload(summary: Summary) -> dict:
     }
 
 
-def summary_from_payload(payload: dict) -> Summary:
+def summary_from_payload(payload: dict[str, Any]) -> Summary:
     return Summary(
         mean=payload["mean"],
         half_width=payload["half_width"],
@@ -137,7 +138,7 @@ def summary_from_payload(payload: dict) -> Summary:
     )
 
 
-def result_payload(result: SimulationResult) -> dict:
+def result_payload(result: SimulationResult) -> dict[str, Any]:
     return {
         "version": PAYLOAD_VERSION,
         "system": system_payload(result.system),
@@ -158,7 +159,7 @@ def result_payload(result: SimulationResult) -> dict:
     }
 
 
-def result_from_payload(payload: dict) -> SimulationResult:
+def result_from_payload(payload: dict[str, Any]) -> SimulationResult:
     if payload.get("version") != PAYLOAD_VERSION:
         raise ValueError(f"unsupported result payload version: {payload.get('version')!r}")
     return SimulationResult(

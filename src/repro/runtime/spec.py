@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, replace
+from typing import Any
 
 from ..core.config import SimulationParams, WorkloadConfig
 from .serialization import (
@@ -67,7 +68,7 @@ class PointSpec:
         seed = derive_point_seed(system, workload, params.seed)
         return cls(system=system, workload=workload, params=replace(params, seed=seed))
 
-    def payload(self) -> dict:
+    def payload(self) -> dict[str, Any]:
         return {
             "system": system_payload(self.system),
             "workload": workload_payload(self.workload),

@@ -32,7 +32,9 @@ class Progress:
 
     @property
     def elapsed(self) -> float:
-        return time.monotonic() - self.started
+        # Wall clock is fine here: progress reporting measures the host,
+        # never influences simulated behaviour or cached results.
+        return time.monotonic() - self.started  # repro: noqa[RPR002]
 
     @property
     def points_per_sec(self) -> float:
@@ -54,7 +56,7 @@ ProgressHook = Callable[[Progress], None]
 class ProgressPrinter:
     """Progress hook that renders a one-line live status to *stream*."""
 
-    def __init__(self, stream: TextIO, label: str = "", live: bool = True):
+    def __init__(self, stream: TextIO, label: str = "", live: bool = True) -> None:
         self.stream = stream
         self.label = label
         self.live = live

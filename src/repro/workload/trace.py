@@ -52,6 +52,11 @@ class MemoryTrace:
         if processors < 1:
             raise ValueError("a trace needs at least one processor")
         self.processors = processors
+        # RPR001 regression note: per-PM records are kept in an indexed
+        # list of append-ordered lists — never a set or dict keyed by
+        # record — so every consumer (replay, dump_jsonl, horizon)
+        # iterates in PM-id-then-cycle order.  Trace replay determinism
+        # depends on that order; keep any future container ordered.
         self._records: list[list[TraceRecord]] = [[] for _ in range(processors)]
 
     def append(self, pm_id: int, record: TraceRecord) -> None:

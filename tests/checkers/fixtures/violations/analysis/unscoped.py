@@ -1,0 +1,10 @@
+"""Out-of-scope fixture: RPR001 does not apply to analysis/."""
+
+LEVELS = {"local", "global"}
+
+
+def names():
+    collected = []
+    for level in LEVELS:  # RPR001-shaped, but analysis/ is out of scope
+        collected.append(level)
+    return collected

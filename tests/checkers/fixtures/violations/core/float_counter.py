@@ -1,0 +1,11 @@
+"""RPR004 fixture: float accumulation into an integer counter."""
+
+
+class Meter:
+    def __init__(self):
+        self.flits_moved = 0
+        self.total_weight = 0.0
+
+    def bump(self, amount):
+        self.flits_moved += amount / 2  # line 10: float into counter
+        self.total_weight += amount / 2  # not a counter name: fine

@@ -1,0 +1,20 @@
+"""RPR003 fixture: a component mutating engine state off-phase."""
+
+from repro.core.engine import Component
+
+
+class BadComponent(Component):
+    def __init__(self, buffer):
+        self._buffer = buffer
+        self._fill()  # reachable from a phase root: allowed below
+
+    def _fill(self):
+        self._buffer.push(None)  # reachable from __init__: NOT flagged
+
+    def update(self, engine):
+        engine.flits_moved += 0  # phase hook itself: NOT flagged
+        self._buffer.pop()
+
+    def cheat(self, engine):
+        engine.cycle = 99  # line 19: engine state outside phase hooks
+        self._buffer.push(None)  # line 20: buffer mutation off-phase

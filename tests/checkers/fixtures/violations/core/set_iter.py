@@ -1,0 +1,18 @@
+"""RPR001 fixture: unordered-set iteration in a core-scoped module."""
+
+ITEMS = {3, 1, 2}
+
+
+def walk(mapping, other):
+    total = 0
+    for item in ITEMS:  # line 8: iterating a set literal
+        total += item
+    order = list(mapping.keys() | other.keys())  # line 10: keys-algebra
+    return total, order
+
+
+def fine(mapping):
+    # Ordered / order-insensitive uses that must NOT be flagged.
+    for item in sorted(ITEMS):
+        pass
+    return len(ITEMS), max(ITEMS), list(mapping)

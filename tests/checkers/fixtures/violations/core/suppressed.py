@@ -1,0 +1,17 @@
+"""Suppression fixture: coded noqa is silent, blanket noqa is RPR000.
+
+A docstring merely *mentioning* ``# repro: noqa`` must not suppress
+anything (only comment tokens count).
+"""
+
+BAD = {1, 2}
+
+
+def coded():
+    for item in BAD:  # repro: noqa[RPR001]
+        print(item)
+
+
+def blanket():
+    for item in BAD:  # repro: noqa
+        print(item)

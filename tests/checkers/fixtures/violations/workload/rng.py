@@ -1,0 +1,21 @@
+"""RPR002 fixture: wall clock and module-level RNG."""
+
+import random
+import time
+from time import monotonic
+
+
+def jitter():
+    return random.random() + time.time()  # lines flagged twice
+
+
+def unseeded():
+    return random.Random()  # unseeded: OS entropy
+
+
+def uptime():
+    return monotonic()  # imported nondeterministic source
+
+
+def sanctioned(seed):
+    return random.Random(seed)  # seeded construction: NOT flagged

@@ -1,0 +1,51 @@
+"""CLI tests: exit codes, flag validation, JSON output."""
+
+import json
+from pathlib import Path
+
+from repro.checkers.cli import EXIT_LINT, EXIT_MODEL, EXIT_OK, main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "violations"
+
+
+def test_violation_fixtures_exit_nonzero(capsys):
+    status = main(["--lint-only", "--root", str(FIXTURES)])
+    assert status == EXIT_LINT
+    out = capsys.readouterr().out
+    assert "RPR001" in out and "RPR002" in out
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    (tmp_path / "core").mkdir()
+    (tmp_path / "core" / "ok.py").write_text("VALUE = 1\n", encoding="utf-8")
+    assert main(["--lint-only", "--root", str(tmp_path)]) == EXIT_OK
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_mutually_exclusive_flags_rejected(capsys):
+    status = main(["--lint-only", "--model-only"])
+    assert status == EXIT_MODEL
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == EXIT_OK
+    out = capsys.readouterr().out
+    for code in ("RPR001", "RPR002", "RPR003", "RPR004"):
+        assert code in out
+
+
+def test_json_output_carries_findings(capsys):
+    status = main(["--lint-only", "--json", "--root", str(FIXTURES)])
+    assert status == EXIT_LINT
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["root"] == str(FIXTURES)
+    codes = {finding["code"] for finding in payload["lint"]}
+    assert {"RPR001", "RPR002", "RPR003", "RPR004"} <= codes
+    assert payload["model"] == []
+
+
+def test_strict_flag_reports_blanket_noqa(capsys):
+    status = main(["--lint-only", "--strict", "--root", str(FIXTURES)])
+    assert status == EXIT_LINT
+    assert "RPR000" in capsys.readouterr().out

@@ -1,0 +1,108 @@
+"""Lint-engine tests against on-disk fixture violations."""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.checkers.lint import Finding, all_rules, lint_file, lint_tree
+
+FIXTURES = Path(__file__).parent / "fixtures" / "violations"
+PACKAGE_ROOT = Path(repro.__file__).parent
+
+
+def by_file(findings: list[Finding]) -> dict[str, list[Finding]]:
+    grouped: dict[str, list[Finding]] = {}
+    for finding in findings:
+        grouped.setdefault(finding.path, []).append(finding)
+    return grouped
+
+
+@pytest.fixture(scope="module")
+def fixture_findings() -> dict[str, list[Finding]]:
+    return by_file(lint_tree(FIXTURES))
+
+
+def test_rpr001_set_iteration(fixture_findings):
+    found = fixture_findings["core/set_iter.py"]
+    assert [f.code for f in found] == ["RPR001", "RPR001"]
+    # The for-loop over the set literal and the list() over keys-algebra.
+    assert [f.line for f in found] == [8, 10]
+    # Ordered wrappers (sorted/len/max) in the same file stay silent.
+
+
+def test_rpr002_nondeterministic_sources(fixture_findings):
+    found = fixture_findings["workload/rng.py"]
+    assert [f.code for f in found] == ["RPR002"] * 4
+    # random.random() and time.time() share line 9; then the unseeded
+    # Random() and the imported monotonic().  Seeded Random(seed) passes.
+    assert [f.line for f in found] == [9, 9, 13, 17]
+
+
+def test_rpr003_phase_discipline(fixture_findings):
+    found = fixture_findings["core/phase.py"]
+    assert [f.code for f in found] == ["RPR003", "RPR003"]
+    # Only the unreachable method is flagged: __init__, the helper it
+    # calls, and the update() hook are all inside the phase closure.
+    assert [f.line for f in found] == [19, 20]
+    assert all("BadComponent.cheat" in f.message for f in found)
+
+
+def test_rpr004_float_counter(fixture_findings):
+    found = fixture_findings["core/float_counter.py"]
+    assert [(f.code, f.line) for f in found] == [("RPR004", 10)]
+    assert "flits_moved" in found[0].message
+
+
+def test_scope_excludes_analysis_from_rpr001(fixture_findings):
+    # analysis/ iterates a set but RPR001's scope does not cover it.
+    assert "analysis/unscoped.py" not in fixture_findings
+
+
+def test_noqa_suppresses_without_strict(fixture_findings):
+    # Both the coded and the blanket noqa suppress their RPR001 lines.
+    assert "core/suppressed.py" not in fixture_findings
+
+
+def test_blanket_noqa_reported_under_strict():
+    strict = by_file(lint_tree(FIXTURES, strict=True))
+    found = strict["core/suppressed.py"]
+    assert [(f.code, f.line) for f in found] == [("RPR000", 16)]
+    # The docstring mentioning '# repro: noqa' contributes nothing:
+    # only comment tokens count.
+
+
+def test_repo_tree_is_clean_under_strict():
+    """The shipped package must lint clean, blanket opt-outs included."""
+    assert lint_tree(PACKAGE_ROOT, strict=True) == []
+
+
+def test_syntax_error_reported_as_rpr999(tmp_path):
+    bad = tmp_path / "core"
+    bad.mkdir()
+    target = bad / "broken.py"
+    target.write_text("def oops(:\n", encoding="utf-8")
+    findings = lint_file(target, tmp_path)
+    assert [f.code for f in findings] == ["RPR999"]
+    assert findings[0].path == "core/broken.py"
+
+
+def test_docstring_noqa_does_not_suppress(tmp_path):
+    core = tmp_path / "core"
+    core.mkdir()
+    target = core / "doc.py"
+    target.write_text(
+        '"""Mentions # repro: noqa in prose only."""\n'
+        "ITEMS = {1, 2}\n"
+        "for item in ITEMS:\n"
+        "    pass\n",
+        encoding="utf-8",
+    )
+    findings = lint_file(target, tmp_path)
+    assert [f.code for f in findings] == ["RPR001"]
+
+
+def test_registry_exposes_the_documented_rules():
+    codes = [r.code for r in all_rules()]
+    assert codes == sorted(codes)
+    assert {"RPR001", "RPR002", "RPR003", "RPR004"} <= set(codes)

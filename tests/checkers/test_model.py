@@ -1,0 +1,92 @@
+"""Static model-checker tests: clean topologies and damaged networks."""
+
+import pytest
+
+from repro.checkers.model import (
+    _build_mesh_network,
+    _build_ring_network,
+    paper_mesh_configs,
+    paper_ring_configs,
+    verify_mesh_network,
+    verify_ring_network,
+)
+from repro.core.config import MeshSystemConfig, RingSystemConfig
+
+
+def ring_config(**kwargs) -> RingSystemConfig:
+    kwargs.setdefault("topology", (4,))
+    kwargs.setdefault("cache_line_bytes", 64)
+    return RingSystemConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# clean topologies
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("topology", [(4,), "2:4", "2:2:2"])
+def test_clean_ring_topologies_verify(topology):
+    assert verify_ring_network(ring_config(topology=topology)) == []
+
+
+@pytest.mark.parametrize("side", [2, 4])
+def test_clean_mesh_topologies_verify(side):
+    assert verify_mesh_network(MeshSystemConfig(side=side)) == []
+
+
+def test_structure_only_mode_skips_route_walks():
+    assert verify_ring_network(ring_config(), routes=False) == []
+
+
+# ----------------------------------------------------------------------
+# damaged ring networks
+# ----------------------------------------------------------------------
+def test_shrunken_transit_buffer_reported():
+    network = _build_ring_network(ring_config())
+    network.nics[0].transit_buffer.capacity = 1  # < one cl packet
+    checks = {f.check for f in verify_ring_network(network)}
+    assert checks == {"buffer-capacity"}
+
+
+def test_bounded_ejection_sink_reported():
+    network = _build_ring_network(ring_config())
+    network.nics[0].pm.in_queue.capacity = 4
+    findings = verify_ring_network(network)
+    # Must report the protocol-deadlock hazard without crashing the
+    # route walk (the bounded sink enters the wait-for graph).
+    assert {f.check for f in findings} == {"ejection-sink"}
+
+
+def test_miswired_ring_reported():
+    network = _build_ring_network(ring_config())
+    first, second = network.nics[0], network.nics[1]
+    first.downstream, second.downstream = second.downstream, first.downstream
+    checks = {f.check for f in verify_ring_network(network)}
+    assert "ring-wiring" in checks
+    assert "routing-totality" in checks
+
+
+# ----------------------------------------------------------------------
+# damaged mesh networks
+# ----------------------------------------------------------------------
+def test_shrunken_mesh_input_buffer_reported():
+    network = _build_mesh_network(MeshSystemConfig(side=2))
+    network.routers[0].input_buffers["N"].capacity = 1
+    checks = {f.check for f in verify_mesh_network(network)}
+    assert checks == {"buffer-capacity"}
+
+
+def test_bounded_mesh_ejection_sink_reported():
+    network = _build_mesh_network(MeshSystemConfig(side=2))
+    network.routers[0].pm.in_queue.capacity = 2
+    checks = {f.check for f in verify_mesh_network(network)}
+    assert checks == {"ejection-sink"}
+
+
+# ----------------------------------------------------------------------
+# paper coverage
+# ----------------------------------------------------------------------
+def test_paper_config_sets_are_populated():
+    rings = paper_ring_configs()
+    meshes = paper_mesh_configs()
+    assert len(rings) > 50 and len(meshes) > 50
+    assert all(isinstance(c, RingSystemConfig) for c in rings)
+    assert all(isinstance(c, MeshSystemConfig) for c in meshes)
