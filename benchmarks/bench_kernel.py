@@ -1,17 +1,29 @@
-"""Kernel throughput: active-set vs naive scheduler, in cycles/second.
+"""Kernel throughput: compiled vs active-set vs naive scheduler.
 
 Standalone script (not a pytest-benchmark — CI needs its JSON output):
-runs the same 2-level ring point at three offered loads under both
+runs the same 2-level ring point at three offered loads under all three
 schedulers and reports simulated cycles per wall-clock second plus the
-active/naive speedup.  The three loads bracket the kernel's operating
-regimes:
+compiled/active and active/naive speedups.  The three loads bracket the
+kernel's operating regimes:
 
 * ``low``  — almost every component idle almost every cycle; the
-  active-set scheduler's best case (it fast-forwards between misses);
+  active-set scheduler's best case (it fast-forwards between misses),
+  and the compiled datapath's guard point (its finalize-built closures
+  must not cost throughput when nothing is saturated);
 * ``mid``  — the knee of the latency curve, a realistic mix;
-* ``sat``  — saturation, everything busy every cycle; the active sets
-  degenerate to "all components", so this point guards against the
-  bookkeeping costing more than the scan it replaces.
+* ``sat``  — saturation, everything busy every cycle; the compiled
+  datapath's design point (flat proposal rows, fused PM updates,
+  edge-triggered wakes), and the point where the active sets
+  degenerate to "all components".
+
+Repeats are interleaved across schedulers (every repeat times each
+scheduler once, back to back) so machine-load noise hits all cells
+alike; best-of is reported, since noise only ever slows a run down.
+
+Every run appends one entry to the report's ``history`` list (carried
+forward from the previous report when ``-o`` points at an existing
+file): git SHA, UTC date, mode, and per-point cycles/sec for all three
+schedulers — an append-only throughput log across commits.
 
 Usage::
 
@@ -24,13 +36,18 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import subprocess
 import sys
 import time
 from dataclasses import replace
+from datetime import datetime, timezone
 
 from repro.core.config import RingSystemConfig, SimulationParams, WorkloadConfig
 
 SYSTEM = RingSystemConfig(topology="3:8", cache_line_bytes=32)
+
+SCHEDULERS = ("compiled", "active", "naive")
 
 #: (label, miss rate C) — see module docstring for why these three.
 LOAD_POINTS = (
@@ -56,29 +73,76 @@ def measure(params: SimulationParams, repeats: int) -> dict:
     for label, miss_rate in LOAD_POINTS:
         workload = WorkloadConfig(miss_rate=miss_rate, outstanding=4)
         cell: dict = {"miss_rate": miss_rate}
-        for scheduler in ("active", "naive"):
-            run_params = replace(params, scheduler=scheduler)
-            best = 0.0
-            flits = None
-            for __ in range(repeats):
+        best: dict[str, float] = {scheduler: 0.0 for scheduler in SCHEDULERS}
+        flits: dict[str, int] = {}
+        for __ in range(repeats):
+            for scheduler in SCHEDULERS:
+                run_params = replace(params, scheduler=scheduler)
                 start = time.perf_counter()
                 result = simulate(SYSTEM, workload, run_params)
                 elapsed = time.perf_counter() - start
-                best = max(best, result.cycles / elapsed)
-                if flits is None:
-                    flits = result.flits_moved
-                elif flits != result.flits_moved:
+                best[scheduler] = max(best[scheduler], result.cycles / elapsed)
+                if scheduler not in flits:
+                    flits[scheduler] = result.flits_moved
+                elif flits[scheduler] != result.flits_moved:
                     raise AssertionError(
                         f"{label}/{scheduler}: non-deterministic flits_moved"
                     )
-            cell[scheduler] = {"cycles_per_sec": round(best, 1), "flits_moved": flits}
-        if cell["active"]["flits_moved"] != cell["naive"]["flits_moved"]:
-            raise AssertionError(f"{label}: schedulers disagree on flits_moved")
-        cell["speedup"] = round(
-            cell["active"]["cycles_per_sec"] / cell["naive"]["cycles_per_sec"], 2
+        if len(set(flits.values())) != 1:
+            raise AssertionError(
+                f"{label}: schedulers disagree on flits_moved: {flits}"
+            )
+        for scheduler in SCHEDULERS:
+            cell[scheduler] = {
+                "cycles_per_sec": round(best[scheduler], 1),
+                "flits_moved": flits[scheduler],
+            }
+        cell["speedup_compiled_vs_active"] = round(
+            best["compiled"] / best["active"], 2
         )
+        cell["speedup_active_vs_naive"] = round(best["active"] / best["naive"], 2)
         report["points"][label] = cell
     return report
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def _history_entry(report: dict) -> dict:
+    return {
+        "sha": _git_sha(),
+        "date": datetime.now(timezone.utc).strftime("%Y-%m-%d"),
+        "mode": report["mode"],
+        "points": {
+            label: {
+                scheduler: cell[scheduler]["cycles_per_sec"]
+                for scheduler in SCHEDULERS
+            }
+            for label, cell in report["points"].items()
+        },
+    }
+
+
+def _prior_history(path: str) -> list:
+    """History entries of an existing report at *path*, else empty."""
+    try:
+        with open(path) as handle:
+            previous = json.load(handle)
+    except (OSError, ValueError):
+        return []
+    history = previous.get("history", [])
+    return history if isinstance(history, list) else []
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -92,18 +156,18 @@ def main(argv: "list[str] | None" = None) -> int:
         "--repeats",
         type=int,
         default=None,
-        help="timing repeats per cell; best-of is reported (default 3, smoke 1)",
+        help="timing repeats per cell; best-of is reported (default 5, smoke 1)",
     )
     parser.add_argument(
         "-o",
         "--output",
         default=None,
-        help="write the report as JSON to this path",
+        help="write the report as JSON to this path (appends to its history)",
     )
     args = parser.parse_args(argv)
 
     params = SMOKE_PARAMS if args.smoke else FULL_PARAMS
-    repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 3)
+    repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 5)
     report = measure(params, repeats)
     report["mode"] = "smoke" if args.smoke else "full"
 
@@ -113,16 +177,22 @@ def main(argv: "list[str] | None" = None) -> int:
     for label, cell in report["points"].items():
         print(
             f"  {label:<{width}}  C={cell['miss_rate']:<6}"
-            f"  active {cell['active']['cycles_per_sec']:>10.0f} cyc/s"
-            f"  naive {cell['naive']['cycles_per_sec']:>10.0f} cyc/s"
-            f"  speedup {cell['speedup']:.2f}x"
+            f"  compiled {cell['compiled']['cycles_per_sec']:>9.0f} cyc/s"
+            f"  active {cell['active']['cycles_per_sec']:>9.0f} cyc/s"
+            f"  naive {cell['naive']['cycles_per_sec']:>9.0f} cyc/s"
+            f"  c/a {cell['speedup_compiled_vs_active']:.2f}x"
+            f"  a/n {cell['speedup_active_vs_naive']:.2f}x"
         )
 
     if args.output:
+        history = _prior_history(args.output)
+        history.append(_history_entry(report))
+        report["history"] = history
         with open(args.output, "w") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print(f"wrote {args.output}")
+        print(f"wrote {args.output} ({len(history)} history entr"
+              f"{'y' if len(history) == 1 else 'ies'})")
     return 0
 
 

@@ -261,8 +261,21 @@ _COMPONENT_BASES = {
 #: The declared phase hooks: the engine invokes these (and only these)
 #: inside the clock loop, so mutation of engine-owned state is legal in
 #: any method reachable from them.  Construction is also a root: wiring
-#: happens before the clock starts.
-_PHASE_ROOTS = ("propose", "update", "on_transfer_commit", "__init__", "__post_init__")
+#: happens before the clock starts.  The ``compiled_*_handler`` hooks
+#: are finalize-time builders whose returned closures the compiled
+#: scheduler invokes *inside* the clock loop — phase hooks by
+#: construction (``ast.walk`` descends into the nested closures, so
+#: their bodies are still linted under the phase-root allowance).
+_PHASE_ROOTS = (
+    "propose",
+    "update",
+    "on_transfer_commit",
+    "compiled_propose_handler",
+    "compiled_update_handler",
+    "compiled_commit_handler",
+    "__init__",
+    "__post_init__",
+)
 
 
 def _self_calls(function: ast.FunctionDef) -> set[str]:

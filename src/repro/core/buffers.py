@@ -36,6 +36,7 @@ class FlitBuffer:
         "flits_dequeued",
         "_wake_on_push",
         "_wake_on_pop",
+        "_buf_id",
     )
 
     def __init__(self, name: str, capacity: int | None):
@@ -53,6 +54,11 @@ class FlitBuffer:
             "tuple[tuple[int, ...] | None, tuple[int, ...] | None] | None"
         ) = None
         self._wake_on_pop: "tuple[int, ...] | None" = None
+        # Dense id assigned lazily by the engine's compiled datapath; -1
+        # until the first proposal names this buffer.  The engine
+        # validates identity on every resolve, so a buffer reused with a
+        # second engine is simply re-registered there.
+        self._buf_id = -1
 
     @property
     def occupancy(self) -> int:

@@ -44,7 +44,15 @@ class Channel:
         normal links, 2 for links on a double-speed global ring.
     """
 
-    __slots__ = ("name", "klass", "speed", "flits_carried", "incoming_route", "incoming_packet")
+    __slots__ = (
+        "name",
+        "klass",
+        "speed",
+        "flits_carried",
+        "incoming_route",
+        "incoming_packet",
+        "_chan_id",
+    )
 
     def __init__(self, name: str, klass: str, speed: int = 1):
         self.name = name
@@ -55,6 +63,9 @@ class Channel:
         # remaining flits are being delivered to, and that packet.
         self.incoming_route: "FlitBuffer | None" = None
         self.incoming_packet: "Packet | None" = None
+        # Dense id assigned lazily by the engine's compiled datapath
+        # (see FlitBuffer._buf_id); -1 until first proposed over.
+        self._chan_id = -1
 
     def record_flit(self) -> None:
         self.flits_carried += 1

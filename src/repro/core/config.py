@@ -291,11 +291,20 @@ class SimulationParams:
     ``"conservative"`` is the occupancy-at-cycle-start ablation.
 
     ``scheduler`` selects the engine's component visitation strategy:
-    ``"active"`` (default) skips provably idle components, ``"naive"``
-    scans everything every cycle.  The two are behavior-identical (same
-    ``SimulationResult`` for every config — enforced by the kernel
-    equivalence test matrix), so the choice is an execution detail and
-    deliberately not part of the cached-result identity.
+    ``"compiled"`` (default) skips provably idle components *and* runs
+    the propose/resolve/commit loop over flat integer arrays instead of
+    Transfer objects, ``"active"`` skips idle components on the object
+    datapath, ``"naive"`` scans everything every cycle.  All three are
+    behavior-identical (same ``SimulationResult`` for every config —
+    enforced by the kernel equivalence test matrix), so the choice is
+    an execution detail and deliberately not part of the cached-result
+    identity.
+
+    ``deadlock_threshold`` is measured in *base* (PM) clock cycles: a
+    cycle counts as stalled when none of its subcycles commits a flit
+    despite proposals, so the threshold means the same thing on systems
+    with a double-speed global ring (two subcycles per base cycle) as
+    on single-speed ones.
     """
 
     batch_cycles: int = 3000
@@ -303,7 +312,7 @@ class SimulationParams:
     seed: int = 1
     deadlock_threshold: int = 50_000
     flow_control: str = "bypass"
-    scheduler: str = "active"
+    scheduler: str = "compiled"
 
     def validate(self) -> "SimulationParams":
         if self.batch_cycles < 1:
@@ -317,9 +326,10 @@ class SimulationParams:
                 f"flow_control must be 'bypass' or 'conservative', "
                 f"got {self.flow_control!r}"
             )
-        if self.scheduler not in ("active", "naive"):
+        if self.scheduler not in ("compiled", "active", "naive"):
             raise ConfigurationError(
-                f"scheduler must be 'active' or 'naive', got {self.scheduler!r}"
+                f"scheduler must be 'compiled', 'active' or 'naive', "
+                f"got {self.scheduler!r}"
             )
         return self
 

@@ -38,11 +38,11 @@ base cycles.
 Scheduling
 ----------
 
-Two schedulers drive the same propose/resolve/commit machinery:
+Three schedulers drive the same propose/resolve/commit machinery:
 
 * ``"naive"`` scans every component every subcycle and runs every
   ``update`` every cycle — the straightforward implementation;
-* ``"active"`` (default) keeps *active sets*: only components that can
+* ``"active"`` keeps *active sets*: only components that can
   possibly do work are visited.  A component sleeps when it reports it
   may (:meth:`Component.may_sleep_propose` /
   :meth:`Component.next_update_cycle`) and is woken by one of three
@@ -54,26 +54,53 @@ Two schedulers drive the same propose/resolve/commit machinery:
   When both active sets are empty, :meth:`Engine.run` fast-forwards the
   clock straight to the earliest registered timer instead of spinning
   through empty cycles.
+* ``"compiled"`` (default) is the active-set scheduler plus a
+  *compiled datapath*: every buffer and channel is assigned a dense
+  integer id on first use, proposals are written as index rows
+  (``src_id``/``dst_id``/``chan_id``/``owner_id`` plus the flit
+  reference) into reused parallel arrays instead of allocating
+  :class:`Transfer` objects, the greatest-fixed-point revocation runs
+  as an integer loop seeded only with the rows that can actually
+  revoke (destination full at propose time — sound because the
+  greatest fixed point is unique), and commit dispatches through a
+  per-component handler resolved once at finalize
+  (:meth:`Component.compiled_commit_handler`) instead of the
+  megamorphic ``on_transfer_commit`` call.  Components may further
+  provide a *compiled propose handler*
+  (:meth:`Component.compiled_propose_handler`): a flat closure, built
+  once at finalize, that performs the component's send arbitration
+  and writes the proposal row directly into the engine's columns —
+  no per-proposal engine call at all.  Under saturation — every
+  component awake, tens of proposals per cycle — this removes the
+  object churn and call overhead that dominate the ``"active"``
+  profile.
 
-The two schedulers are behavior-identical: active sets are iterated in
-component-registration order and sleeping is only allowed when the
-naive scan would have been a no-op, so every simulation produces the
-same transfers, the same metrics and the same random streams under
-either scheduler (see tests/integration/test_kernel_equivalence.py and
-DESIGN.md for the wake/sleep invariants).
+The schedulers are behavior-identical: active sets are iterated in
+component-registration order, sleeping is only allowed when the naive
+scan would have been a no-op, and the compiled datapath preserves the
+object path's proposal order, revocation order and commit order
+exactly, so every simulation produces the same transfers, the same
+metrics and the same random streams under any scheduler (see
+tests/integration/test_kernel_equivalence.py and DESIGN.md for the
+wake/sleep and flattening invariants).
 """
 
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import Iterable
+from typing import Callable, Iterable, Optional
 
+from . import profiling
 from .buffers import FlitBuffer
 from .channel import Channel
 from .errors import DeadlockError, SimulationError
 from .packet import Flit
 
-SCHEDULERS = ("active", "naive")
+SCHEDULERS = ("compiled", "active", "naive")
+
+#: Flat commit callback used by the compiled datapath:
+#: ``handler(flit, source, dest, channel)``.
+CommitHandler = Callable[[Flit, FlitBuffer, FlitBuffer, Optional[Channel]], None]
 
 
 class Transfer:
@@ -126,6 +153,14 @@ class Component:
 
     speed: int = 1
 
+    #: Declares that this component's commit bookkeeping is a no-op for
+    #: body (non-head, non-tail) flits — true for wormhole and slotted
+    #: switching, where only packet boundaries mutate state.  The
+    #: compiled commit loop then skips the handler call for body flits;
+    #: the object datapath ignores the flag, so a wrong declaration
+    #: would show up as a scheduler-equivalence failure.
+    commit_on_head_tail_only: bool = False
+
     #: Set by the engine at finalize time; lets endpoint APIs called
     #: from *outside* the clock loop (e.g. ``ProcessingModule.issue_remote``)
     #: wake their component.
@@ -137,6 +172,74 @@ class Component:
 
     def on_transfer_commit(self, transfer: Transfer, engine: "Engine") -> None:
         """Hook called once per committed transfer owned by this component."""
+
+    def compiled_commit_handler(self) -> CommitHandler | None:
+        """Flat commit callback for the compiled scheduler, or ``None``.
+
+        Components with commit-time state (wormhole acquire/release,
+        routing locks) return a bound ``handler(flit, source, dest,
+        channel)`` sharing its implementation with
+        :meth:`on_transfer_commit`; it is resolved once per component at
+        finalize, so the commit loop makes one monomorphic call instead
+        of a megamorphic ``on_transfer_commit`` dispatch.  Returning
+        ``None`` (the default) means: skip the call entirely when
+        ``on_transfer_commit`` is the base-class no-op, else route
+        through a compatibility adapter that rebuilds a pooled
+        :class:`Transfer` and calls ``on_transfer_commit`` — custom
+        components keep working unmodified.
+        """
+        return None
+
+    def compiled_propose_handler(
+        self, engine: "Engine"
+    ) -> "Callable[[Engine], None] | None":
+        """Flat propose callable for the compiled scheduler, or ``None``.
+
+        Called once at finalize.  A component may return a closure that
+        replaces its :meth:`propose` in the compiled proposal loop: the
+        closure performs the same arbitration and writes the proposal
+        row directly into the engine's parallel columns (see
+        :meth:`Engine.propose_fast` for the row layout).  Because the
+        closure is built against a specific, already-validated wiring,
+        it may elide the engine's per-proposal structural checks
+        (head-of-buffer, one drain per source, one fill per bounded
+        destination) *when the component's own invariants make them
+        unreachable* — a wrong elision shows up as a
+        scheduler-equivalence failure, not silent corruption, since the
+        object datapath still validates every proposal.
+
+        Returning ``None`` (the default) keeps :meth:`propose` with the
+        engine's validating shim — custom components work unmodified.
+        """
+        return None
+
+    def compiled_update_handler(
+        self, engine: "Engine"
+    ) -> "Callable[[int], int | None] | None":
+        """Fused update callable for the compiled scheduler, or ``None``.
+
+        Called once at finalize.  A component may return a closure
+        ``fused(cycle) -> next_update_cycle`` that performs its whole
+        per-cycle :meth:`update` *and* returns what
+        :meth:`next_update_cycle` would — one call instead of two, with
+        the sub-phase dispatch flattened into straight-line code against
+        state captured at build time.  The closure must leave exactly
+        the state (and consume exactly the random draws) the separate
+        ``update``/``next_update_cycle`` pair would; drift shows up as
+        a scheduler-equivalence failure since the object datapath still
+        runs the plain methods.
+
+        Returning ``None`` (the default) keeps the two-method protocol.
+        """
+        return None
+
+    #: Declares that this component's :meth:`compiled_update_handler`
+    #: closure wakes the proposers of its ``update_output_buffers``
+    #: itself, at each push site, on the empty -> non-empty edge.  The
+    #: compiled update loop then skips its post-update output-buffer
+    #: scan for the component.  Only consulted when the handler is
+    #: installed; the plain-method fallback always gets the engine scan.
+    compiled_update_self_wakes: bool = False
 
     def update(self, engine: "Engine") -> None:
         """Per-base-cycle endpoint logic (injection, ejection, timers)."""
@@ -193,16 +296,20 @@ class Engine:
       full ring (see benchmarks/bench_ablations.py).
 
     ``scheduler`` selects the component visitation strategy (see the
-    module docstring): ``"active"`` (default) or ``"naive"``.  Both are
-    behavior-identical; ``"naive"`` is kept for the equivalence tests
-    and ablation benchmarks.
+    module docstring): ``"compiled"`` (default), ``"active"`` or
+    ``"naive"``.  All three are behavior-identical; the slower ones are
+    kept for the equivalence tests and ablation benchmarks.
+
+    ``deadlock_threshold`` counts stalled *base* (PM) clock cycles —
+    not subcycles — so its meaning does not change on systems with a
+    double-speed global ring.
     """
 
     def __init__(
         self,
         deadlock_threshold: int = 50_000,
         flow_control: str = "bypass",
-        scheduler: str = "active",
+        scheduler: str = "compiled",
     ):
         if flow_control not in ("bypass", "conservative"):
             raise SimulationError(f"unknown flow control mode {flow_control!r}")
@@ -223,7 +330,8 @@ class Engine:
         self._pool: list[Transfer] = []
         self._subcycles = 1
         self._finalized = False
-        self._active_mode = scheduler == "active"
+        self._active_mode = scheduler in ("active", "compiled")
+        self._compiled = scheduler == "compiled"
         # Active-set state (used only by the "active" scheduler).  The
         # sets hold component registration indices; the `_order` lists
         # cache their sorted iteration order (component order — shared
@@ -237,9 +345,82 @@ class Engine:
         self._upd_dirty = True
         self._timers: list[tuple[int, int]] = []  # heap of (cycle, index)
         self._timer_at: list[int] = []  # earliest live heap entry per index
+        self._sweep_at = 0  # rate limit for the compiled idle-set sweep
         # per-component: ((output buffer, proposer indices), ...) pairs
         # checked after its update() for injection that bypasses commit
         self._upd_out_wakes: list[tuple[tuple[FlitBuffer, tuple[int, ...]], ...]] = []
+        # compiled twin of `_upd_out_wakes` with self-waking fused
+        # handlers' entries emptied (see Component.compiled_update_self_wakes)
+        self._upd_out_wakes_compiled: list[
+            tuple[tuple[FlitBuffer, tuple[int, ...]], ...]
+        ] = []
+        # ------------------------------------------------------------------
+        # Compiled-datapath state (used only by the "compiled" scheduler).
+        # Buffers and channels get dense ids on first use; proposals are
+        # rows in the reused `_p_*` parallel columns, `_p_n[0]` of them
+        # live per subcycle (a one-element list rather than an int
+        # attribute so finalize-built propose closures can bump the
+        # count through a captured cell).  `_prop_of_src`/`_prop_of_dst`
+        # map a buffer id to its proposal row this subcycle (-1 = none)
+        # and replace the `_by_source`/`_by_dest` dicts of the object
+        # path.  All columns are grown strictly by appending in place —
+        # closures capture the list objects themselves.
+        self._buf_objs: list[FlitBuffer] = []
+        self._buf_cap: list[int] = []  # capacity column; -1 = unbounded
+        # Wake routing by buffer id — the `_wake_on_push`/`_wake_on_pop`
+        # buffer slots copied into columns at registration time, so the
+        # commit loop indexes by the ids it already holds instead of
+        # dereferencing the endpoint objects.  Safe to snapshot: the
+        # slots are assigned once, in `_finalize_active_sets`, which
+        # always runs before the first buffer registration.
+        self._wake_push_prop: list[tuple[int, ...] | None] = []
+        self._wake_push_upd: list[tuple[int, ...] | None] = []
+        self._wake_pop_upd: list[tuple[int, ...] | None] = []
+        self._chan_objs: list[Channel] = []
+        self._chan_counts: list[int] = []  # flits_carried deltas, flushed
+        self._prop_of_src: list[int] = []
+        self._prop_of_dst: list[int] = []
+        self._p_flit: list[Flit | None] = []
+        self._p_src: list[int] = []
+        self._p_dst: list[int] = []
+        self._p_chan: list[int] = []
+        self._p_owner: list[int] = []
+        self._p_live = bytearray()
+        self._p_srcbuf: list[FlitBuffer | None] = []  # commit scratch column
+        # [row count this subcycle, version base].  `_prop_of_src` /
+        # `_prop_of_dst` store ``base + row`` and an entry is current
+        # iff ``>= base``; bumping ``base`` by the row count at the end
+        # of each subcycle invalidates every entry at once, so the
+        # commit loop never has to walk the rows resetting them to -1.
+        self._p_n = [0, 0]
+        # Revocation worklist, *pre-seeded at propose time*: a row is
+        # appended iff its bounded destination is already full, the only
+        # rows the greatest-fixed-point iteration can ever revoke
+        # directly (occupancy < capacity admits a fill regardless of
+        # drains).  Cascades re-enqueue upstream rows exactly as the
+        # object-path resolver does; the fixed point is unique, so
+        # seeding order cannot change the outcome.
+        self._work: list[int] = []
+        self._owner_handlers: list[CommitHandler | None] = []
+        self._owner_ht_only = bytearray()  # commit_on_head_tail_only flags
+        self._prop_fns: list[Callable[[Engine], None]] = []
+        self._prop_fn_order: list[Callable[[Engine], None]] = []
+        self._prop_speed2 = bytearray()  # speed == 2 flags by index
+        # per-component (update, next_update_cycle) bound-method pairs
+        self._upd_pairs: list[
+            tuple[Callable[[Engine], None], Callable[[Engine], int | None]]
+        ] = []
+        # per-component fused update closures (None = use _upd_pairs)
+        self._upd_fused: list[Callable[[int], int | None] | None] = []
+        self._shim: Transfer | None = None  # lazy compatibility Transfer
+        self._profile: profiling.PhaseProfile | None = None
+        self._step_fn: Callable[[], None] = self._step
+        if self._compiled:
+            # Rebind the proposal entry point once instead of branching
+            # per call: components always call `engine.propose(...)`;
+            # under the compiled scheduler the instance attribute
+            # shadows the method with the id-resolving shim.
+            self.propose = self._propose_compiled  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # construction
@@ -264,7 +445,97 @@ class Engine:
         self._subcycles = 2 if 2 in speeds else 1
         if self._active_mode:
             self._finalize_active_sets()
+        if self._compiled:
+            self._owner_handlers = [
+                self._commit_handler_for(component) for component in self.components
+            ]
+            self._owner_ht_only = bytearray(
+                component.commit_on_head_tail_only for component in self.components
+            )
+            # Per-component propose entry points: the component's own
+            # compiled closure when it provides one, else its plain
+            # `propose` through the engine's validating shim.  Built
+            # after `_finalize_active_sets` so closures can rely on
+            # `_engine_index` being assigned.
+            self._prop_fns = [
+                component.compiled_propose_handler(self) or component.propose
+                for component in self.components
+            ]
+            self._prop_speed2 = bytearray(
+                component.speed == 2 for component in self.components
+            )
+            self._upd_pairs = [
+                (component.update, component.next_update_cycle)
+                for component in self.components
+            ]
+            self._upd_fused = [
+                component.compiled_update_handler(self)
+                for component in self.components
+            ]
+            # Fused handlers that wake their output-buffer readers at the
+            # push site don't need the post-update scan; empty their
+            # entries in a compiled-only copy (the active scheduler keeps
+            # the eager scan in `_upd_out_wakes`).
+            self._upd_out_wakes_compiled = [
+                ()
+                if fused is not None and component.compiled_update_self_wakes
+                else wakes
+                for component, fused, wakes in zip(
+                    self.components, self._upd_fused, self._upd_out_wakes
+                )
+            ]
+            # Buffers registered before finalize (direct propose calls
+            # from tests) snapshotted their wake slots unassigned;
+            # refresh now that `_finalize_active_sets` has filled them.
+            for bid, buffer in enumerate(self._buf_objs):
+                pair = buffer._wake_on_push
+                self._wake_push_prop[bid] = None if pair is None else pair[0]
+                self._wake_push_upd[bid] = None if pair is None else pair[1]
+                self._wake_pop_upd[bid] = buffer._wake_on_pop
+        self._profile = profiling.current()
+        if self._profile is not None:
+            self._step_fn = self._step_profiled
+        elif self._compiled:
+            self._step_fn = (
+                self._step_compiled1 if self._subcycles == 1 else self._step_compiled
+            )
         self._finalized = True
+
+    def _commit_handler_for(self, component: Component) -> CommitHandler | None:
+        """Resolve one component's flat commit callback (see module doc).
+
+        Priority: the component's own
+        :meth:`Component.compiled_commit_handler`; else skip entirely if
+        ``on_transfer_commit`` is the inherited no-op; else a
+        compatibility adapter that rebuilds a shim :class:`Transfer`
+        so custom ``on_transfer_commit`` overrides keep working.
+        """
+        handler = component.compiled_commit_handler()
+        if handler is not None:
+            return handler
+        if type(component).on_transfer_commit is Component.on_transfer_commit:
+            return None  # base no-op: the commit loop skips the call
+
+        def adapter(
+            flit: Flit,
+            source: FlitBuffer,
+            dest: FlitBuffer,
+            channel: Channel | None,
+            _component: Component = component,
+        ) -> None:
+            shim = self._shim
+            if shim is None:
+                shim = self._shim = Transfer(flit, source, dest, channel, _component)
+            else:
+                shim.flit = flit
+                shim.source = source
+                shim.dest = dest
+                shim.channel = channel
+                shim.owner = _component
+                shim.committed = True
+            _component.on_transfer_commit(shim, self)
+
+        return adapter
 
     def _finalize_active_sets(self) -> None:
         """Index components, build the wake maps, start everything hot."""
@@ -364,35 +635,236 @@ class Engine:
         self._transfers.append(transfer)
 
     # ------------------------------------------------------------------
+    # compiled proposal path
+    # ------------------------------------------------------------------
+    def _register_buffer(self, buffer: FlitBuffer) -> int:
+        """Assign *buffer* its dense id in this engine's columns."""
+        bid = len(self._buf_objs)
+        buffer._buf_id = bid
+        self._buf_objs.append(buffer)
+        self._buf_cap.append(-1 if buffer.capacity is None else buffer.capacity)
+        self._prop_of_src.append(-1)
+        self._prop_of_dst.append(-1)
+        pair = buffer._wake_on_push
+        if pair is None:
+            self._wake_push_prop.append(None)
+            self._wake_push_upd.append(None)
+        else:
+            self._wake_push_prop.append(pair[0])
+            self._wake_push_upd.append(pair[1])
+        self._wake_pop_upd.append(buffer._wake_on_pop)
+        return bid
+
+    def _register_compiled_channel(self, channel: Channel) -> int:
+        """Assign *channel* its dense id in this engine's columns."""
+        cid = len(self._chan_objs)
+        channel._chan_id = cid
+        self._chan_objs.append(channel)
+        self._chan_counts.append(0)
+        return cid
+
+    def compiled_buffer_id(self, buffer: FlitBuffer) -> int:
+        """The dense id of *buffer*, registering it on first sight.
+
+        For finalize-time use by compiled propose handlers that want to
+        bake endpoint ids into their closures.
+        """
+        bid = buffer._buf_id
+        buf_objs = self._buf_objs
+        if bid < 0 or bid >= len(buf_objs) or buf_objs[bid] is not buffer:
+            bid = self._register_buffer(buffer)
+        return bid
+
+    def compiled_channel_id(self, channel: Channel) -> int:
+        """The dense id of *channel*, registering it on first sight."""
+        cid = channel._chan_id
+        chan_objs = self._chan_objs
+        if cid < 0 or cid >= len(chan_objs) or chan_objs[cid] is not channel:
+            cid = self._register_compiled_channel(channel)
+        return cid
+
+    def _propose_compiled(
+        self,
+        flit: Flit,
+        source: FlitBuffer,
+        dest: FlitBuffer,
+        channel: Channel | None,
+        owner: Component,
+    ) -> None:
+        """Compatibility shim bound over :meth:`propose` when compiled.
+
+        Resolves (lazily assigning on first sight) the dense ids of the
+        endpoints, then writes the proposal row — the same validation,
+        in the same order, as :meth:`propose_fast`, inlined here because
+        this shim *is* the proposal hot path and a second call per
+        proposal measurably shows at saturation.  The identity checks
+        guard against ids assigned by a different engine: a buffer
+        carrying a stale id is simply re-registered here.
+        """
+        buf_objs = self._buf_objs
+        src = source._buf_id
+        if src < 0 or src >= len(buf_objs) or buf_objs[src] is not source:
+            src = self._register_buffer(source)
+        dst = dest._buf_id
+        if dst < 0 or dst >= len(buf_objs) or buf_objs[dst] is not dest:
+            dst = self._register_buffer(dest)
+        if channel is None:
+            chan = -1
+        else:
+            chan = channel._chan_id
+            chan_objs = self._chan_objs
+            if chan < 0 or chan >= len(chan_objs) or chan_objs[chan] is not channel:
+                chan = self._register_compiled_channel(channel)
+        owner_id = owner._engine_index
+        if owner_id < 0 or owner._engine is not self:
+            raise SimulationError(
+                f"proposal owner {owner!r} is not a registered component "
+                f"of this engine"
+            )
+        # --- row write; keep in lockstep with propose_fast ---
+        flits = source._flits
+        if not flits or flits[0] is not flit:
+            raise SimulationError(
+                f"component proposed non-head flit {flit!r} from {source.name!r}"
+            )
+        p_n = self._p_n
+        n, base = p_n
+        prop_of_src = self._prop_of_src
+        if prop_of_src[src] >= base:
+            raise SimulationError(f"two transfers source from buffer {source.name!r}")
+        cap = self._buf_cap[dst]
+        if cap >= 0 and self._prop_of_dst[dst] >= base:
+            raise SimulationError(
+                f"two transfers target bounded buffer {dest.name!r}"
+            )
+        p_flit = self._p_flit
+        if n == len(p_flit):
+            p_flit.append(flit)
+            self._p_src.append(src)
+            self._p_dst.append(dst)
+            self._p_chan.append(chan)
+            self._p_owner.append(owner_id)
+            self._p_live.append(1)
+            self._p_srcbuf.append(None)
+        else:
+            p_flit[n] = flit
+            self._p_src[n] = src
+            self._p_dst[n] = dst
+            self._p_chan[n] = chan
+            self._p_owner[n] = owner_id
+            self._p_live[n] = 1
+        prop_of_src[src] = base + n
+        if cap >= 0:
+            self._prop_of_dst[dst] = base + n
+            if len(dest._flits) >= cap:
+                self._work.append(n)  # full dest: revocation candidate
+        p_n[0] = n + 1
+
+    def propose_fast(
+        self, flit: Flit, src: int, dst: int, chan: int, owner: int
+    ) -> None:
+        """Register one proposal as an index row (compiled scheduler).
+
+        ``src``/``dst`` are buffer ids, ``chan`` a channel id or -1,
+        ``owner`` the component's registration index.  Performs the same
+        validation, in the same order, as the object-path
+        :meth:`propose`.
+        """
+        buf_objs = self._buf_objs
+        flits = buf_objs[src]._flits
+        if not flits or flits[0] is not flit:
+            raise SimulationError(
+                f"component proposed non-head flit {flit!r} "
+                f"from {buf_objs[src].name!r}"
+            )
+        p_n = self._p_n
+        n, base = p_n
+        prop_of_src = self._prop_of_src
+        if prop_of_src[src] >= base:
+            raise SimulationError(
+                f"two transfers source from buffer {buf_objs[src].name!r}"
+            )
+        cap = self._buf_cap[dst]
+        if cap >= 0 and self._prop_of_dst[dst] >= base:
+            raise SimulationError(
+                f"two transfers target bounded buffer {buf_objs[dst].name!r}"
+            )
+        p_flit = self._p_flit
+        if n == len(p_flit):
+            p_flit.append(flit)
+            self._p_src.append(src)
+            self._p_dst.append(dst)
+            self._p_chan.append(chan)
+            self._p_owner.append(owner)
+            self._p_live.append(1)
+            self._p_srcbuf.append(None)
+        else:
+            p_flit[n] = flit
+            self._p_src[n] = src
+            self._p_dst[n] = dst
+            self._p_chan[n] = chan
+            self._p_owner[n] = owner
+            self._p_live[n] = 1
+        prop_of_src[src] = base + n
+        if cap >= 0:
+            self._prop_of_dst[dst] = base + n
+            if len(buf_objs[dst]._flits) >= cap:
+                self._work.append(n)  # full dest: revocation candidate
+        p_n[0] = n + 1
+
+    # ------------------------------------------------------------------
     # clocking
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Advance the simulation by one base clock cycle."""
         if not self._finalized:
             self._finalize()
-        self._step()
+        try:
+            self._step_fn()
+        finally:
+            if self._compiled:
+                self._flush_channel_counts()
 
     def run(self, cycles: int) -> None:
         if not self._finalized:
             self._finalize()
-        if not self._active_mode:
-            for __ in range(cycles):
-                self._step()
-            return
-        end = self.cycle + cycles
-        timers = self._timers
-        while self.cycle < end:
-            if not self._active_prop and not self._active_upd:
-                # Nothing can propose or update: fast-forward straight
-                # to the earliest timer (every skipped cycle is a no-op
-                # under the naive scheduler too, so metrics and streams
-                # are unaffected; the watchdog counter is necessarily 0
-                # here because an idle cycle resets it).
-                target = end if not timers else min(end, timers[0][0])
-                if target > self.cycle:
-                    self.cycle = target
-                    continue
-            self._step()
+        step_fn = self._step_fn
+        try:
+            if not self._active_mode:
+                for __ in range(cycles):
+                    step_fn()
+                return
+            end = self.cycle + cycles
+            timers = self._timers
+            while self.cycle < end:
+                if not self._active_prop and not self._active_upd:
+                    # Nothing can propose or update: fast-forward
+                    # straight to the earliest timer (every skipped
+                    # cycle is a no-op under the naive scheduler too, so
+                    # metrics and streams are unaffected; the watchdog
+                    # counter is necessarily 0 here because an idle
+                    # cycle resets it).
+                    target = end if not timers else min(end, timers[0][0])
+                    if target > self.cycle:
+                        self.cycle = target
+                        continue
+                step_fn()
+        finally:
+            # The compiled commit loop batches channel utilization into
+            # `_chan_counts`; make the deltas visible on the Channel
+            # objects whenever control returns to the caller (including
+            # through a DeadlockError), since the networks read
+            # `flits_carried` between batches.
+            if self._compiled:
+                self._flush_channel_counts()
+
+    def _flush_channel_counts(self) -> None:
+        counts = self._chan_counts
+        for cid, channel in enumerate(self._chan_objs):
+            delta = counts[cid]
+            if delta:
+                channel.flits_carried += delta
+                counts[cid] = 0
 
     def _step(self) -> None:
         cycle = self.cycle
@@ -442,6 +914,184 @@ class Engine:
         else:
             for component in components:
                 component.update(self)
+        self.cycle = cycle + 1
+        self._watchdog(proposed_this_cycle, committed_this_cycle)
+
+    def _step_compiled(self) -> None:
+        """One base cycle over the compiled datapath (active sets on)."""
+        cycle = self.cycle
+        timers = self._timers
+        if timers and timers[0][0] <= cycle:
+            active_upd = self._active_upd
+            timer_at = self._timer_at
+            while timers and timers[0][0] <= cycle:
+                fired, index = heappop(timers)
+                active_upd.add(index)
+                if timer_at[index] == fired:
+                    timer_at[index] = 0
+            self._upd_dirty = True
+        committed_this_cycle = 0
+        proposed_this_cycle = 0
+        prop_fns = self._prop_fns
+        p_n = self._p_n
+        for subcycle in range(self._subcycles):
+            if self._prop_dirty:
+                self._prop_order = order = sorted(self._active_prop)
+                self._prop_fn_order = [prop_fns[index] for index in order]
+                self._prop_dirty = False
+            if subcycle == 0:
+                for fn in self._prop_fn_order:
+                    fn(self)
+            else:
+                speed2 = self._prop_speed2
+                for index in self._prop_order:
+                    if speed2[index]:
+                        prop_fns[index](self)
+            n = p_n[0]
+            if n:
+                proposed_this_cycle += n
+                self._resolve_compiled()
+                committed_this_cycle += self._commit_compiled()
+                p_n[0] = 0
+                p_n[1] += n  # invalidate this subcycle's prop_of_* entries
+        self._update_compiled(cycle)
+        self.cycle = cycle + 1
+        self._watchdog(proposed_this_cycle, committed_this_cycle)
+
+    def _step_compiled1(self) -> None:
+        """Single-subcycle twin of :meth:`_step_compiled`.
+
+        Installed by ``_finalize`` when no double-speed component exists
+        (the common case): the subcycle loop, the speed filter and the
+        watchdog call collapse into straight-line code.  Behavior is
+        identical to :meth:`_step_compiled` with ``_subcycles == 1``.
+        """
+        cycle = self.cycle
+        timers = self._timers
+        if timers and timers[0][0] <= cycle:
+            active_upd = self._active_upd
+            timer_at = self._timer_at
+            while timers and timers[0][0] <= cycle:
+                fired, index = heappop(timers)
+                active_upd.add(index)
+                if timer_at[index] == fired:
+                    timer_at[index] = 0
+            self._upd_dirty = True
+        if self._prop_dirty:
+            self._prop_order = order = sorted(self._active_prop)
+            self._prop_fn_order = [self._prop_fns[index] for index in order]
+            self._prop_dirty = False
+        for fn in self._prop_fn_order:
+            fn(self)
+        p_n = self._p_n
+        n = p_n[0]
+        committed = 0
+        if n:
+            self._resolve_compiled()
+            committed = self._commit_compiled()
+            p_n[0] = 0
+            p_n[1] += n  # invalidate this subcycle's prop_of_* entries
+        self._update_compiled(cycle)
+        self.cycle = cycle + 1
+        # watchdog, inlined
+        if n > 0 and committed == 0:
+            self._stalled_cycles += 1
+            if self._stalled_cycles >= self.deadlock_threshold:
+                raise DeadlockError(self.cycle, self._stalled_cycles)
+        else:
+            self._stalled_cycles = 0
+
+    def _step_profiled(self) -> None:
+        """One base cycle with per-phase wall-time accounting.
+
+        A mode-generic mirror of :meth:`_step` / :meth:`_step_compiled`
+        installed by ``_finalize`` when a
+        :class:`repro.core.profiling.PhaseProfile` is active.  It is a
+        separate function so the unprofiled hot loops carry no
+        profiling branches at all; behavior (order of every call into
+        components) is identical to the plain steps.
+        """
+        prof = self._profile
+        assert prof is not None
+        sched = self.scheduler
+        cycle = self.cycle
+        active = self._active_mode
+        compiled = self._compiled
+        if active:
+            timers = self._timers
+            if timers and timers[0][0] <= cycle:
+                active_upd = self._active_upd
+                timer_at = self._timer_at
+                while timers and timers[0][0] <= cycle:
+                    fired, index = heappop(timers)
+                    active_upd.add(index)
+                    if timer_at[index] == fired:
+                        timer_at[index] = 0
+                self._upd_dirty = True
+        committed_this_cycle = 0
+        proposed_this_cycle = 0
+        components = self.components
+        transfers = self._transfers
+        for subcycle in range(self._subcycles):
+            prof.begin()
+            if compiled:
+                prop_fns = self._prop_fns
+                if self._prop_dirty:
+                    self._prop_order = order = sorted(self._active_prop)
+                    self._prop_fn_order = [prop_fns[index] for index in order]
+                    self._prop_dirty = False
+                if subcycle == 0:
+                    for fn in self._prop_fn_order:
+                        fn(self)
+                else:
+                    speed2 = self._prop_speed2
+                    for index in self._prop_order:
+                        if speed2[index]:
+                            prop_fns[index](self)
+            elif active:
+                if self._prop_dirty:
+                    self._prop_order = sorted(self._active_prop)
+                    self._prop_dirty = False
+                for index in self._prop_order:
+                    component = components[index]
+                    if subcycle == 0 or component.speed == 2:
+                        component.propose(self)
+            else:
+                for component in components:
+                    if subcycle == 0 or component.speed == 2:
+                        component.propose(self)
+            prof.lap(sched, "propose")
+            if compiled:
+                p_n = self._p_n
+                n = p_n[0]
+                if n:
+                    proposed_this_cycle += n
+                    self._resolve_compiled()
+                    prof.lap(sched, "resolve")
+                    committed_this_cycle += self._commit_compiled()
+                    p_n[0] = 0
+                    p_n[1] += n  # invalidate this subcycle's prop_of_* entries
+                    prof.lap(sched, "commit")
+            elif transfers:
+                proposed_this_cycle += len(transfers)
+                self._resolve()
+                prof.lap(sched, "resolve")
+                committed_this_cycle += self._commit()
+                self._pool.extend(transfers)
+                transfers.clear()
+                self._by_source.clear()
+                self._by_dest.clear()
+                prof.lap(sched, "commit")
+        prof.begin()
+        if compiled:
+            self._update_compiled(cycle)
+        elif active:
+            self._update_active(cycle)
+        else:
+            for component in components:
+                component.update(self)
+        prof.lap(sched, "update")
+        prof.count_cycle(sched)
         self.cycle = cycle + 1
         self._watchdog(proposed_this_cycle, committed_this_cycle)
 
@@ -505,6 +1155,109 @@ class Engine:
             if swept:
                 self._prop_dirty = True
 
+    def _update_compiled(self, cycle: int) -> None:
+        """Compiled twin of :meth:`_update_active`.
+
+        Same calls into the same components in the same order; the
+        differences are mechanical — ``update``/``next_update_cycle``
+        are the bound methods resolved once at finalize (or the
+        component's single fused closure, which computes the next-cycle
+        answer during the update call), a component with no declared
+        output buffers skips the wake scan without setting up an empty
+        loop, and the sleep sweep is amortized over 64 cycles instead
+        of 16.  For the fused path the output-buffer wake scan runs
+        after the next-cycle computation (it happens inside the fused
+        call) rather than between the two plain calls; that is
+        equivalent because the next-cycle computation never reads the
+        active sets and the scan only reads output-buffer occupancy,
+        which is final once the update work is done.
+        """
+        active_upd = self._active_upd
+        if active_upd:
+            if self._upd_dirty:
+                self._upd_order = sorted(active_upd)
+                self._upd_dirty = False
+            active_prop = self._active_prop
+            upd_out_wakes = self._upd_out_wakes_compiled
+            upd_pairs = self._upd_pairs
+            upd_fused = self._upd_fused
+            timers = self._timers
+            timer_at = self._timer_at
+            hot_threshold = cycle + 1
+            upd_shrank = False
+            prop_before = len(active_prop)
+            for index in self._upd_order:
+                fused = upd_fused[index]
+                if fused is not None:
+                    nxt = fused(cycle)
+                    # Wake the proposers reading any buffer this update
+                    # filled (injection bypasses the transfer machinery).
+                    out_wakes = upd_out_wakes[index]
+                    if out_wakes:
+                        for buffer, wakes in out_wakes:
+                            if buffer._flits:
+                                active_prop.update(wakes)
+                else:
+                    update_fn, next_fn = upd_pairs[index]
+                    update_fn(self)
+                    out_wakes = upd_out_wakes[index]
+                    if out_wakes:
+                        for buffer, wakes in out_wakes:
+                            if buffer._flits:
+                                active_prop.update(wakes)
+                    nxt = next_fn(self)
+                if nxt is None:
+                    active_upd.discard(index)
+                    upd_shrank = True
+                elif nxt > hot_threshold:
+                    active_upd.discard(index)
+                    upd_shrank = True
+                    # Dedup: skip the push when an earlier live timer
+                    # already guarantees a wake at or before `nxt`.
+                    live = timer_at[index]
+                    if live <= cycle or nxt < live:
+                        heappush(timers, (nxt, index))
+                        timer_at[index] = nxt
+            # Dirty only when the set actually grew: the wake scan fires
+            # for any non-empty output buffer, which at saturation is
+            # every cycle even though the proposers are all awake
+            # already — rebuilding the sorted order then is pure waste.
+            # (_update_active keeps the coarser any-wake-fired test; the
+            # rebuilt order is identical either way, this only changes
+            # how often it is recomputed.)
+            if len(active_prop) != prop_before:
+                self._prop_dirty = True
+            if upd_shrank:
+                self._upd_dirty = True
+        # Amortized sleep sweep — see _update_active for the rationale.
+        # The compiled path stretches the period to 64 cycles: sweeping
+        # is pure scheduling (an awake-but-idle propose() is a no-op,
+        # and results are scheduler-independent by construction), and at
+        # saturation — this datapath's design point — the sweep almost
+        # never finds a sleeper, so the sorted() walk is nearly always
+        # wasted.  The `not active_upd` trigger still opens the
+        # fast-forward path promptly at low load, rate-limited to every
+        # 8th cycle: at saturation the update set regularly drains to
+        # empty for a cycle (every hot PM parked on a timer) without the
+        # network being anywhere near idle, and sweeping on each of
+        # those cycles re-walks every busy proposer for nothing.
+        active_prop = self._active_prop
+        if active_prop and (
+            cycle & 63 == 0 or (not active_upd and cycle >= self._sweep_at)
+        ):
+            self._sweep_at = cycle + 8
+            components = self.components
+            swept = False
+            # sorted(): sweep in component-index order, not set order
+            # (RPR001 regression — discards are order-independent, but a
+            # frozen set order must never leak into scheduling decisions).
+            for index in sorted(active_prop):
+                if components[index].may_sleep_propose():
+                    active_prop.discard(index)
+                    swept = True
+            if swept:
+                self._prop_dirty = True
+
     # ------------------------------------------------------------------
     # resolution
     # ------------------------------------------------------------------
@@ -536,6 +1289,48 @@ class Engine:
                 upstream = by_dest.get(transfer.source)
                 if upstream is not None and upstream.committed:
                     worklist.append(upstream)
+
+    def _resolve_compiled(self) -> None:
+        """Integer-loop twin of :meth:`_resolve` over the proposal rows.
+
+        The worklist arrives pre-seeded by the proposal writers with
+        exactly the rows whose bounded destination was already full —
+        the only rows the revocation condition can hold for, since a
+        fill into a non-full buffer never overflows regardless of
+        drains.  The object path checks every transfer instead; both
+        iterations converge to the *same* set of surviving rows because
+        the greatest fixed point is unique and revoking a row
+        re-enqueues the (bounded-dest) transfer into its source for
+        recheck, so cascades are never missed.
+        """
+        work = self._work
+        if not work:
+            return
+        bypass = self.flow_control == "bypass"
+        base = self._p_n[1]
+        live = self._p_live
+        p_src = self._p_src
+        p_dst = self._p_dst
+        prop_of_src = self._prop_of_src
+        prop_of_dst = self._prop_of_dst
+        buf_objs = self._buf_objs
+        buf_cap = self._buf_cap
+        while work:
+            row = work.pop()
+            if not live[row]:
+                continue
+            dst = p_dst[row]
+            cap = buf_cap[dst]
+            if cap < 0:
+                continue  # unbounded sinks always accept
+            drain = prop_of_src[dst]
+            draining = bypass and drain >= base and live[drain - base]
+            if len(buf_objs[dst]._flits) - (1 if draining else 0) + 1 > cap:
+                live[row] = 0
+                # The source no longer drains; recheck the transfer into it.
+                upstream = prop_of_dst[p_src[row]]
+                if upstream >= base and live[upstream - base]:
+                    work.append(upstream - base)
 
     def _commit(self) -> int:
         committed = 0
@@ -589,6 +1384,114 @@ class Engine:
                     channel.flits_carried += 1
                 transfer.owner.on_transfer_commit(transfer, self)
                 committed += 1
+        self.flits_moved += committed
+        return committed
+
+    def _commit_compiled(self) -> int:
+        """Row-loop twin of :meth:`_commit` (active-set bookkeeping on).
+
+        Same two-pass structure — all drains before any fill — with the
+        per-flit work flattened: direct deque operations plus FIFO
+        counter updates instead of ``pop()``/``push()`` calls (the
+        resolver already guarantees no bounded destination overflows),
+        channel utilization batched into ``_chan_counts`` (flushed by
+        ``run()``/``step()``), and the commit notification made through
+        the per-component handler resolved at finalize instead of a
+        megamorphic ``owner.on_transfer_commit``.
+        """
+        n = self._p_n[0]
+        live = self._p_live
+        p_flit = self._p_flit
+        p_src = self._p_src
+        p_dst = self._p_dst
+        p_chan = self._p_chan
+        p_owner = self._p_owner
+        p_srcbuf = self._p_srcbuf
+        buf_objs = self._buf_objs
+        # All pops first: a flit may move into a slot freed in this very
+        # subcycle, so drains must complete before fills.  The resolved
+        # source object is parked in the scratch column so the fill pass
+        # does not look it up again.  The object path re-checks here
+        # that the buffer head is still the proposed flit; on this path
+        # that check is elided — propose-time validation pinned the flit
+        # at the head, and only the resolver (which never touches
+        # buffers) runs in between.
+        for row in range(n):
+            if live[row]:
+                source = buf_objs[p_src[row]]
+                source._flits.popleft()
+                source.flits_dequeued += 1
+                p_srcbuf[row] = source
+        committed = 0
+        chan_objs = self._chan_objs
+        chan_counts = self._chan_counts
+        handlers = self._owner_handlers
+        ht_only = self._owner_ht_only
+        active_prop = self._active_prop
+        active_upd = self._active_upd
+        wake_push_prop = self._wake_push_prop
+        wake_push_upd = self._wake_push_upd
+        wake_pop_upd = self._wake_pop_upd
+        prop_before = len(active_prop)
+        upd_before = len(active_upd)
+        for row in range(n):
+            if not live[row]:
+                continue
+            flit = p_flit[row]
+            dst = p_dst[row]
+            dest = buf_objs[dst]
+            dest_flits = dest._flits
+            was_empty = not dest_flits
+            dest_flits.append(flit)  # type: ignore[arg-type]
+            dest.flits_enqueued += 1
+            cid = p_chan[row]
+            if cid >= 0:
+                chan_counts[cid] += 1
+            owner = p_owner[row]
+            handler = handlers[owner]
+            if handler is not None and (
+                flit.is_head or flit.is_tail or not ht_only[owner]  # type: ignore[union-attr]
+            ):
+                handler(
+                    flit,  # type: ignore[arg-type]
+                    p_srcbuf[row],  # type: ignore[arg-type]
+                    dest,
+                    chan_objs[cid] if cid >= 0 else None,
+                )
+            committed += 1
+            # Propose-side fill wakes fire only on the empty -> non-empty
+            # edge: every proposer that reads this buffer reports
+            # ``may_sleep_propose() == False`` while it is non-empty
+            # (RingPort and MeshRouter both scan their wake buffers), so
+            # a reader woken when the buffer last became non-empty cannot
+            # have been swept since — the wake would be a no-op.  Sound
+            # because propose-read buffers have exactly one filler per
+            # subcycle (the resolver's one-fill invariant), so the
+            # pre-append emptiness test detects the edge exactly.
+            # Update-side wakes stay eager:
+            # ``next_update_cycle`` deliberately does *not* count
+            # ``in_queue`` content (ejection is fill-woken), so a parked
+            # PM relies on every push waking it, not just the first.
+            if was_empty:
+                wakes = wake_push_prop[dst]
+                if wakes is not None:
+                    active_prop.update(wakes)
+            wakes = wake_push_upd[dst]
+            if wakes is not None:
+                active_upd.update(wakes)
+            wakes = wake_pop_upd[p_src[row]]
+            if wakes is not None:
+                active_upd.update(wakes)
+        # Batch-clear the object columns (do not pin revoked flits or the
+        # buffers of dead engines alive): one C-level slice store instead
+        # of per-row assignments in the hot loop.
+        clear: list[None] = [None] * n
+        p_flit[:n] = clear
+        p_srcbuf[:n] = clear
+        if len(active_prop) != prop_before:
+            self._prop_dirty = True
+        if len(active_upd) != upd_before:
+            self._upd_dirty = True
         self.flits_moved += committed
         return committed
 

@@ -134,19 +134,16 @@ class Flit:
     footnote 2) and neither do we: one flit crosses one link per cycle.
     """
 
-    __slots__ = ("packet", "index")
+    __slots__ = ("packet", "index", "is_head", "is_tail")
 
     def __init__(self, packet: Packet, index: int):
         self.packet = packet
         self.index = index
-
-    @property
-    def is_head(self) -> bool:
-        return self.index == 0
-
-    @property
-    def is_tail(self) -> bool:
-        return self.index == self.packet.size_flits - 1
+        # Precomputed: a flit's position never changes, and the kernel's
+        # commit handlers read these once or twice per flit transfer —
+        # plain slot loads instead of property descriptor calls.
+        self.is_head = index == 0
+        self.is_tail = index == packet.size_flits - 1
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         kind = "H" if self.is_head else ("T" if self.is_tail else "B")

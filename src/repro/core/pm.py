@@ -28,6 +28,7 @@ import heapq
 import itertools
 import random
 from collections import deque
+from typing import Callable
 
 from .buffers import FlitBuffer
 from .config import PacketGeometry, WorkloadConfig
@@ -69,6 +70,10 @@ class ProcessingModule(Component):
     """One processor + memory endpoint, network-agnostic."""
 
     speed = 1
+
+    #: The fused update closure wakes the output ports at its drain
+    #: push sites (see :meth:`compiled_update_handler`).
+    compiled_update_self_wakes = True
 
     def __init__(
         self,
@@ -251,6 +256,237 @@ class ProcessingModule(Component):
                 queue.push_packet(iter(packet.flits))
                 if packet.ptype.is_request:
                     engine.packets_in_flight += 1
+
+    # ------------------------------------------------------------------
+    # compiled datapath: the whole per-cycle update as one closure
+    # ------------------------------------------------------------------
+    def compiled_update_handler(
+        self, engine: Engine
+    ) -> "Callable[[int], int | None] | None":
+        """Fuse :meth:`update` and :meth:`next_update_cycle` into one call.
+
+        The five update sub-phases and the next-cycle query dispatch
+        through seven method calls per active PM per cycle; at
+        saturation the PMs are the engine's single hottest update
+        population, so the compiled scheduler gets all of it as one
+        flat closure over state bound at finalize.  The closure's work
+        — including every random draw the miss generator makes — is
+        call-for-call identical to the plain methods (the kernel
+        equivalence matrix runs both datapaths against each other),
+        with three elisions justified by module-local invariants:
+
+        * ``out_req``/``out_resp`` are always bounded (constructor), so
+          the drain loop's unbounded-queue branch is dead;
+        * ``_req_staging`` only ever holds requests and
+          ``_resp_staging`` only responses (``_generate``,
+          ``issue_remote``, ``_serve_memory``), so the per-packet
+          ``is_request`` test in the drain loop is constant per queue;
+        * packet-type predicates (``is_request``, ``response_type``,
+          ``size_of``) are total functions of the four-value
+          :class:`PacketType`, precomputed here as dict lookups.
+
+        Only the plain :class:`MissGenerator` is fused — its
+        ``_advance_schedule`` draw discipline is part of this module's
+        contract.  Custom miss sources (trace players) return ``None``
+        and keep the generic two-method protocol.
+        """
+        generator = self.generator
+        if type(generator) is not MissGenerator:
+            return None
+        pm = self
+        pm_id = self.pm_id
+        metrics = self.metrics
+        memory = self.memory
+        mem_pending = memory._pending
+        mem_seq = memory._seq
+        mem_latency = memory.latency
+        in_queue = self.in_queue
+        in_flits = in_queue._flits
+        rx_counts = self._rx_counts
+        open_txns = self.open_transactions
+        local_pending = self._local_pending
+        req_staging = self._req_staging
+        resp_staging = self._resp_staging
+        out_req = self.out_req
+        out_resp = self.out_resp
+        out_req_flits = out_req._flits
+        out_resp_flits = out_resp._flits
+        req_cap = out_req.capacity
+        resp_cap = out_resp.capacity
+        assert req_cap is not None and resp_cap is not None
+        req_push = out_req.push_packet
+        resp_push = out_resp.push_packet
+        txn_seq = self._txn_seq
+        txn_base = pm_id << 40
+        limit = self._outstanding_limit
+        record_remote = metrics.record_remote
+        record_local = metrics.record_local
+        gen_advance = generator._advance_schedule
+        gen_next_issue = generator.next_issue_cycle
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        read_request = PacketType.READ_REQUEST
+        write_request = PacketType.WRITE_REQUEST
+        is_request = {ptype: ptype.is_request for ptype in PacketType}
+        response_of = {
+            ptype: (ptype.response_type, self.geometry.size_of(ptype.response_type))
+            for ptype in PacketType
+            if ptype.is_request
+        }
+        read_req_size = self.geometry.size_of(read_request)
+        write_req_size = self.geometry.size_of(write_request)
+        # Self-waking drains (see Component.compiled_update_self_wakes):
+        # injection wakes the output ports right at the push site, on the
+        # empty -> non-empty edge only, instead of the engine re-scanning
+        # both queues after every update.  Wake tuples exist once
+        # `_finalize_active_sets` has run, which precedes handler
+        # construction in `Engine._finalize`.
+        active_prop = engine._active_prop
+        req_pair = out_req._wake_on_push
+        resp_pair = out_resp._wake_on_push
+        req_wakes = None if req_pair is None else req_pair[0]
+        resp_wakes = None if resp_pair is None else resp_pair[0]
+
+        def fused_update(cycle: int) -> int | None:
+            # --- _eject -----------------------------------------------
+            while in_flits:
+                flit = in_flits.popleft()
+                in_queue.flits_dequeued += 1
+                packet = flit.packet
+                if packet.destination != pm_id:
+                    raise SimulationError(
+                        f"{packet!r} ejected at PM {pm_id}, not its destination"
+                    )
+                pid = packet.packet_id
+                received = rx_counts.get(pid, 0) + 1
+                if received < packet.size_flits:
+                    rx_counts[pid] = received
+                    continue
+                rx_counts.pop(pid, None)
+                if is_request[packet.ptype]:
+                    heappush(
+                        mem_pending, (cycle + mem_latency, next(mem_seq), packet)
+                    )
+                else:
+                    txn = packet.transaction_id
+                    if txn not in open_txns:
+                        raise SimulationError(
+                            f"response for unknown transaction {txn}"
+                        )
+                    open_txns.remove(txn)
+                    pm.outstanding -= 1
+                    record_remote(cycle - packet.issue_cycle)
+                    engine.packets_in_flight -= 1
+            # --- _serve_memory ----------------------------------------
+            while mem_pending and mem_pending[0][0] <= cycle:
+                __, __, request = heappop(mem_pending)
+                memory.accesses_served += 1
+                rtype, rsize = response_of[request.ptype]
+                resp_staging.append(
+                    Packet(
+                        ptype=rtype,
+                        source=pm_id,
+                        destination=request.source,
+                        size_flits=rsize,
+                        transaction_id=request.transaction_id,
+                        issue_cycle=request.issue_cycle,
+                    )
+                )
+            # --- _complete_local --------------------------------------
+            while local_pending and local_pending[0][0] <= cycle:
+                __, issue_cycle = heappop(local_pending)
+                pm.outstanding -= 1
+                record_local(cycle - issue_cycle)
+            # --- _generate, MissGenerator.poll inlined ----------------
+            if pm.generation_enabled:
+                miss = generator._pending
+                if miss is not None:
+                    if pm.outstanding < limit:
+                        generator._pending = None
+                        generator._next_draw_cycle = cycle + 1
+                    else:
+                        miss = None
+                else:
+                    # _advance_schedule early-returns when a miss is
+                    # already scheduled, so only call it when not.
+                    miss = generator._scheduled
+                    if miss is None:
+                        gen_advance(cycle)
+                        miss = generator._scheduled
+                    if miss is not None and generator._scheduled_cycle <= cycle:
+                        generator._scheduled = None
+                        generator.misses_generated += 1
+                        if pm.outstanding < limit:
+                            generator._next_draw_cycle = cycle + 1
+                        else:
+                            generator._pending = miss
+                            miss = None
+                    else:
+                        miss = None
+                if miss is not None:
+                    pm.outstanding += 1
+                    if miss.is_read:
+                        metrics.reads_issued += 1
+                    else:
+                        metrics.writes_issued += 1
+                    target = miss.target
+                    if target == pm_id:
+                        metrics.local_issued += 1
+                        heappush(local_pending, (cycle + mem_latency, cycle))
+                    else:
+                        metrics.remote_issued += 1
+                        request = Packet(
+                            ptype=read_request if miss.is_read else write_request,
+                            source=pm_id,
+                            destination=target,
+                            size_flits=(
+                                read_req_size if miss.is_read else write_req_size
+                            ),
+                            transaction_id=txn_base | next(txn_seq),
+                            issue_cycle=cycle,
+                        )
+                        open_txns.add(request.transaction_id)
+                        req_staging.append(request)
+            # --- _drain_staging (responses before requests) -----------
+            while resp_staging:
+                packet = resp_staging[0]
+                if resp_cap - len(out_resp_flits) < packet.size_flits:
+                    break
+                resp_staging.popleft()
+                packet.inject_cycle = cycle
+                if resp_wakes is not None and not out_resp_flits:
+                    active_prop.update(resp_wakes)
+                resp_push(iter(packet.flits))
+            while req_staging:
+                packet = req_staging[0]
+                if req_cap - len(out_req_flits) < packet.size_flits:
+                    break
+                req_staging.popleft()
+                packet.inject_cycle = cycle
+                if req_wakes is not None and not out_req_flits:
+                    active_prop.update(req_wakes)
+                req_push(iter(packet.flits))
+                engine.packets_in_flight += 1
+            # --- next_update_cycle, inlined ---------------------------
+            nxt = mem_pending[0][0] if mem_pending else None
+            if local_pending:
+                local = local_pending[0][0]
+                if nxt is None or local < nxt:
+                    nxt = local
+            if pm.generation_enabled:
+                if generator._pending is not None:
+                    issue = None
+                elif generator._scheduled is not None:
+                    issue = generator._scheduled_cycle
+                else:
+                    issue = gen_next_issue(cycle)
+                if issue is not None and (nxt is None or issue < nxt):
+                    nxt = issue
+            if nxt is None:
+                return None
+            return nxt if nxt > cycle else cycle + 1
+
+        return fused_update
 
     # ------------------------------------------------------------------
     # active-set scheduling contract (see core.engine.Component)

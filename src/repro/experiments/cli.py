@@ -18,6 +18,7 @@ almost entirely cache hits.  ``--no-cache`` disables the cache,
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import pathlib
 import sys
@@ -101,6 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="print a Markdown digest of saved results in DIR and exit",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-phase kernel wall-time profile after each "
+        "experiment (profiling is process-local, so this forces "
+        "--jobs 1 and --no-cache; the unprofiled hot loop is untouched)",
+    )
     return parser
 
 
@@ -140,6 +148,11 @@ def main(argv: list[str] | None = None) -> int:
 
     ids = sorted(experiments, key=_experiment_sort_key) if args.experiments == ["all"] else args.experiments
     scale = SCALES[args.scale]
+    if args.profile:
+        # Profiling is process-local ambient state: worker processes and
+        # cache hits would run (or skip) engines this profile never sees.
+        args.no_cache = True
+        args.jobs = 1
     cache = _build_cache(args)
     failures_total = 0
     unconverged_total = 0
@@ -147,11 +160,22 @@ def main(argv: list[str] | None = None) -> int:
         experiment = get_experiment(eid)
         reporter = ProgressPrinter(sys.stderr, label=eid, live=sys.stderr.isatty())
         started = time.time()
+        profile = None
+        if args.profile:
+            from ..core import profiling
+
+            profile = profiling.PhaseProfile()
+            profile_ctx = profiling.enabled(profile)
+        else:
+            profile_ctx = contextlib.nullcontext()
         with runtime_context(jobs=args.jobs, cache=cache, progress=reporter.update):
-            result = experiment.run(scale)
+            with profile_ctx:
+                result = experiment.run(scale)
         elapsed = time.time() - started
         reporter.finish_line()
         print(result.format_table())
+        if profile is not None:
+            print(profile.format_table())
         print(
             f"[{eid}] scale={scale.name} elapsed={elapsed:.1f}s "
             f"sweep: {reporter.summary()}"

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from ..core.buffers import FlitBuffer
 from ..core.channel import Channel
-from ..core.engine import Component, Engine, Transfer
+from ..core.engine import CommitHandler, Component, Engine, Transfer
 from ..core.errors import SimulationError
 from ..core.packet import Flit, Packet
 from ..core.pm import ProcessingModule
@@ -39,6 +39,11 @@ class MeshRouter(Component):
     """One node's router plus its processing-module port."""
 
     speed = 1
+
+    #: Commit bookkeeping (round-robin advance, crossbar lock/unlock)
+    #: happens on head and tail flits only; body flits of the paper's
+    #: up-to-36-flit mesh packets are pure data movement.
+    commit_on_head_tail_only = True
 
     def __init__(
         self,
@@ -189,17 +194,32 @@ class MeshRouter(Component):
             return
 
     # ------------------------------------------------------------------
+    # Commit bookkeeping.  `_commit_flit` is the single implementation;
+    # `on_transfer_commit` (object datapath) unpacks the Transfer into
+    # it and `compiled_commit_handler` exposes it to the engine's
+    # compiled datapath as a direct monomorphic call.
+    def compiled_commit_handler(self) -> "CommitHandler":
+        return self._commit_flit
+
     def on_transfer_commit(self, transfer: Transfer, engine: Engine) -> None:
-        flit = transfer.flit
-        in_key = self._input_of_source[transfer.source]
-        out_key = self._output_of_dest[transfer.dest]
+        self._commit_flit(transfer.flit, transfer.source, transfer.dest, transfer.channel)
+
+    def _commit_flit(
+        self,
+        flit: Flit,
+        source: FlitBuffer,
+        dest: FlitBuffer,
+        channel: Channel | None,
+    ) -> None:
+        in_key = self._input_of_source[source]
+        out_key = self._output_of_dest[dest]
         if flit.is_head:
             self.packets_routed += 1
             self._rr_pointer[out_key] = (INPUT_ORDER.index(in_key) + 1) % len(INPUT_ORDER)
             if not flit.is_tail:
                 self._output_lock[out_key] = in_key
                 self._input_route[in_key] = out_key
-                self._input_active_buffer[in_key] = transfer.source
+                self._input_active_buffer[in_key] = source
         if flit.is_tail:
             self._output_lock[out_key] = None
             self._input_route[in_key] = None

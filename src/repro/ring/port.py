@@ -26,9 +26,9 @@ from typing import Callable
 
 from ..core.buffers import FlitBuffer
 from ..core.channel import Channel
-from ..core.engine import Component, Engine, Transfer
+from ..core.engine import CommitHandler, Component, Engine, Transfer
 from ..core.errors import SimulationError
-from ..core.packet import Packet
+from ..core.packet import Flit, Packet
 
 #: A classifier maps an arriving packet to the receiving buffer.
 Classifier = Callable[[Packet], FlitBuffer]
@@ -36,6 +36,11 @@ Classifier = Callable[[Packet], FlitBuffer]
 
 class RingPort(Component):
     """One node position on a unidirectional ring."""
+
+    #: Both switching modes only touch state at packet boundaries
+    #: (counters and wormhole acquire on the head, release on the
+    #: tail); body flits are pure data movement.
+    commit_on_head_tail_only = True
 
     def __init__(
         self,
@@ -76,6 +81,12 @@ class RingPort(Component):
         # link and the buffer its flits stream from.
         self._sending: Packet | None = None
         self._sending_source: FlitBuffer | None = None
+        # Compiled-datapath twin of the open route: the dense engine ids
+        # of the (source, dest) pair, stashed by the head commit so the
+        # continuation proposals of the packet's body flits skip the id
+        # resolution entirely.  Only meaningful while `_sending` is set.
+        self._cont_src = -1
+        self._cont_dst = -1
         # Diagnostics
         self.packets_sent = 0
         self.transit_packets_sent = 0
@@ -168,6 +179,135 @@ class RingPort(Component):
         dest = self.downstream.classify(flit.packet)
         engine.propose(flit, source, dest, self.out_channel, self)
 
+    def compiled_propose_handler(
+        self, engine: Engine
+    ) -> "Callable[[Engine], None] | None":
+        """Flat wormhole propose for the compiled datapath.
+
+        A finalize-built closure equivalent to :meth:`propose` +
+        ``engine.propose``, with the call tower and the engine's
+        per-proposal structural checks flattened away.  The elisions are
+        justified by this port's invariants (and guarded by the
+        scheduler-equivalence matrix, since the object datapath keeps
+        validating):
+
+        * *head-of-buffer*: the offered flit **is** ``source._flits[0]``
+          — the arbitration below peeks it from there;
+        * *one drain per source*: each buffer is read by exactly one
+          port, and a port writes at most one row per subcycle;
+        * *one fill per bounded destination*: each receive buffer is
+          fed by exactly one upstream link.
+
+        Slotted ports keep the generic path — their per-slot
+        classification and insertion-turn arbitration is not on the
+        saturated hot path the compiled loop targets — as do unwired
+        ports, so mis-wiring still raises through :meth:`propose`.  A
+        port already mid-packet at finalize (only possible when reused
+        across engines) also falls back: its stashed continuation ids
+        would index the previous engine's columns.
+        """
+        if (
+            self.slotted
+            or self.downstream is None
+            or self.out_channel is None
+            or self._sending is not None
+        ):
+            return None
+        port = self
+        name = self.name
+        classify = self.downstream.classify
+        chan = engine.compiled_channel_id(self.out_channel)
+        owner_id = self._engine_index
+        # Send buffers are fixed at construction: bake their ids into
+        # the arbitration walk so the hot path never re-resolves them.
+        sources = tuple(
+            (buffer, engine.compiled_buffer_id(buffer))
+            for buffer in self.sources_by_priority
+        )
+        buf_objs = engine._buf_objs
+        buf_cap = engine._buf_cap
+        prop_of_src = engine._prop_of_src
+        prop_of_dst = engine._prop_of_dst
+        p_flit = engine._p_flit
+        p_src = engine._p_src
+        p_dst = engine._p_dst
+        p_chan = engine._p_chan
+        p_owner = engine._p_owner
+        p_live = engine._p_live
+        p_srcbuf = engine._p_srcbuf
+        p_n = engine._p_n
+        work = engine._work
+        register_buffer = engine._register_buffer
+
+        def propose_compiled(_engine: Engine) -> None:
+            # --- arbitration: mirror of propose()/_pick_flit() ---
+            sending = port._sending
+            if sending is not None:
+                source = port._sending_source
+                if source is None:
+                    return
+                flits = source._flits
+                if not flits:
+                    return  # bubble: next flit not yet arrived
+                flit = flits[0]
+                if flit.packet is not sending:
+                    raise SimulationError(
+                        f"{name}: buffer {source.name!r} interleaved packets "
+                        f"({flit.packet!r} inside {sending!r})"
+                    )
+                # Continuation flits are never heads (the head commit is
+                # what set `_sending`), so the classify branch is dead
+                # here and the endpoint ids are the ones the head commit
+                # stashed — the compiled twin of the object path's
+                # `out_channel.incoming_route` pin.
+                src = port._cont_src
+                dst = port._cont_dst
+                dest = buf_objs[dst]
+            else:
+                flit = None
+                for source, src in sources:
+                    queued = source._flits
+                    if queued:
+                        flit = queued[0]
+                        break
+                if flit is None:
+                    return
+                if not flit.is_head:
+                    raise SimulationError(
+                        f"{name}: idle output but buffer {source.name!r} "
+                        f"heads with mid-packet flit {flit!r}"
+                    )
+                dest = classify(flit.packet)
+                dst = dest._buf_id
+                if dst < 0 or len(buf_objs) <= dst or buf_objs[dst] is not dest:
+                    dst = register_buffer(dest)
+            # --- row write: mirror of Engine.propose_fast ---
+            n, base = p_n
+            if n == len(p_flit):
+                p_flit.append(flit)
+                p_src.append(src)
+                p_dst.append(dst)
+                p_chan.append(chan)
+                p_owner.append(owner_id)
+                p_live.append(1)
+                p_srcbuf.append(None)
+            else:
+                p_flit[n] = flit
+                p_src[n] = src
+                p_dst[n] = dst
+                p_chan[n] = chan
+                p_owner[n] = owner_id
+                p_live[n] = 1
+            prop_of_src[src] = base + n
+            cap = buf_cap[dst]
+            if cap >= 0:
+                prop_of_dst[dst] = base + n
+                if len(dest._flits) >= cap:
+                    work.append(n)  # full dest: revocation candidate
+            p_n[0] = n + 1
+
+        return propose_compiled
+
     def _pick_flit(self):
         """Choose the flit to offer to the output link this cycle."""
         if self._sending is not None:
@@ -194,23 +334,54 @@ class RingPort(Component):
         return None, None
 
     # ------------------------------------------------------------------
+    # Commit bookkeeping.  The flat `_commit_*` forms are the single
+    # implementation: `on_transfer_commit` (object datapath) unpacks the
+    # Transfer into them, and `compiled_commit_handler` hands the
+    # matching bound method to the engine's compiled datapath so the
+    # commit loop calls it directly — one monomorphic call, no Transfer.
+    def compiled_commit_handler(self) -> "CommitHandler":
+        return self._commit_slotted if self.slotted else self._commit_wormhole
+
     def on_transfer_commit(self, transfer: Transfer, engine: Engine) -> None:
-        flit = transfer.flit
-        channel = transfer.channel
         if self.slotted:
-            if flit.is_head:
-                self.packets_sent += 1
-                if transfer.source is self.transit_buffer:
-                    self.transit_packets_sent += 1
-            return  # independent slots: no wormhole state to maintain
+            self._commit_slotted(
+                transfer.flit, transfer.source, transfer.dest, transfer.channel
+            )
+        else:
+            self._commit_wormhole(
+                transfer.flit, transfer.source, transfer.dest, transfer.channel
+            )
+
+    def _commit_slotted(
+        self,
+        flit: Flit,
+        source: FlitBuffer,
+        dest: FlitBuffer,
+        channel: Channel | None,
+    ) -> None:
+        # Independent slots: no wormhole state to maintain.
         if flit.is_head:
             self.packets_sent += 1
-            if transfer.source is self.transit_buffer:
+            if source is self.transit_buffer:
+                self.transit_packets_sent += 1
+
+    def _commit_wormhole(
+        self,
+        flit: Flit,
+        source: FlitBuffer,
+        dest: FlitBuffer,
+        channel: Channel | None,
+    ) -> None:
+        if flit.is_head:
+            self.packets_sent += 1
+            if source is self.transit_buffer:
                 self.transit_packets_sent += 1
             if not flit.is_tail:
                 self._sending = flit.packet
-                self._sending_source = transfer.source
-                channel.open_route(flit.packet, transfer.dest)
+                self._sending_source = source
+                self._cont_src = source._buf_id
+                self._cont_dst = dest._buf_id
+                channel.open_route(flit.packet, dest)
         if flit.is_tail:
             self._sending = None
             self._sending_source = None

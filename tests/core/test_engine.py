@@ -168,8 +168,17 @@ class TestConservativeFlowControl:
             Engine(flow_control="psychic")
 
 
+@pytest.mark.parametrize("scheduler", ("compiled", "active", "naive"))
 class TestProposalValidation:
-    def test_non_head_flit_rejected(self):
+    """The structural proposal checks hold under every scheduler.
+
+    The compiled scheduler routes generic components through a
+    compatibility shim that re-implements these checks inline over its
+    index rows; parametrizing keeps the shim in lockstep with the
+    object path.
+    """
+
+    def test_non_head_flit_rejected(self, scheduler):
         a, b = buffers(2, 2)
         f1, f2 = fresh_flits(2)
         a.push(f1)
@@ -179,36 +188,99 @@ class TestProposalValidation:
             def propose(self, engine):
                 engine.propose(f2, a, b, None, self)  # not the head
 
-        engine = Engine()
+        engine = Engine(scheduler=scheduler)
         engine.add_component(BadPipe(a, b))
         with pytest.raises(SimulationError):
             engine.step()
 
-    def test_two_writers_to_bounded_buffer_rejected(self):
+    def test_two_writers_to_bounded_buffer_rejected(self, scheduler):
         a, b, c = buffers(1, 1, 2)
         f1, f2 = fresh_flits(2)
         a.push(f1)
         b.push(f2)
-        engine = Engine()
+        engine = Engine(scheduler=scheduler)
         engine.add_components([Pipe(a, c), Pipe(b, c)])
         with pytest.raises(SimulationError):
             engine.step()
 
-    def test_two_readers_of_buffer_rejected(self):
+    def test_two_readers_of_buffer_rejected(self, scheduler):
         a, b, c = buffers(1, 2, 2)
         (f1,) = fresh_flits(1)
         a.push(f1)
-        engine = Engine()
+        engine = Engine(scheduler=scheduler)
         engine.add_components([Pipe(a, b), Pipe(a, c)])
         with pytest.raises(SimulationError):
             engine.step()
 
-    def test_add_component_after_start_rejected(self):
-        engine = Engine()
+    def test_add_component_after_start_rejected(self, scheduler):
+        engine = Engine(scheduler=scheduler)
         engine.add_component(Counter())
         engine.step()
         with pytest.raises(SimulationError):
             engine.add_component(Counter())
+
+
+class TestCompiledShimValidation:
+    def test_foreign_owner_rejected(self):
+        """The compiled shim indexes commit handlers by the owner's
+        registration index; a proposal owned by a component this engine
+        never registered must raise, not index some other component's
+        handler (the object path simply never calls back into a foreign
+        owner, so only the compiled scheduler needs this check)."""
+        a, b = buffers(1, 1)
+        (f1,) = fresh_flits(1)
+        a.push(f1)
+        stranger = Pipe(a, b)  # never added to any engine
+
+        class Delegator(Component):
+            def propose(self, engine):
+                flit = a.peek()
+                if flit is not None:
+                    engine.propose(flit, a, b, None, stranger)
+
+        engine = Engine(scheduler="compiled")
+        engine.add_component(Delegator())
+        with pytest.raises(SimulationError):
+            engine.step()
+
+
+class TestCompiledObjectReuse:
+    """Buffers and channels carry dense ids stamped by whichever compiled
+    engine saw them last; a fresh engine must detect the stale ids (the
+    identity check in the propose shim) and re-register rather than
+    trust them."""
+
+    def test_buffers_reused_across_engines(self):
+        a, b, c = buffers(1, 1, 1)
+        (f1,) = fresh_flits(1)
+        a.push(f1)
+        engine1 = Engine()
+        engine1.add_components([Pipe(a, b), Pipe(b, c)])
+        engine1.step()  # stamps dense ids owned by engine1
+        assert b.peek() is f1
+        # New engine, same buffers, different wiring: every stale id
+        # must fail the identity check and be reassigned.
+        engine2 = Engine()
+        engine2.add_components([Pipe(b, c), Pipe(c, a)])
+        engine2.step()
+        assert c.peek() is f1
+        engine2.step()
+        assert a.peek() is f1
+
+    def test_channel_reused_across_engines(self):
+        a, b = buffers(1, 1)
+        (f1,) = fresh_flits(1)
+        a.push(f1)
+        channel = Channel("ch", "test")
+        engine1 = Engine()
+        engine1.add_component(Pipe(a, b, channel=channel))
+        engine1.step()
+        assert channel.flits_carried == 1
+        engine2 = Engine()
+        engine2.add_component(Pipe(b, a, channel=channel))
+        engine2.step()
+        assert a.peek() is f1
+        assert channel.flits_carried == 2
 
 
 class TestWatchdog:
@@ -244,6 +316,28 @@ class TestWatchdog:
         engine = Engine(deadlock_threshold=2)
         engine.add_component(Counter())
         engine.run(50)  # no proposals at all -> no deadlock
+
+    @pytest.mark.parametrize("scheduler", ("compiled", "active", "naive"))
+    def test_threshold_counts_base_cycles_not_subcycles(self, scheduler):
+        """A double-speed wedge stalls once per *base* cycle.
+
+        A speed-2 component proposes (and fails to commit) in both
+        subcycles of every base cycle; a watchdog that counted
+        per-subcycle would fire after 5 base cycles.  The threshold is
+        documented as base (PM) clock cycles, so the error must arrive
+        at base cycle 10 with exactly 10 stalled cycles — under every
+        scheduler.
+        """
+        a, b = buffers(1, 1)
+        f1, f2 = fresh_flits(2)
+        a.push(f1)
+        b.push(f2)
+        engine = Engine(deadlock_threshold=10, scheduler=scheduler)
+        engine.add_component(Pipe(a, b, speed=2))
+        with pytest.raises(DeadlockError) as excinfo:
+            engine.run(100)
+        assert excinfo.value.stalled_cycles == 10
+        assert excinfo.value.cycle == 10
 
 
 class TestClockDomains:

@@ -1,14 +1,18 @@
-"""Scheduler equivalence: active-set and naive kernels are bit-identical.
+"""Scheduler equivalence: compiled, active-set and naive kernels agree.
 
 The active-set scheduler (``SimulationParams.scheduler="active"``) skips
 components it can prove idle and fast-forwards the clock over dead
-cycles.  That is only legal if it is *behavior-identical* to the
-full-scan scheduler — the same ``SimulationResult``, the same random
-streams, the same flit movements — for every topology, switching mode,
-clock-domain layout and buffer shape the simulator supports.  This
-matrix enforces it, including byte-identical canonical result JSON so
-the PR 1 content-addressed cache may treat the scheduler as a pure
-execution detail (``params_payload`` deliberately omits it).
+cycles; the compiled scheduler (the default) additionally flattens the
+propose/resolve/commit datapath into finalize-built closures over
+parallel integer columns, eliding per-proposal structural checks its
+component invariants make unreachable.  Both are only legal if they are
+*behavior-identical* to the full-scan scheduler — the same
+``SimulationResult``, the same random streams, the same flit movements —
+for every topology, switching mode, clock-domain layout and buffer
+shape the simulator supports.  This matrix enforces it, including
+byte-identical canonical result JSON so the PR 1 content-addressed
+cache may treat the scheduler as a pure execution detail
+(``params_payload`` deliberately omits it).
 """
 
 from dataclasses import replace
@@ -27,6 +31,8 @@ from repro.runtime.serialization import canonical_json, result_payload
 #: Short but non-trivial: long enough for multi-level round trips and
 #: wormhole contention, short enough to keep the matrix fast.
 PARAMS = SimulationParams(batch_cycles=350, batches=3, seed=11)
+
+SCHEDULERS = ("compiled", "active", "naive")
 
 SYSTEMS = [
     pytest.param(RingSystemConfig(topology="8", cache_line_bytes=32), id="ring-1level"),
@@ -56,64 +62,116 @@ SYSTEMS = [
 OUTSTANDING = [1, 2, 4]
 
 
-def run_both(system, workload):
-    active = simulate(system, workload, replace(PARAMS, scheduler="active"))
-    naive = simulate(system, workload, replace(PARAMS, scheduler="naive"))
-    return active, naive
+def run_all(system, workload, params=PARAMS):
+    return {
+        scheduler: simulate(system, workload, replace(params, scheduler=scheduler))
+        for scheduler in SCHEDULERS
+    }
+
+
+def assert_identical(results):
+    """Byte-identical canonical JSON across every scheduler's result."""
+    payloads = {
+        scheduler: canonical_json(result_payload(result))
+        for scheduler, result in results.items()
+    }
+    baseline = payloads["naive"]
+    for scheduler, payload in payloads.items():
+        assert payload == baseline, f"{scheduler} result diverged from naive"
 
 
 @pytest.mark.parametrize("system", SYSTEMS)
 @pytest.mark.parametrize("outstanding", OUTSTANDING, ids=lambda t: f"T{t}")
 def test_schedulers_bit_identical(system, outstanding):
     workload = WorkloadConfig(miss_rate=0.05, outstanding=outstanding)
-    active, naive = run_both(system, workload)
+    results = run_all(system, workload)
+    naive = results["naive"]
 
     # Every measured field, at full float precision.
-    assert active.cycles == naive.cycles
-    assert active.flits_moved == naive.flits_moved
-    assert active.remote_transactions == naive.remote_transactions
-    assert active.local_transactions == naive.local_transactions
-    assert active.latency == naive.latency
-    assert active.local_latency == naive.local_latency
-    assert active.utilization == naive.utilization
-    assert active.throughput == naive.throughput
+    for scheduler in ("compiled", "active"):
+        fast = results[scheduler]
+        assert fast.cycles == naive.cycles
+        assert fast.flits_moved == naive.flits_moved
+        assert fast.remote_transactions == naive.remote_transactions
+        assert fast.local_transactions == naive.local_transactions
+        assert fast.latency == naive.latency
+        assert fast.local_latency == naive.local_latency
+        assert fast.utilization == naive.utilization
+        assert fast.throughput == naive.throughput
 
     # And byte-identical cached-result JSON: the cache must not be able
     # to tell which scheduler computed a point.
-    assert canonical_json(result_payload(active)) == canonical_json(
-        result_payload(naive)
-    )
+    assert_identical(results)
+
+
+def test_saturated_ring_bit_identical():
+    """The compiled datapath's design point: a saturated 2-level ring
+    where full buffers rotate through bypass flow control every cycle."""
+    system = RingSystemConfig(topology="2:4", cache_line_bytes=32)
+    workload = WorkloadConfig(miss_rate=0.2, outstanding=8)
+    assert_identical(run_all(system, workload))
 
 
 def test_low_load_fast_forward_matches():
     """The empty-active-set clock jump must not skip any miss."""
     system = RingSystemConfig(topology="2:4", cache_line_bytes=32)
     workload = WorkloadConfig(miss_rate=0.001, outstanding=2)
-    active, naive = run_both(system, workload)
-    assert canonical_json(result_payload(active)) == canonical_json(
-        result_payload(naive)
-    )
-    assert active.remote_transactions > 0  # the jump did not starve the run
+    results = run_all(system, workload)
+    assert_identical(results)
+    # the jump did not starve the run
+    assert results["naive"].remote_transactions > 0
 
 
 def test_near_zero_load_is_identical_and_quiet():
     """Effectively zero load (the lookahead-chunk path): nothing happens,
-    under either scheduler, and this run's seed provably draws no miss."""
+    under any scheduler, and this run's seed provably draws no miss."""
     system = RingSystemConfig(topology="2:4", cache_line_bytes=32)
     workload = WorkloadConfig(miss_rate=1e-9, outstanding=2)
-    active, naive = run_both(system, workload)
-    assert active.flits_moved == naive.flits_moved == 0
-    assert active.remote_transactions == naive.remote_transactions == 0
-    assert canonical_json(result_payload(active)) == canonical_json(
-        result_payload(naive)
-    )
+    results = run_all(system, workload)
+    for result in results.values():
+        assert result.flits_moved == 0
+        assert result.remote_transactions == 0
+    assert_identical(results)
+
+
+def test_profiled_run_bit_identical():
+    """An active PhaseProfile must observe, never perturb.
+
+    The instrumented step brackets the same phases with perf_counter
+    laps; results must stay byte-identical to unprofiled runs under
+    every scheduler, while the profile actually records cycles and all
+    four phases for each of them.
+    """
+    from repro.core import profiling
+
+    system = RingSystemConfig(topology="2:4", cache_line_bytes=32)
+    workload = WorkloadConfig(miss_rate=0.05, outstanding=4)
+    plain = run_all(system, workload)
+    profile = profiling.PhaseProfile()
+    with profiling.enabled(profile):
+        profiled = run_all(system, workload)
+
+    payloads = {
+        scheduler: canonical_json(result_payload(result))
+        for scheduler, result in plain.items()
+    }
+    for scheduler, result in profiled.items():
+        assert canonical_json(result_payload(result)) == payloads[scheduler], (
+            f"profiling perturbed the {scheduler} scheduler's result"
+        )
+    for scheduler in SCHEDULERS:
+        assert profile.cycles.get(scheduler, 0) > 0
+        for phase in profiling.PHASES:
+            assert (scheduler, phase) in profile.seconds
 
 
 def test_scheduler_not_in_cache_identity():
     """params_payload omits the scheduler, so cache keys coincide."""
     from repro.runtime.serialization import params_payload
 
-    active = params_payload(replace(PARAMS, scheduler="active"))
-    naive = params_payload(replace(PARAMS, scheduler="naive"))
-    assert active == naive
-    assert "scheduler" not in active
+    payloads = [
+        params_payload(replace(PARAMS, scheduler=scheduler))
+        for scheduler in SCHEDULERS
+    ]
+    assert payloads[0] == payloads[1] == payloads[2]
+    assert "scheduler" not in payloads[0]

@@ -9,8 +9,16 @@ structure ring networks and wormhole paths induce.  After one cycle:
   did not commit was genuinely blocked: its destination ends the cycle
   completely full.  (A least-fixed-point/conservative resolver would
   fail this on full cycles, which must rotate.)
+
+Every property runs under all three schedulers.  The capacity assertion
+is load-bearing for the compiled datapath specifically: its commit loop
+elides the per-flit overflow check (`FlitBuffer.push`'s raise) on the
+strength of the integer-loop resolver, so an overflow there would
+corrupt silently rather than raise — only this invariant check would
+catch it.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -48,9 +56,10 @@ def buffer_graphs(draw):
     return n, capacities, occupancies, permutation, edge_mask
 
 
+@pytest.mark.parametrize("scheduler", ("compiled", "active", "naive"))
 @given(graph=buffer_graphs())
 @settings(max_examples=300, deadline=None)
-def test_one_cycle_is_safe_and_maximal(graph):
+def test_one_cycle_is_safe_and_maximal(scheduler, graph):
     n, capacities, occupancies, permutation, edge_mask = graph
     buffers = [FlitBuffer(f"b{i}", capacity=capacities[i]) for i in range(n)]
     supply = iter(flit_supply(sum(occupancies) + 1))
@@ -63,7 +72,7 @@ def test_one_cycle_is_safe_and_maximal(graph):
         for i in range(n)
         if edge_mask[i] and permutation[i] != i
     ]
-    engine = Engine()
+    engine = Engine(scheduler=scheduler)
     for src, dst in edges:
         engine.add_component(Pipe(buffers[src], buffers[dst]))
 
@@ -98,19 +107,20 @@ def test_one_cycle_is_safe_and_maximal(graph):
         )
 
 
+@pytest.mark.parametrize("scheduler", ("compiled", "active", "naive"))
 @given(
     length=st.integers(min_value=2, max_value=10),
     capacity=st.integers(min_value=1, max_value=3),
 )
 @settings(max_examples=100, deadline=None)
-def test_full_cycle_always_rotates(length, capacity):
+def test_full_cycle_always_rotates(scheduler, length, capacity):
     """A completely full directed cycle advances every flit, every cycle."""
     buffers = [FlitBuffer(f"b{i}", capacity=capacity) for i in range(length)]
     supply = iter(flit_supply(length * capacity))
     for buffer in buffers:
         for _ in range(capacity):
             buffer.push(next(supply))
-    engine = Engine()
+    engine = Engine(scheduler=scheduler)
     for i in range(length):
         engine.add_component(Pipe(buffers[i], buffers[(i + 1) % length]))
     heads = [buffer.peek() for buffer in buffers]
