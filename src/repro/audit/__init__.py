@@ -1,0 +1,55 @@
+"""Runtime invariant auditing and cross-scheduler differential fuzzing.
+
+``repro.audit`` machine-checks, every cycle, the conservation and
+protocol invariants the simulator's correctness argument rests on
+(flit conservation, buffer bounds, wormhole contiguity, transaction
+lifecycle, transit priority — see :mod:`repro.audit.invariants` for the
+full list), and fuzzes the three schedulers against each other on
+randomized small configurations (:mod:`repro.audit.fuzz`).
+
+Auditing follows the :mod:`repro.core.profiling` pattern: zero cost
+when off, ambient enable/disable around a run::
+
+    from repro.audit import Auditor, enabled
+
+    with enabled(Auditor()) as auditor:
+        result = simulate(system, workload, params)
+    print(auditor.describe())
+
+Command line (see ``python -m repro.audit --help``)::
+
+    python -m repro.audit fuzz --cases 50 --seed 0
+    python -m repro.audit smoke
+
+This ``__init__`` keeps heavy imports lazy: the engine imports
+``repro.audit.runtime`` from inside ``_finalize`` (which executes this
+module), so pulling the ring/mesh component classes in here would make
+every unaudited engine pay for them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .runtime import current, disable, enable, enabled
+
+__all__ = [
+    "AuditError",
+    "Auditor",
+    "current",
+    "disable",
+    "enable",
+    "enabled",
+]
+
+#: Names resolved lazily from :mod:`repro.audit.invariants` (which
+#: imports the ring and mesh packages) on first attribute access.
+_LAZY = {"Auditor", "AuditError"}
+
+
+def __getattr__(name: str) -> Any:
+    if name in _LAZY:
+        from . import invariants
+
+        return getattr(invariants, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

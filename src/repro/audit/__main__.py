@@ -1,0 +1,5 @@
+"""Entry point for ``python -m repro.audit``."""
+
+from .cli import main
+
+raise SystemExit(main())

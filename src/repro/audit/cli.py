@@ -1,0 +1,129 @@
+"""Command line front end: ``python -m repro.audit <subcommand>``.
+
+``fuzz``
+    Differential fuzz campaign: randomized small configurations run
+    under all three schedulers with the invariant auditor on, result
+    JSON compared byte-for-byte, failures shrunk to minimal reproducer
+    specs on disk.  Exit 1 if any case fails.
+
+``smoke``
+    Audited runs of one representative point per figure-family config
+    (hierarchy depths, double-speed global ring, slotted switching,
+    mesh buffer depths) under every scheduler, asserting byte-identical
+    results and zero invariant violations.  Exit 1 on any violation or
+    divergence.
+
+``replay FILE``
+    Re-run a reproducer JSON written by ``fuzz``.  Exit 1 if it still
+    fails (i.e. exit 0 means the bug it captured is fixed).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+from pathlib import Path
+
+from ..core.config import (
+    MeshSystemConfig,
+    RingSystemConfig,
+    SimulationParams,
+    WorkloadConfig,
+)
+from ..core.simulation import SystemConfig, simulate
+from ..runtime.serialization import canonical_json, result_payload
+from .fuzz import SCHEDULERS, replay, run_fuzz
+from .invariants import Auditor
+from .runtime import enabled
+
+#: Default reproducer output directory (mirrors the experiments layout).
+DEFAULT_OUT = Path("results/audit")
+
+#: One representative configuration per figure family (fig06–fig21
+#: sweep the same system shapes over larger sizes and workloads).
+SMOKE_SYSTEMS: list[tuple[str, SystemConfig]] = [
+    ("ring-1level", RingSystemConfig(topology="8", cache_line_bytes=32)),
+    ("ring-2level", RingSystemConfig(topology="2:4", cache_line_bytes=32)),
+    ("ring-3level", RingSystemConfig(topology="2:2:4", cache_line_bytes=32)),
+    (
+        "ring-fast-global",
+        RingSystemConfig(topology="2:2:4", cache_line_bytes=32, global_ring_speed=2),
+    ),
+    (
+        "ring-slotted",
+        RingSystemConfig(topology="2:4", cache_line_bytes=32, switching="slotted"),
+    ),
+    ("mesh-buf1", MeshSystemConfig(side=3, cache_line_bytes=32, buffer_flits=1)),
+    ("mesh-buf4", MeshSystemConfig(side=4, cache_line_bytes=32, buffer_flits=4)),
+    ("mesh-bufcl", MeshSystemConfig(side=3, cache_line_bytes=64, buffer_flits="cl")),
+]
+
+SMOKE_PARAMS = SimulationParams(batch_cycles=400, batches=3, seed=7)
+SMOKE_WORKLOAD = WorkloadConfig(miss_rate=0.05, outstanding=4)
+
+
+def run_smoke(log=print) -> int:
+    """Audited cross-scheduler identity check on the smoke matrix."""
+    failures = 0
+    auditor = Auditor()
+    for name, system in SMOKE_SYSTEMS:
+        payloads = {}
+        with enabled(auditor):
+            for scheduler in SCHEDULERS:
+                result = simulate(
+                    system,
+                    SMOKE_WORKLOAD,
+                    replace(SMOKE_PARAMS, scheduler=scheduler),
+                )
+                payloads[scheduler] = canonical_json(result_payload(result))
+        baseline = payloads[SCHEDULERS[0]]
+        diverged = [s for s in SCHEDULERS[1:] if payloads[s] != baseline]
+        if diverged:
+            failures += 1
+            log(f"{name}: DIVERGED ({', '.join(diverged)} vs {SCHEDULERS[0]})")
+        else:
+            log(f"{name}: ok")
+    log(auditor.describe())
+    if auditor.violations:
+        failures += len(auditor.violations)
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.audit",
+        description="runtime invariant auditing and differential fuzzing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fuzz_p = sub.add_parser("fuzz", help="differential fuzz campaign")
+    fuzz_p.add_argument("--cases", type=int, default=50, help="cases to run")
+    fuzz_p.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fuzz_p.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="reproducer output directory"
+    )
+    fuzz_p.add_argument(
+        "--no-lifecycle",
+        action="store_true",
+        help="skip the post-run drain/quiescence pass",
+    )
+
+    sub.add_parser("smoke", help="audited scheduler-identity smoke matrix")
+
+    replay_p = sub.add_parser("replay", help="re-run a fuzz reproducer")
+    replay_p.add_argument("file", type=Path, help="reproducer JSON path")
+
+    args = parser.parse_args(argv)
+    if args.command == "fuzz":
+        failures = run_fuzz(
+            cases=args.cases,
+            seed=args.seed,
+            out_dir=args.out,
+            lifecycle=not args.no_lifecycle,
+        )
+        return 1 if failures else 0
+    if args.command == "smoke":
+        return 1 if run_smoke() else 0
+    if args.command == "replay":
+        return 1 if replay(args.file).failed else 0
+    raise AssertionError(f"unhandled command {args.command!r}")

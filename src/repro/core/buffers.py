@@ -100,6 +100,17 @@ class FlitBuffer:
         for flit in flits:
             self.push(flit)
 
+    def conservation_delta(self) -> int:
+        """``enqueued - dequeued - occupancy``; 0 iff counters and content agree.
+
+        Every fill path (``push``/``push_packet``, the engine's compiled
+        commit loop, the PM's fused update closures) must keep the FIFO
+        counters in lockstep with the deque, so a non-zero delta means a
+        datapath lost or duplicated a flit.  Checked per cycle by
+        :mod:`repro.audit`.
+        """
+        return self.flits_enqueued - self.flits_dequeued - len(self._flits)
+
     def __len__(self) -> int:
         return len(self._flits)
 

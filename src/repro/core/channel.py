@@ -79,5 +79,15 @@ class Channel:
         self.incoming_packet = None
         self.incoming_route = None
 
+    @property
+    def route_is_open(self) -> bool:
+        """Whether a wormhole packet currently holds this link.
+
+        True between a head flit's commit and its tail flit's commit.
+        A quiescent network must have every route closed; checked by
+        :mod:`repro.audit`.
+        """
+        return self.incoming_packet is not None
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Channel({self.name}, {self.klass}, x{self.speed}, {self.flits_carried} flits)"

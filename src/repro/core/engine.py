@@ -88,13 +88,16 @@ wake/sleep and flattening invariants).
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from . import profiling
 from .buffers import FlitBuffer
 from .channel import Channel
 from .errors import DeadlockError, SimulationError
 from .packet import Flit
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, no cycle
+    from ..audit.invariants import Auditor, Proposal
 
 SCHEDULERS = ("compiled", "active", "naive")
 
@@ -414,6 +417,7 @@ class Engine:
         self._upd_fused: list[Callable[[int], int | None] | None] = []
         self._shim: Transfer | None = None  # lazy compatibility Transfer
         self._profile: profiling.PhaseProfile | None = None
+        self._auditor: "Auditor | None" = None
         self._step_fn: Callable[[], None] = self._step
         if self._compiled:
             # Rebind the proposal entry point once instead of branching
@@ -493,7 +497,18 @@ class Engine:
                 self._wake_push_upd[bid] = None if pair is None else pair[1]
                 self._wake_pop_upd[bid] = buffer._wake_on_pop
         self._profile = profiling.current()
-        if self._profile is not None:
+        # Local import: repro.audit.runtime is leaf-level (it pulls in
+        # nothing from the simulator), so this is cycle-proof and costs
+        # one module-dict lookup per engine finalize.
+        from ..audit import runtime as audit_runtime
+
+        self._auditor = audit_runtime.current()
+        if self._auditor is not None:
+            # Auditing takes precedence over profiling: the audited step
+            # carries no phase timers (its checks would dominate them).
+            self._auditor.attach(self)
+            self._step_fn = self._step_audited
+        elif self._profile is not None:
             self._step_fn = self._step_profiled
         elif self._compiled:
             self._step_fn = (
@@ -1094,6 +1109,146 @@ class Engine:
         prof.count_cycle(sched)
         self.cycle = cycle + 1
         self._watchdog(proposed_this_cycle, committed_this_cycle)
+
+    def _step_audited(self) -> None:
+        """One base cycle with runtime invariant checks between phases.
+
+        A mode-generic mirror of :meth:`_step` / :meth:`_step_compiled`
+        (structured exactly like :meth:`_step_profiled`) installed by
+        ``_finalize`` when an :class:`repro.audit.Auditor` is enabled.
+        Behavior — the order of every call into components — is
+        identical to the plain steps; the auditor only *reads* engine
+        and component state at four points per subcycle/cycle:
+        after propose (structural and priority checks on the proposal
+        set), after resolve (fixed-point validity and maximality,
+        wormhole contiguity), after commit (conservation of the commit
+        count, route/lock state), and after update (buffer/channel/
+        global flit conservation, transaction lifecycle).
+        """
+        aud = self._auditor
+        assert aud is not None
+        cycle = self.cycle
+        active = self._active_mode
+        compiled = self._compiled
+        if active:
+            timers = self._timers
+            if timers and timers[0][0] <= cycle:
+                active_upd = self._active_upd
+                timer_at = self._timer_at
+                while timers and timers[0][0] <= cycle:
+                    fired, index = heappop(timers)
+                    active_upd.add(index)
+                    if timer_at[index] == fired:
+                        timer_at[index] = 0
+                self._upd_dirty = True
+        committed_this_cycle = 0
+        proposed_this_cycle = 0
+        components = self.components
+        transfers = self._transfers
+        for subcycle in range(self._subcycles):
+            if compiled:
+                prop_fns = self._prop_fns
+                if self._prop_dirty:
+                    self._prop_order = order = sorted(self._active_prop)
+                    self._prop_fn_order = [prop_fns[index] for index in order]
+                    self._prop_dirty = False
+                if subcycle == 0:
+                    for fn in self._prop_fn_order:
+                        fn(self)
+                else:
+                    speed2 = self._prop_speed2
+                    for index in self._prop_order:
+                        if speed2[index]:
+                            prop_fns[index](self)
+            elif active:
+                if self._prop_dirty:
+                    self._prop_order = sorted(self._active_prop)
+                    self._prop_dirty = False
+                for index in self._prop_order:
+                    component = components[index]
+                    if subcycle == 0 or component.speed == 2:
+                        component.propose(self)
+            else:
+                for component in components:
+                    if subcycle == 0 or component.speed == 2:
+                        component.propose(self)
+            if compiled:
+                p_n = self._p_n
+                n = p_n[0]
+                if n:
+                    proposed_this_cycle += n
+                    aud.check_proposals(self)
+                    self._resolve_compiled()
+                    # Snapshot survivors *before* commit: the compiled
+                    # commit loop batch-clears the flit/source columns.
+                    survivors = aud.check_resolution(self)
+                    committed = self._commit_compiled()
+                    p_n[0] = 0
+                    p_n[1] += n  # invalidate this subcycle's prop_of_* entries
+                    committed_this_cycle += committed
+                    aud.check_commit(self, survivors, committed)
+            elif transfers:
+                proposed_this_cycle += len(transfers)
+                aud.check_proposals(self)
+                self._resolve()
+                survivors = aud.check_resolution(self)
+                committed = self._commit()
+                self._pool.extend(transfers)
+                transfers.clear()
+                self._by_source.clear()
+                self._by_dest.clear()
+                committed_this_cycle += committed
+                aud.check_commit(self, survivors, committed)
+        if compiled:
+            self._update_compiled(cycle)
+        elif active:
+            self._update_active(cycle)
+        else:
+            for component in components:
+                component.update(self)
+        self.cycle = cycle + 1
+        aud.check_cycle_end(self)
+        self._watchdog(proposed_this_cycle, committed_this_cycle)
+
+    def audit_proposals(self) -> "list[Proposal]":
+        """This subcycle's proposal set as object tuples, for the auditor.
+
+        ``(flit, source, dest, channel, owner, live)`` rows in proposal
+        order, read back from whichever representation the scheduler
+        keeps — compiled column rows or pooled :class:`Transfer`
+        objects — so :mod:`repro.audit` checks one canonical shape.
+        Only meaningful between propose and commit of one subcycle.
+        """
+        if self._compiled:
+            buf_objs = self._buf_objs
+            chan_objs = self._chan_objs
+            components = self.components
+            p_flit = self._p_flit
+            p_src = self._p_src
+            p_dst = self._p_dst
+            p_chan = self._p_chan
+            p_owner = self._p_owner
+            live = self._p_live
+            rows: "list[Proposal]" = []
+            for row in range(self._p_n[0]):
+                flit = p_flit[row]
+                assert flit is not None  # populated for every pre-commit row
+                cid = p_chan[row]
+                rows.append(
+                    (
+                        flit,
+                        buf_objs[p_src[row]],
+                        buf_objs[p_dst[row]],
+                        chan_objs[cid] if cid >= 0 else None,
+                        components[p_owner[row]],
+                        bool(live[row]),
+                    )
+                )
+            return rows
+        return [
+            (t.flit, t.source, t.dest, t.channel, t.owner, t.committed)
+            for t in self._transfers
+        ]
 
     def _update_active(self, cycle: int) -> None:
         """Update phase plus the wake/sleep bookkeeping of both sets."""

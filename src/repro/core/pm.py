@@ -62,8 +62,10 @@ class MetricsHub:
         self.local_completed += 1
 
     def close_batch(self) -> None:
-        self.remote_latency.batch.close_batch()
-        self.local_latency.batch.close_batch()
+        # Via LatencyStats.close_batch so the min/max extremes shed the
+        # discarded warm-up batch along with the batch means.
+        self.remote_latency.close_batch()
+        self.local_latency.close_batch()
 
 
 class ProcessingModule(Component):

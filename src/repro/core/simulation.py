@@ -59,6 +59,10 @@ class SimulationResult:
     remote_transactions: int = 0
     local_transactions: int = 0
     flits_moved: int = 0
+    #: Steady-state (post-warm-up) remote latency extremes, display only:
+    #: deliberately excluded from the cached-result payload so adding it
+    #: did not invalidate every on-disk cache entry.
+    latency_range: tuple[float, float] | None = None
 
     @property
     def avg_latency(self) -> float:
@@ -100,6 +104,11 @@ class SimulationResult:
             f"remote latency: {self.latency.mean:.1f} +/- {self.latency.half_width:.1f} cycles "
             f"({self.remote_transactions} transactions)",
         ]
+        if self.latency_range is not None and self.latency_range[0] <= self.latency_range[1]:
+            lines.append(
+                f"latency range : {self.latency_range[0]:.0f}..{self.latency_range[1]:.0f} "
+                "cycles (steady state)"
+            )
         for level in sorted(self.utilization):
             if level == "__all__":
                 continue
@@ -199,4 +208,8 @@ def simulate(
         remote_transactions=metrics.remote_completed,
         local_transactions=metrics.local_completed,
         flits_moved=engine.flits_moved,
+        latency_range=(
+            metrics.remote_latency.minimum,
+            metrics.remote_latency.maximum,
+        ),
     )

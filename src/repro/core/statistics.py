@@ -51,8 +51,14 @@ class Summary:
 
     @property
     def relative_half_width(self) -> float:
-        if self.mean == 0:
-            return math.inf if self.half_width else 0.0
+        """Half-width as a fraction of the mean's magnitude.
+
+        A zero or NaN mean (an idle link, or no retained batches at all)
+        gives no scale to normalize against, so the relative width is
+        reported as unbounded rather than dividing by it.
+        """
+        if math.isnan(self.mean) or self.mean == 0.0:
+            return math.inf
         return self.half_width / abs(self.mean)
 
 
@@ -72,7 +78,14 @@ class BatchMeans:
         self._total_observations += 1
 
     def observe_many(self, total: float, count: int) -> None:
-        """Fold *count* observations summing to *total* into the batch."""
+        """Fold *count* observations summing to *total* into the batch.
+
+        ``count == 0`` is a no-op: there are no observations, and
+        folding a stray *total* into the running sum would silently
+        skew the mean of whatever lands in this batch later.
+        """
+        if count == 0:
+            return
         self._batch_sum += total
         self._batch_count += count
         self._total_observations += count
@@ -146,8 +159,17 @@ class RateMeter:
 
     @property
     def retained_rates(self) -> tuple[float, ...]:
-        kept = [r for r in self._batch_rates[1:] if not math.isnan(r)]
-        return tuple(kept)
+        """Batch rates with the first *measurable* (warm-up) batch discarded.
+
+        Mirrors :meth:`BatchMeans.retained_means`: NaN rates (batches
+        whose denominator made no progress) are filtered out first, and
+        only then is the leading batch dropped.  Slicing before
+        filtering would let a leading zero-denominator batch absorb the
+        warm-up discard, leaking initialization bias into utilization
+        and throughput summaries.
+        """
+        kept = [r for r in self._batch_rates if not math.isnan(r)]
+        return tuple(kept[1:])
 
     def summary(self) -> Summary:
         rates = self.retained_rates
@@ -164,11 +186,19 @@ class RateMeter:
 
 @dataclass
 class LatencyStats:
-    """Running latency tally for the current batch plus lifetime extremes."""
+    """Running latency tally for the current batch plus steady-state extremes.
+
+    ``minimum`` / ``maximum`` follow the same warm-up policy as the
+    batch means: observations from the discarded first non-empty batch
+    must not pin the extremes, so :meth:`close_batch` resets them when
+    that warm-up batch closes.  Over a finished run they therefore span
+    exactly the retained (steady-state) observations.
+    """
 
     batch: BatchMeans = field(default_factory=lambda: BatchMeans("latency"))
     minimum: float = math.inf
     maximum: float = -math.inf
+    _warmup_pending: bool = field(default=True, repr=False)
 
     def record(self, latency: float) -> None:
         self.batch.observe(latency)
@@ -176,3 +206,15 @@ class LatencyStats:
             self.minimum = latency
         if latency > self.maximum:
             self.maximum = latency
+
+    def close_batch(self) -> float | None:
+        """Close the current batch; discard warm-up extremes with it."""
+        mean = self.batch.close_batch()
+        if mean is not None and self._warmup_pending:
+            # The batch that just closed is the discarded warm-up batch:
+            # its observations leave the estimate, so they leave the
+            # extremes too.
+            self._warmup_pending = False
+            self.minimum = math.inf
+            self.maximum = -math.inf
+        return mean

@@ -109,6 +109,15 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment (profiling is process-local, so this forces "
         "--jobs 1 and --no-cache; the unprofiled hot loop is untouched)",
     )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="run every sweep point with the runtime invariant auditor "
+        "(repro.audit) checking flit conservation, buffer bounds, "
+        "wormhole contiguity and transaction lifecycle each cycle; "
+        "slow, forces --jobs 1 and --no-cache, fails fast on the "
+        "first violation",
+    )
     return parser
 
 
@@ -148,9 +157,15 @@ def main(argv: list[str] | None = None) -> int:
 
     ids = sorted(experiments, key=_experiment_sort_key) if args.experiments == ["all"] else args.experiments
     scale = SCALES[args.scale]
-    if args.profile:
-        # Profiling is process-local ambient state: worker processes and
-        # cache hits would run (or skip) engines this profile never sees.
+    if args.profile and args.audit:
+        # Both swap in a dedicated engine step function; the audited
+        # step carries no phase timers, so combining them would
+        # silently drop the profile.
+        parser.error("--audit and --profile are mutually exclusive")
+    if args.profile or args.audit:
+        # Profiling and auditing are process-local ambient state: worker
+        # processes and cache hits would run (or skip) engines this
+        # profile/auditor never sees.
         args.no_cache = True
         args.jobs = 1
     cache = _build_cache(args)
@@ -161,11 +176,17 @@ def main(argv: list[str] | None = None) -> int:
         reporter = ProgressPrinter(sys.stderr, label=eid, live=sys.stderr.isatty())
         started = time.time()
         profile = None
+        auditor = None
         if args.profile:
             from ..core import profiling
 
             profile = profiling.PhaseProfile()
             profile_ctx = profiling.enabled(profile)
+        elif args.audit:
+            from .. import audit
+
+            auditor = audit.Auditor()
+            profile_ctx = audit.enabled(auditor)
         else:
             profile_ctx = contextlib.nullcontext()
         with runtime_context(jobs=args.jobs, cache=cache, progress=reporter.update):
@@ -176,6 +197,8 @@ def main(argv: list[str] | None = None) -> int:
         print(result.format_table())
         if profile is not None:
             print(profile.format_table())
+        if auditor is not None:
+            print(f"[{eid}] {auditor.describe()}")
         print(
             f"[{eid}] scale={scale.name} elapsed={elapsed:.1f}s "
             f"sweep: {reporter.summary()}"

@@ -225,5 +225,35 @@ class MeshRouter(Component):
             self._input_route[in_key] = None
             self._input_active_buffer[in_key] = None
 
+    def audit_check_locks(self) -> str | None:
+        """Crossbar lock symmetry check for :mod:`repro.audit`.
+
+        The wormhole state is stored twice (by output and by input) so
+        both the continuation and the arbitration paths get O(1)
+        lookups; this verifies the two views agree: an output locked to
+        an input iff that input routes to it, with its active buffer
+        pinned.  Returns a human-readable violation, or ``None``.
+        """
+        for out_key, in_key in self._output_lock.items():
+            if in_key is None:
+                continue
+            if self._input_route.get(in_key) != out_key:
+                return (
+                    f"{self.name}: output {out_key} locked to input {in_key} "
+                    f"but that input routes to {self._input_route.get(in_key)!r}"
+                )
+            if self._input_active_buffer.get(in_key) is None:
+                return (
+                    f"{self.name}: output {out_key} locked to input {in_key} "
+                    f"with no active source buffer"
+                )
+        for in_key, out_key in self._input_route.items():
+            if out_key is not None and self._output_lock.get(out_key) != in_key:
+                return (
+                    f"{self.name}: input {in_key} routes to output {out_key} "
+                    f"but that output is locked to {self._output_lock.get(out_key)!r}"
+                )
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"MeshRouter(node={self.node})"

@@ -141,6 +141,18 @@ class InterRingInterface:
         return self.upper_port.transit_buffer
 
     @property
+    def subtree_range(self) -> tuple[int, int]:
+        """Half-open PM-id range ``[lo, hi)`` of the child subtree.
+
+        The routing contract this interface enforces — and that the
+        runtime auditor (:mod:`repro.audit`) re-checks from outside —
+        is expressible entirely in terms of this range: every packet
+        parked in a *down* queue is destined inside it, every packet in
+        an *up* queue outside it.
+        """
+        return (self._subtree_lo, self._subtree_hi)
+
+    @property
     def buffers(self) -> list[FlitBuffer]:
         return [
             self.lower_port.transit_buffer,

@@ -115,6 +115,18 @@ class RingPort(Component):
     def next_update_cycle(self, engine: Engine) -> int | None:
         return None  # ports have no update(); all work happens in propose()
 
+    @property
+    def is_mid_packet(self) -> bool:
+        """True while a wormhole send holds this port's output link.
+
+        Between a head flit's commit and the matching tail's commit the
+        port streams body flits and ignores send priority; the runtime
+        auditor (:mod:`repro.audit`) uses this to scope its
+        transit-over-injection check to fresh arbitration decisions, and
+        to require all sends closed at quiescence.
+        """
+        return self._sending is not None
+
     # ------------------------------------------------------------------
     def propose(self, engine: Engine) -> None:
         if self.downstream is None or self.out_channel is None:

@@ -52,6 +52,18 @@ class TestBatchMeans:
         bm.close_batch()
         assert bm.summary().half_width == math.inf
 
+    def test_single_retained_batch_summary(self):
+        """One retained batch: the mean is exact, the spread unknown."""
+        bm = BatchMeans()
+        bm.observe(3.0)
+        bm.close_batch()  # warm-up
+        bm.observe(8.0)
+        bm.close_batch()
+        summary = bm.summary()
+        assert summary.mean == 8.0
+        assert summary.half_width == math.inf
+        assert summary.relative_half_width == math.inf
+
     def test_observe_many(self):
         bm = BatchMeans()
         bm.close_batch()  # empty: holds no warm-up data, discards nothing
@@ -61,6 +73,17 @@ class TestBatchMeans:
         bm.close_batch()
         assert bm.retained_means == (20.0,)
         assert bm.total_observations == 5
+
+    def test_observe_many_zero_count_is_a_noop(self):
+        """count == 0 must not fold a stray total into the batch sum."""
+        bm = BatchMeans()
+        bm.observe(1.0)
+        bm.close_batch()  # warm-up
+        bm.observe_many(total=999.0, count=0)
+        bm.observe(5.0)
+        bm.close_batch()
+        assert bm.retained_means == (5.0,)
+        assert bm.total_observations == 2
 
     def test_empty_first_batch_does_not_consume_the_discard(self):
         """Warm-up leakage: an empty leading batch must not count as the
@@ -73,6 +96,27 @@ class TestBatchMeans:
         bm.observe(10.0)
         bm.close_batch()
         assert bm.retained_means == (10.0,)
+
+
+class TestSummary:
+    def test_relative_half_width_zero_mean_is_unbounded(self):
+        """Idle-link guard: a zero mean gives no scale to normalize
+        against, so the relative width is inf, not a division artifact."""
+        from repro.core.statistics import Summary
+
+        assert Summary(0.0, 0.0, ()).relative_half_width == math.inf
+        assert Summary(0.0, 1.0, (0.0,)).relative_half_width == math.inf
+
+    def test_relative_half_width_nan_mean_is_unbounded(self):
+        from repro.core.statistics import Summary
+
+        assert Summary(math.nan, math.nan, ()).relative_half_width == math.inf
+        assert Summary(math.nan, 1.0, ()).relative_half_width == math.inf
+
+    def test_relative_half_width_normal_case(self):
+        from repro.core.statistics import Summary
+
+        assert Summary(10.0, 2.0, (8.0, 12.0)).relative_half_width == 0.2
 
 
 class TestTCritical:
@@ -122,8 +166,37 @@ class TestRateMeter:
     def test_zero_denominator_skipped(self):
         meter = RateMeter()
         meter.close_batch(0, 0)
-        meter.close_batch(5, 10)
-        meter.close_batch(5, 10)  # no denominator progress
+        meter.close_batch(5, 10)   # first measurable batch: the warm-up
+        meter.close_batch(5, 10)   # no denominator progress
+        meter.close_batch(11, 20)  # (6/10)
+        assert meter.retained_rates == (0.6,)
+
+    def test_leading_nan_does_not_consume_the_discard(self):
+        """Warm-up leakage regression: a leading zero-denominator batch
+        (NaN rate) must not absorb the warm-up discard — the first batch
+        with a measurable rate is the one carrying initialization bias,
+        mirroring BatchMeans.retained_means."""
+        meter = RateMeter()
+        meter.close_batch(0, 0)     # NaN: no time progressed
+        meter.close_batch(90, 100)  # warm-up rate 0.9, must be dropped
+        meter.close_batch(110, 200)  # steady state (20/100)
+        assert meter.retained_rates == (0.2,)
+
+    def test_all_nan_batches_give_nan_summary(self):
+        meter = RateMeter()
+        for _ in range(3):
+            meter.close_batch(0, 0)
+        assert meter.retained_rates == ()
+        assert math.isnan(meter.summary().mean)
+
+    def test_first_close_with_negative_denominator_delta(self):
+        """A first close_batch whose denominator delta is <= 0 yields a
+        NaN batch and must leave the warm-up discard for the next
+        measurable batch."""
+        meter = RateMeter()
+        assert meter.close_batch(5, -1) is None  # den delta -1 <= 0
+        meter.close_batch(10, 9)   # warm-up (den delta 10)
+        meter.close_batch(15, 19)  # (5/10)
         assert meter.retained_rates == (0.5,)
 
 
@@ -134,6 +207,32 @@ class TestLatencyStats:
             stats.record(value)
         assert stats.minimum == 1.0
         assert stats.maximum == 9.0
+
+    def test_warmup_batch_does_not_pin_extremes(self):
+        """The discarded warm-up batch's observations must leave the
+        min/max along with the batch mean."""
+        stats = LatencyStats()
+        stats.record(1000.0)  # warm-up junk
+        stats.close_batch()
+        for value in (10.0, 30.0):
+            stats.record(value)
+        stats.close_batch()
+        assert stats.batch.retained_means == (20.0,)
+        assert stats.minimum == 10.0
+        assert stats.maximum == 30.0
+
+    def test_empty_leading_batch_does_not_reset_extremes(self):
+        """An empty batch holds no warm-up data: closing it must not
+        consume the extremes reset (same policy as retained_means)."""
+        stats = LatencyStats()
+        stats.close_batch()   # empty
+        stats.record(500.0)   # warm-up junk lands here
+        stats.close_batch()
+        stats.record(7.0)
+        stats.close_batch()
+        assert stats.batch.retained_means == (7.0,)
+        assert stats.minimum == 7.0
+        assert stats.maximum == 7.0
 
 
 @given(
