@@ -1,9 +1,10 @@
 """Cross-scheduler differential fuzzer.
 
-The simulator's central correctness claim is that the three schedulers
-(``naive`` / ``active`` / ``compiled``) are *behavior-identical*: for
-any configuration they produce byte-identical canonical result JSON.
-The hand-picked equivalence matrix
+The simulator's central correctness claim is that the four schedulers
+(``naive`` / ``active`` / ``compiled`` / ``batched``) are
+*behavior-identical*: for any configuration they produce byte-identical
+canonical result JSON (``batched`` runs the case as a lockstep batch of
+one replica).  The hand-picked equivalence matrix
 (tests/integration/test_kernel_equivalence.py) enforces that claim on
 representative points; this module attacks it with randomized small
 configurations instead:
@@ -11,11 +12,11 @@ configurations instead:
 1. draw a :class:`FuzzCase` — topology (1–3 ring levels or a 2–4 side
    mesh), switching mode, clock-domain layout, buffer depth, M-MRP
    workload and run schedule — from a seeded ``random.Random``;
-2. run it under all three schedulers with the runtime invariant auditor
+2. run it under all four schedulers with the runtime invariant auditor
    (:class:`repro.audit.Auditor`) enabled, so every cycle of every run
    is also checked for conservation/protocol violations;
-3. assert the three canonical result payloads are byte-identical (a
-   raised error is accepted only if all three schedulers raise the
+3. assert the four canonical result payloads are byte-identical (a
+   raised error is accepted only if all four schedulers raise the
    *same* error);
 4. for clean bypass-flow-control cases, re-run once more with packet
    generation cut after the measured cycles and assert the network
@@ -63,15 +64,15 @@ from ..runtime.serialization import (
 from .invariants import AuditError, Auditor
 from .runtime import enabled
 
-SCHEDULERS = ("naive", "active", "compiled")
+SCHEDULERS = ("naive", "active", "compiled", "batched")
 
 #: Drain budget for the lifecycle pass: chunks of cycles stepped after
 #: generation is cut, polling for quiescence between chunks.
 DRAIN_CHUNK_CYCLES = 250
 DRAIN_CHUNKS = 60
 
-#: Cap on shrink re-runs per failing case (each re-run is 3 audited
-#: simulations, so this bounds shrink cost at ~180 small sims).
+#: Cap on shrink re-runs per failing case (each re-run is 4 audited
+#: simulations, so this bounds shrink cost at ~240 small sims).
 SHRINK_BUDGET = 60
 
 

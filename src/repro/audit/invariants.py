@@ -135,7 +135,9 @@ class Auditor:
         self._mesh_routers: list[MeshRouter] = []
         self._pms: list[ProcessingModule] = []
         self._iris: list[InterRingInterface] = []
-        self._metrics: "MetricsHub | None" = None
+        # One hub per replica under the batched engine; exactly one for
+        # a solo run (deduped — every PM of a network shares its hub).
+        self._metrics_hubs: "list[MetricsHub]" = []
         self._flits_moved_base = 0
         self._committed_total = 0
 
@@ -155,7 +157,7 @@ class Auditor:
         self._mesh_routers = []
         self._pms = []
         self._iris = []
-        self._metrics = None
+        self._metrics_hubs = []
         self._flits_moved_base = engine.flits_moved
         self._committed_total = 0
         seen_iris: set[int] = set()
@@ -193,8 +195,8 @@ class Auditor:
                         self._track_channel(channel)
             elif isinstance(component, ProcessingModule):
                 self._pms.append(component)
-                if self._metrics is None:
-                    self._metrics = component.metrics
+                if not any(hub is component.metrics for hub in self._metrics_hubs):
+                    self._metrics_hubs.append(component.metrics)
 
     def _track_buffer(self, buffer: FlitBuffer) -> None:
         key = id(buffer)
@@ -492,10 +494,15 @@ class Auditor:
                     f"pm{pm.pm_id}: outstanding={pm.outstanding} outside "
                     f"[0, T={pm._outstanding_limit}]",
                 )
-        metrics = self._metrics
-        if metrics is not None:
+        if self._metrics_hubs:
+            # Summed across hubs: replicas never share PMs or hubs, so
+            # the per-replica identities imply the batch-wide one (and a
+            # solo run has exactly one hub — the original check).
             open_total = sum(len(pm.open_transactions) for pm in self._pms)
-            in_flight = metrics.remote_issued - metrics.remote_completed
+            in_flight = sum(
+                hub.remote_issued - hub.remote_completed
+                for hub in self._metrics_hubs
+            )
             if in_flight != open_total:
                 self._fail(
                     "transaction-lifecycle",
@@ -588,12 +595,12 @@ class Auditor:
                     f"{len(pm._req_staging)}+{len(pm._resp_staging)} staged, "
                     f"{len(pm._rx_counts)} partial receives"
                 )
-        metrics = self._metrics
-        if metrics is not None and metrics.remote_issued != metrics.remote_completed:
-            return (
-                f"{metrics.remote_issued} remote requests issued but "
-                f"{metrics.remote_completed} responses completed after drain"
-            )
+        for metrics in self._metrics_hubs:
+            if metrics.remote_issued != metrics.remote_completed:
+                return (
+                    f"{metrics.remote_issued} remote requests issued but "
+                    f"{metrics.remote_completed} responses completed after drain"
+                )
         return None
 
     def check_quiescent(self, engine: "Engine") -> None:

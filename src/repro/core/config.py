@@ -294,11 +294,21 @@ class SimulationParams:
     ``"compiled"`` (default) skips provably idle components *and* runs
     the propose/resolve/commit loop over flat integer arrays instead of
     Transfer objects, ``"active"`` skips idle components on the object
-    datapath, ``"naive"`` scans everything every cycle.  All three are
-    behavior-identical (same ``SimulationResult`` for every config —
-    enforced by the kernel equivalence test matrix), so the choice is
-    an execution detail and deliberately not part of the cached-result
-    identity.
+    datapath, ``"naive"`` scans everything every cycle, and
+    ``"batched"`` runs ``replicas`` seeds of the point in lockstep over
+    one compiled datapath (see :mod:`repro.core.batched`; requires
+    numpy).  All four are behavior-identical (same per-replica
+    ``SimulationResult`` for every config — enforced by the kernel
+    equivalence test matrix), so the choice is an execution detail and
+    deliberately not part of the cached-result identity.
+
+    ``replicas`` is the lockstep batch width used by the batch entry
+    points (:func:`repro.core.simulation.simulate_batch`,
+    :func:`repro.runtime.runner.run_replica_batch`) when no explicit
+    seed list is given: seeds ``seed, seed+1, ..., seed+replicas-1``.
+    Like ``scheduler`` it is an execution detail — each replica's
+    result is cached independently under its own seed — and therefore
+    also excluded from the cached-result identity.
 
     ``deadlock_threshold`` is measured in *base* (PM) clock cycles: a
     cycle counts as stalled when none of its subcycles commits a flit
@@ -313,6 +323,7 @@ class SimulationParams:
     deadlock_threshold: int = 50_000
     flow_control: str = "bypass"
     scheduler: str = "compiled"
+    replicas: int = 1
 
     def validate(self) -> "SimulationParams":
         if self.batch_cycles < 1:
@@ -326,11 +337,13 @@ class SimulationParams:
                 f"flow_control must be 'bypass' or 'conservative', "
                 f"got {self.flow_control!r}"
             )
-        if self.scheduler not in ("compiled", "active", "naive"):
+        if self.scheduler not in ("compiled", "active", "naive", "batched"):
             raise ConfigurationError(
-                f"scheduler must be 'compiled', 'active' or 'naive', "
-                f"got {self.scheduler!r}"
+                f"scheduler must be 'compiled', 'active', 'naive' or "
+                f"'batched', got {self.scheduler!r}"
             )
+        if self.replicas < 1:
+            raise ConfigurationError(f"replicas must be >= 1, got {self.replicas}")
         return self
 
     @property

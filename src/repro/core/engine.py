@@ -38,7 +38,10 @@ base cycles.
 Scheduling
 ----------
 
-Three schedulers drive the same propose/resolve/commit machinery:
+Three schedulers drive the same propose/resolve/commit machinery (a
+fourth, ``"batched"``, lives in :mod:`repro.core.batched`: it subclasses
+this engine to run N replica networks in lockstep over the compiled
+datapath, with per-replica flit tallies and deadlock watchdogs):
 
 * ``"naive"`` scans every component every subcycle and runs every
   ``update`` every cycle — the straightforward implementation;

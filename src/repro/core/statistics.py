@@ -146,11 +146,19 @@ class RateMeter:
         self._batch_rates: list[float] = []
 
     def close_batch(self, numerator: float, denominator: float) -> float | None:
+        """Record this batch's rate from the counter snapshots.
+
+        A non-positive denominator delta (no time progressed) or a
+        *negative* numerator delta (the counter went backwards — a reset
+        or a miswired snapshot) yields a NaN batch rather than silently
+        folding a negative "rate" into the summary; NaN batches are
+        filtered out of :attr:`retained_rates`.
+        """
         num = numerator - self._last_numerator
         den = denominator - self._last_denominator
         self._last_numerator = numerator
         self._last_denominator = denominator
-        if den <= 0:
+        if den <= 0 or num < 0:
             self._batch_rates.append(math.nan)
             return None
         rate = num / den
@@ -188,33 +196,48 @@ class RateMeter:
 class LatencyStats:
     """Running latency tally for the current batch plus steady-state extremes.
 
-    ``minimum`` / ``maximum`` follow the same warm-up policy as the
-    batch means: observations from the discarded first non-empty batch
-    must not pin the extremes, so :meth:`close_batch` resets them when
-    that warm-up batch closes.  Over a finished run they therefore span
-    exactly the retained (steady-state) observations.
+    ``minimum`` / ``maximum`` follow the same policy as the batch means:
+    they span exactly the retained (steady-state) observations.  Each
+    batch's extremes are staged while the batch is open and only folded
+    into ``minimum`` / ``maximum`` when :meth:`close_batch` retains the
+    batch — so neither the discarded warm-up batch nor a trailing
+    *unclosed* batch (whose observations never enter any retained batch
+    mean) can pin the extremes.
     """
 
     batch: BatchMeans = field(default_factory=lambda: BatchMeans("latency"))
     minimum: float = math.inf
     maximum: float = -math.inf
+    #: Latency of the most recent observation, regardless of batch
+    #: retention — a diagnostic (zero-load timing tests read the round
+    #: trip that just completed); never feeds the steady-state summary.
+    last: float = math.nan
     _warmup_pending: bool = field(default=True, repr=False)
+    _open_min: float = field(default=math.inf, repr=False)
+    _open_max: float = field(default=-math.inf, repr=False)
 
     def record(self, latency: float) -> None:
         self.batch.observe(latency)
-        if latency < self.minimum:
-            self.minimum = latency
-        if latency > self.maximum:
-            self.maximum = latency
+        self.last = latency
+        if latency < self._open_min:
+            self._open_min = latency
+        if latency > self._open_max:
+            self._open_max = latency
 
     def close_batch(self) -> float | None:
-        """Close the current batch; discard warm-up extremes with it."""
+        """Close the current batch; fold its extremes in iff retained."""
         mean = self.batch.close_batch()
-        if mean is not None and self._warmup_pending:
-            # The batch that just closed is the discarded warm-up batch:
-            # its observations leave the estimate, so they leave the
-            # extremes too.
-            self._warmup_pending = False
-            self.minimum = math.inf
-            self.maximum = -math.inf
+        if mean is not None:
+            if self._warmup_pending:
+                # The batch that just closed is the discarded warm-up
+                # batch: its observations leave the estimate, so they
+                # never reach the extremes either.
+                self._warmup_pending = False
+            else:
+                if self._open_min < self.minimum:
+                    self.minimum = self._open_min
+                if self._open_max > self.maximum:
+                    self.maximum = self._open_max
+            self._open_min = math.inf
+            self._open_max = -math.inf
         return mean

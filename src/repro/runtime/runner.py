@@ -23,11 +23,11 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Final, Iterable, Iterator, Sequence, cast
 
 from ..core.errors import ConfigurationError
-from ..core.simulation import SimulationResult, simulate
+from ..core.simulation import SimulationResult, simulate, simulate_batch
 from .cache import ResultCache
 from .spec import PointSpec
 from .telemetry import Progress, ProgressHook
@@ -107,6 +107,95 @@ def _resolve_cache(cache: ResultCache | None | _UnsetType) -> ResultCache | None
 def _execute(spec: PointSpec) -> SimulationResult:
     """Worker entry point: run one fully-resolved simulation point."""
     return simulate(spec.system, spec.workload, spec.params)
+
+
+def _execute_batch(spec: PointSpec, seeds: tuple[int, ...]) -> list[SimulationResult]:
+    """Worker entry point: run one point's seeds as a lockstep batch."""
+    return simulate_batch(spec.system, spec.workload, spec.params, seeds=seeds)
+
+
+def _replica_spec(spec: PointSpec, seed: int) -> PointSpec:
+    """The per-seed cache identity of one replica of *spec*.
+
+    ``replicas`` is forced back to 1 (like ``scheduler`` it is excluded
+    from the cache key anyway) so the spec equals the one a plain
+    ``run_point`` of that seed would use — batch entries and solo
+    entries are interchangeable cache currency.
+    """
+    return replace(spec, params=replace(spec.params, seed=seed, replicas=1))
+
+
+def run_replica_batch(
+    spec: PointSpec,
+    seeds: Sequence[int] | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None | _UnsetType = _UNSET,
+    progress: ProgressHook | None = None,
+) -> list[SimulationResult]:
+    """Run one point under N seeds via the lockstep-batched engine.
+
+    Returns one :class:`SimulationResult` per seed, in seed order.
+    ``seeds`` defaults to ``spec.params.seed .. seed + replicas - 1``.
+    Each replica is a first-class cache citizen: cached seeds are
+    served without simulating them, the missing seeds run as lockstep
+    batches (split across the process pool when ``jobs > 1``), and
+    every fresh result is stored under its own per-seed spec — exactly
+    the entry a solo ``run_point`` of that seed would read or write.
+    """
+    if seeds is None:
+        base = spec.params.seed
+        seeds = tuple(range(base, base + spec.params.replicas))
+    else:
+        seeds = tuple(seeds)
+    if not seeds:
+        raise ConfigurationError("run_replica_batch needs at least one seed")
+    jobs = resolve_jobs(jobs)
+    active_cache = _resolve_cache(cache)
+    hook = progress if progress is not None else _context.progress
+
+    unique_seeds = tuple(dict.fromkeys(seeds))
+    tracker = Progress(total=len(unique_seeds))
+    by_seed: dict[int, SimulationResult] = {}
+    missing: list[int] = []
+    for seed in unique_seeds:
+        replica_spec = _replica_spec(spec, seed)
+        hit = active_cache.get(replica_spec) if active_cache is not None else None
+        if hit is not None:
+            by_seed[seed] = hit
+            tracker.done += 1
+            tracker.cache_hits += 1
+            if hook:
+                hook(tracker)
+        else:
+            missing.append(seed)
+
+    def _record(batch_results: list[SimulationResult]) -> None:
+        for result in batch_results:
+            seed = result.params.seed
+            by_seed[seed] = result
+            if active_cache is not None:
+                active_cache.put(_replica_spec(spec, seed), result)
+            tracker.done += 1
+            if hook:
+                hook(tracker)
+
+    workers = min(jobs, len(missing))
+    if missing and workers <= 1:
+        _record(_execute_batch(spec, tuple(missing)))
+    elif missing:
+        # Contiguous seed chunks, one lockstep batch per worker.
+        bound = -(-len(missing) // workers)  # ceil division
+        chunks = [
+            tuple(missing[start : start + bound])
+            for start in range(0, len(missing), bound)
+        ]
+        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+            futures = [pool.submit(_execute_batch, spec, chunk) for chunk in chunks]
+            for future in as_completed(futures):
+                _record(future.result())
+
+    return [by_seed[seed] for seed in seeds]
 
 
 def run_point(

@@ -102,10 +102,12 @@ def workload_from_payload(payload: dict[str, Any]) -> WorkloadConfig:
 
 
 def params_payload(params: SimulationParams) -> dict[str, Any]:
-    # ``params.scheduler`` is deliberately omitted: the two schedulers
-    # are behavior-identical (enforced by the kernel equivalence tests),
-    # so cache keys and result payloads must not depend on which one
-    # computed a point.
+    # ``params.scheduler`` and ``params.replicas`` are deliberately
+    # omitted: the schedulers are behavior-identical (enforced by the
+    # kernel equivalence tests) and a lockstep batch is just N
+    # independent seeds, so cache keys and result payloads must not
+    # depend on which scheduler — or how wide a batch — computed a
+    # point.
     return {
         "batch_cycles": params.batch_cycles,
         "batches": params.batches,

@@ -1,5 +1,6 @@
 """Unit tests for the processing module endpoint logic."""
 
+import math
 import random
 
 import pytest
@@ -110,7 +111,32 @@ class TestResponseHandling:
         engine.tick(pm)
         assert pm.outstanding == 0  # response freed the slot (new miss may re-issue)
         assert pm.metrics.remote_completed == 1
-        assert pm.metrics.remote_latency.maximum == 25.0
+
+        # Latency extremes follow batch-means retention: tx1's latency
+        # sits in the warm-up batch, so closing it discards the extreme.
+        pm.metrics.close_batch()
+        assert pm.metrics.remote_latency.maximum == -math.inf
+
+        # A second transaction in a retained batch pins the extremes.
+        pm.generation_enabled = True
+        engine.tick(pm)  # issue tx2 at cycle 26
+        pm.generation_enabled = False
+        request2 = list(pm.out_req)[-1].packet
+        response2 = Packet(
+            PacketType.READ_RESPONSE,
+            source=1,
+            destination=0,
+            size_flits=3,
+            transaction_id=request2.transaction_id,
+            issue_cycle=request2.issue_cycle,
+        )
+        for flit in response2:
+            pm.in_queue.push(flit)
+        engine.cycle = 66
+        engine.tick(pm)
+        assert pm.metrics.remote_completed == 2
+        pm.metrics.close_batch()
+        assert pm.metrics.remote_latency.maximum == 66.0 - request2.issue_cycle
 
     def test_unknown_response_rejected(self):
         pm = make_pm(miss_rate=0.000001)

@@ -199,14 +199,66 @@ class TestRateMeter:
         meter.close_batch(15, 19)  # (5/10)
         assert meter.retained_rates == (0.5,)
 
+    def test_backwards_numerator_is_rejected(self):
+        """Regression: a numerator snapshot that goes backwards (e.g. a
+        counter reset) used to record a negative "rate"; it must yield a
+        NaN batch instead, filtered out of the retained rates."""
+        meter = RateMeter()
+        meter.close_batch(10, 100)  # warm-up (10/100), dropped
+        meter.close_batch(20, 200)  # (10/100)
+        assert meter.close_batch(5, 300) is None  # num delta -15 < 0
+        meter.close_batch(35, 400)  # (30/100)
+        assert all(rate >= 0 for rate in meter.retained_rates)
+        assert meter.retained_rates == (0.1, 0.3)
+
+    def test_backwards_numerator_does_not_consume_the_discard(self):
+        """A leading backwards-numerator batch is NaN and must not
+        absorb the warm-up discard (same policy as zero denominators)."""
+        meter = RateMeter()
+        meter._last_numerator = 50.0  # counter reset before first close
+        assert meter.close_batch(10, 100) is None
+        meter.close_batch(100, 200)  # warm-up (90/100), dropped
+        meter.close_batch(120, 300)  # (20/100)
+        assert meter.retained_rates == (0.2,)
+
 
 class TestLatencyStats:
     def test_extremes(self):
         stats = LatencyStats()
+        stats.record(1000.0)  # warm-up junk
+        stats.close_batch()
         for value in (5.0, 1.0, 9.0):
             stats.record(value)
+        stats.close_batch()
         assert stats.minimum == 1.0
         assert stats.maximum == 9.0
+
+    def test_trailing_unclosed_batch_excluded_from_extremes(self):
+        """Regression: observations in a trailing batch that never
+        closes enter no retained batch mean, so they must not pin the
+        extremes either (the docstring's "span exactly the retained
+        observations")."""
+        stats = LatencyStats()
+        stats.record(50.0)
+        stats.close_batch()  # warm-up, dropped
+        for value in (10.0, 20.0):
+            stats.record(value)
+        stats.close_batch()
+        stats.record(999.0)  # run ends mid-batch: never retained
+        stats.record(0.5)
+        assert stats.minimum == 10.0
+        assert stats.maximum == 20.0
+        assert stats.batch.retained_means == (15.0,)
+
+    def test_unclosed_warmup_observations_never_reach_extremes(self):
+        """Before any batch closes, the extremes are still empty."""
+        import math
+
+        stats = LatencyStats()
+        for value in (5.0, 1.0, 9.0):
+            stats.record(value)
+        assert stats.minimum == math.inf
+        assert stats.maximum == -math.inf
 
     def test_warmup_batch_does_not_pin_extremes(self):
         """The discarded warm-up batch's observations must leave the

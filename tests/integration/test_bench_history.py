@@ -1,0 +1,60 @@
+"""Regression tests for the kernel benchmark's history bookkeeping.
+
+Re-running ``benchmarks.bench_kernel`` on the same commit used to append
+a duplicate ``(sha, mode)`` line to the report's history on every run,
+so a commit benchmarked twice looked like two commits.  The merge must
+replace the stale measurement in place — preserving its position in the
+log — and only append when the ``(sha, mode)`` pair is genuinely new.
+"""
+
+import json
+
+from benchmarks.bench_kernel import _merge_history, _prior_history
+
+
+def entry(sha, mode, marker):
+    return {"sha": sha, "mode": mode, "date": "2026-08-08", "points": marker}
+
+
+def test_rerun_same_sha_replaces_in_place():
+    history = [entry("aaa", "quick", 1), entry("bbb", "quick", 2)]
+    merged = _merge_history(history, entry("aaa", "quick", 3))
+    assert [(e["sha"], e["points"]) for e in merged] == [("aaa", 3), ("bbb", 2)]
+
+
+def test_new_sha_appends():
+    history = [entry("aaa", "quick", 1)]
+    merged = _merge_history(history, entry("ccc", "quick", 2))
+    assert [e["sha"] for e in merged] == ["aaa", "ccc"]
+
+
+def test_same_sha_different_mode_is_a_distinct_entry():
+    history = [entry("aaa", "quick", 1)]
+    merged = _merge_history(history, entry("aaa", "full", 2))
+    assert [(e["sha"], e["mode"]) for e in merged] == [
+        ("aaa", "quick"),
+        ("aaa", "full"),
+    ]
+
+
+def test_prior_history_round_trip(tmp_path):
+    path = tmp_path / "BENCH_kernel.json"
+    path.write_text(
+        json.dumps({"history": [entry("aaa", "quick", 1)], "points": {}})
+    )
+    history = _prior_history(str(path))
+    merged = _merge_history(history, entry("aaa", "quick", 9))
+    assert merged == [entry("aaa", "quick", 9)]
+
+    # idempotent: merging the identical entry again changes nothing
+    assert _merge_history(list(merged), entry("aaa", "quick", 9)) == merged
+
+
+def test_prior_history_tolerates_missing_or_malformed_files(tmp_path):
+    assert _prior_history(str(tmp_path / "absent.json")) == []
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json {")
+    assert _prior_history(str(bad)) == []
+    wrong_shape = tmp_path / "wrong.json"
+    wrong_shape.write_text(json.dumps({"history": {"not": "a list"}}))
+    assert _prior_history(str(wrong_shape)) == []

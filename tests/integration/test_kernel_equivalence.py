@@ -1,11 +1,14 @@
-"""Scheduler equivalence: compiled, active-set and naive kernels agree.
+"""Scheduler equivalence: compiled, active, naive and batched agree.
 
 The active-set scheduler (``SimulationParams.scheduler="active"``) skips
 components it can prove idle and fast-forwards the clock over dead
 cycles; the compiled scheduler (the default) additionally flattens the
 propose/resolve/commit datapath into finalize-built closures over
 parallel integer columns, eliding per-proposal structural checks its
-component invariants make unreachable.  Both are only legal if they are
+component invariants make unreachable; the batched scheduler runs the
+point as a lockstep replica batch over the compiled datapath (here a
+batch of one — multi-replica identity is covered by
+test_batched_replicas.py).  All are only legal if they are
 *behavior-identical* to the full-scan scheduler — the same
 ``SimulationResult``, the same random streams, the same flit movements —
 for every topology, switching mode, clock-domain layout and buffer
@@ -32,7 +35,7 @@ from repro.runtime.serialization import canonical_json, result_payload
 #: wormhole contention, short enough to keep the matrix fast.
 PARAMS = SimulationParams(batch_cycles=350, batches=3, seed=11)
 
-SCHEDULERS = ("compiled", "active", "naive")
+SCHEDULERS = ("compiled", "active", "naive", "batched")
 
 SYSTEMS = [
     pytest.param(RingSystemConfig(topology="8", cache_line_bytes=32), id="ring-1level"),
@@ -88,7 +91,7 @@ def test_schedulers_bit_identical(system, outstanding):
     naive = results["naive"]
 
     # Every measured field, at full float precision.
-    for scheduler in ("compiled", "active"):
+    for scheduler in ("compiled", "active", "batched"):
         fast = results[scheduler]
         assert fast.cycles == naive.cycles
         assert fast.flits_moved == naive.flits_moved
@@ -166,12 +169,14 @@ def test_profiled_run_bit_identical():
 
 
 def test_scheduler_not_in_cache_identity():
-    """params_payload omits the scheduler, so cache keys coincide."""
+    """params_payload omits scheduler and replicas: cache keys coincide."""
     from repro.runtime.serialization import params_payload
 
     payloads = [
         params_payload(replace(PARAMS, scheduler=scheduler))
         for scheduler in SCHEDULERS
     ]
-    assert payloads[0] == payloads[1] == payloads[2]
+    assert all(payload == payloads[0] for payload in payloads)
     assert "scheduler" not in payloads[0]
+    assert params_payload(replace(PARAMS, replicas=8)) == payloads[0]
+    assert "replicas" not in payloads[0]

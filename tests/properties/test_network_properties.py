@@ -40,7 +40,7 @@ def run_one(config, src, dst, is_read):
     for _ in range(1500):
         engine.step()
         if metrics.remote_completed:
-            return metrics.remote_latency.maximum
+            return metrics.remote_latency.last
     raise AssertionError(f"{src}->{dst} never completed on {config}")
 
 

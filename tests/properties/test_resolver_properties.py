@@ -10,21 +10,31 @@ structure ring networks and wormhole paths induce.  After one cycle:
   completely full.  (A least-fixed-point/conservative resolver would
   fail this on full cycles, which must rotate.)
 
-Every property runs under all three schedulers.  The capacity assertion
-is load-bearing for the compiled datapath specifically: its commit loop
-elides the per-flit overflow check (`FlitBuffer.push`'s raise) on the
-strength of the integer-loop resolver, so an overflow there would
-corrupt silently rather than raise — only this invariant check would
-catch it.
+Every property runs under all four schedulers ("batched" as a lockstep
+batch of one — the engine used exactly like a plain ``Engine`` forms a
+single implicit replica).  The capacity assertion is load-bearing for
+the compiled datapath specifically: its commit loop elides the per-flit
+overflow check (`FlitBuffer.push`'s raise) on the strength of the
+integer-loop resolver, so an overflow there would corrupt silently
+rather than raise — only this invariant check would catch it.
 """
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.batched import BatchedEngine
 from repro.core.buffers import FlitBuffer
 from repro.core.engine import Component, Engine
 from repro.core.packet import Packet, PacketType
+
+SCHEDULERS = ("compiled", "active", "naive", "batched")
+
+
+def make_engine(scheduler):
+    if scheduler == "batched":
+        return BatchedEngine()
+    return Engine(scheduler=scheduler)
 
 
 class Pipe(Component):
@@ -56,7 +66,7 @@ def buffer_graphs(draw):
     return n, capacities, occupancies, permutation, edge_mask
 
 
-@pytest.mark.parametrize("scheduler", ("compiled", "active", "naive"))
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
 @given(graph=buffer_graphs())
 @settings(max_examples=300, deadline=None)
 def test_one_cycle_is_safe_and_maximal(scheduler, graph):
@@ -72,7 +82,7 @@ def test_one_cycle_is_safe_and_maximal(scheduler, graph):
         for i in range(n)
         if edge_mask[i] and permutation[i] != i
     ]
-    engine = Engine(scheduler=scheduler)
+    engine = make_engine(scheduler)
     for src, dst in edges:
         engine.add_component(Pipe(buffers[src], buffers[dst]))
 
@@ -107,7 +117,7 @@ def test_one_cycle_is_safe_and_maximal(scheduler, graph):
         )
 
 
-@pytest.mark.parametrize("scheduler", ("compiled", "active", "naive"))
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
 @given(
     length=st.integers(min_value=2, max_value=10),
     capacity=st.integers(min_value=1, max_value=3),
@@ -120,7 +130,7 @@ def test_full_cycle_always_rotates(scheduler, length, capacity):
     for buffer in buffers:
         for _ in range(capacity):
             buffer.push(next(supply))
-    engine = Engine(scheduler=scheduler)
+    engine = make_engine(scheduler)
     for i in range(length):
         engine.add_component(Pipe(buffers[i], buffers[(i + 1) % length]))
     heads = [buffer.peek() for buffer in buffers]
