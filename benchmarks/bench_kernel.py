@@ -1,15 +1,21 @@
-"""Kernel throughput: batched vs compiled vs active-set vs naive.
+"""Kernel throughput: columnar vs batched vs compiled vs active vs naive.
 
 Standalone script (not a pytest-benchmark — CI needs its JSON output):
-runs the same 2-level ring point at three offered loads under all four
+runs the same 2-level ring point at three offered loads under all five
 schedulers and reports simulated cycles per wall-clock second plus the
 cross-scheduler speedups.  The solo schedulers time one seed each; the
 ``batched`` cell times an 8-replica lockstep batch
 (:func:`repro.core.simulation.simulate_batch`) and reports *per-replica*
 cycles/sec — ``replicas * cycles / elapsed`` — the number comparable to
 a solo scheduler's cell, with the seed-1 replica's ``flits_moved``
-cross-checked against the solo runs.  The three loads bracket the
-kernel's operating regimes:
+cross-checked against the solo runs.  The ``columnar`` cell times the
+same 8 seeds on the struct-of-arrays columnar engine and reports
+*aggregate* cycles·replicas/sec; its results are statistically
+equivalent rather than byte-identical, so its flit volume is gated
+against ``compiled`` within the statistical-equivalence band instead of
+exact-match, and its throughput must clear ≥5x solo ``compiled`` at the
+mid and saturated loads (the tentpole target this engine exists for).
+The three loads bracket the kernel's operating regimes:
 
 * ``low``  — almost every component idle almost every cycle; the
   active-set scheduler's best case (it fast-forwards between misses),
@@ -23,20 +29,28 @@ kernel's operating regimes:
 
 Repeats are interleaved across schedulers (every repeat times each
 scheduler once, back to back) so machine-load noise hits all cells
-alike; best-of is reported, since noise only ever slows a run down.
+alike.  Each cell reports best-of (``cycles_per_sec`` — noise only ever
+slows a run down, so the max is the cleanest point estimate) *and*
+median-of-repeats with the relative repeat spread
+(``median_cycles_per_sec`` / ``repeat_spread``), so the history log
+carries enough to tell machine drift from a real regression.
 
 Every run records one entry in the report's ``history`` list (carried
 forward from the previous report when ``-o`` points at an existing
-file): git SHA, UTC date, mode, and per-point cycles/sec for all four
+file): git SHA, UTC date, mode, and per-point cycles/sec for all five
 schedulers — a throughput log across commits.  Re-running on the same
 commit *replaces* that commit's entry for the same mode instead of
 appending a duplicate, so the log stays one entry per (sha, mode).
+``--bench-compare`` additionally diffs the fresh measurements against
+the last history row of the same mode and exits non-zero when any cell
+regressed by more than :data:`REGRESSION_TOLERANCE`.
 
 Usage::
 
     PYTHONPATH=src python -m benchmarks.bench_kernel            # full
     PYTHONPATH=src python -m benchmarks.bench_kernel --smoke    # CI
     PYTHONPATH=src python -m benchmarks.bench_kernel -o BENCH_kernel.json
+    PYTHONPATH=src python -m benchmarks.bench_kernel -o BENCH_kernel.json --bench-compare
 """
 
 from __future__ import annotations
@@ -56,8 +70,20 @@ SYSTEM = RingSystemConfig(topology="3:8", cache_line_bytes=32)
 
 SCHEDULERS = ("compiled", "active", "naive")
 
-#: Lockstep batch width for the ``batched`` cell.
+#: Replica width for the ``batched`` and ``columnar`` cells.
 BATCH_REPLICAS = 8
+
+#: The tentpole target: columnar aggregate throughput must clear this
+#: multiple of solo ``compiled`` at the mid and saturated loads.
+COLUMNAR_SPEEDUP_FLOOR = 5.0
+
+#: Loads where the speedup floor is enforced (low load is reported but
+#: not gated: the quiet-jump fast-forward makes it noise-dominated).
+COLUMNAR_GATED_LOADS = ("mid", "sat")
+
+#: ``--bench-compare``: per-cell slowdown beyond this fraction of the
+#: previous same-mode history row fails the run.
+REGRESSION_TOLERANCE = 0.25
 
 #: (label, miss rate C) — see module docstring for why these three.
 LOAD_POINTS = (
@@ -70,8 +96,25 @@ FULL_PARAMS = SimulationParams(batch_cycles=3000, batches=6, seed=1)
 SMOKE_PARAMS = SimulationParams(batch_cycles=600, batches=3, seed=1)
 
 
+def _timing_stats(samples: "list[float]") -> dict:
+    """Best-of, median-of and relative spread of one cell's repeats."""
+    ordered = sorted(samples)
+    n = len(ordered)
+    if n % 2:
+        median = ordered[n // 2]
+    else:
+        median = 0.5 * (ordered[n // 2 - 1] + ordered[n // 2])
+    spread = (ordered[-1] - ordered[0]) / median if median else 0.0
+    return {
+        "cycles_per_sec": round(ordered[-1], 1),
+        "median_cycles_per_sec": round(median, 1),
+        "repeat_spread": round(spread, 4),
+    }
+
+
 def measure(params: SimulationParams, repeats: int) -> dict:
     """Run every (load, scheduler) cell; return the structured report."""
+    from repro.audit.stat_equiv import FLIT_RATIO_BAND
     from repro.core.simulation import simulate, simulate_batch
 
     report: dict = {
@@ -84,22 +127,25 @@ def measure(params: SimulationParams, repeats: int) -> dict:
     for label, miss_rate in LOAD_POINTS:
         workload = WorkloadConfig(miss_rate=miss_rate, outstanding=4)
         cell: dict = {"miss_rate": miss_rate}
-        best: dict[str, float] = {scheduler: 0.0 for scheduler in SCHEDULERS}
-        best_batched = 0.0
-        flits: dict[str, int] = {}
+        samples: dict[str, list[float]] = {
+            s: [] for s in SCHEDULERS + ("batched", "columnar")
+        }
+        flits: dict[str, float] = {}
+
+        def check_flits(key: str, value: float) -> None:
+            if key not in flits:
+                flits[key] = value
+            elif flits[key] != value:
+                raise AssertionError(f"{label}/{key}: non-deterministic flits_moved")
+
         for __ in range(repeats):
             for scheduler in SCHEDULERS:
                 run_params = replace(params, scheduler=scheduler)
                 start = time.perf_counter()
                 result = simulate(SYSTEM, workload, run_params)
                 elapsed = time.perf_counter() - start
-                best[scheduler] = max(best[scheduler], result.cycles / elapsed)
-                if scheduler not in flits:
-                    flits[scheduler] = result.flits_moved
-                elif flits[scheduler] != result.flits_moved:
-                    raise AssertionError(
-                        f"{label}/{scheduler}: non-deterministic flits_moved"
-                    )
+                samples[scheduler].append(result.cycles / elapsed)
+                check_flits(scheduler, result.flits_moved)
             # The batched cell runs BATCH_REPLICAS seeds in lockstep;
             # the comparable number is *per-replica* simulated cycles
             # per second.  The first replica is the same seed the solo
@@ -109,32 +155,77 @@ def measure(params: SimulationParams, repeats: int) -> dict:
                 SYSTEM, workload, replace(params, replicas=BATCH_REPLICAS)
             )
             elapsed = time.perf_counter() - start
-            best_batched = max(
-                best_batched, BATCH_REPLICAS * results[0].cycles / elapsed
+            samples["batched"].append(BATCH_REPLICAS * results[0].cycles / elapsed)
+            check_flits("batched", results[0].flits_moved)
+            # The columnar cell runs the same seeds on the columnar
+            # engine; the headline number is *aggregate* simulated
+            # cycles·replicas per second (its whole point is that the
+            # replicas share vectorized state).  Results are only
+            # statistically equivalent, so the mean flit volume is
+            # gated within the equivalence band, not exact-matched.
+            start = time.perf_counter()
+            col_results = simulate_batch(
+                SYSTEM,
+                workload,
+                replace(params, scheduler="columnar", replicas=BATCH_REPLICAS),
             )
-            if "batched" not in flits:
-                flits["batched"] = results[0].flits_moved
-            elif flits["batched"] != results[0].flits_moved:
-                raise AssertionError(f"{label}/batched: non-deterministic flits_moved")
-        if len(set(flits.values())) != 1:
+            elapsed = time.perf_counter() - start
+            samples["columnar"].append(
+                BATCH_REPLICAS * col_results[0].cycles / elapsed
+            )
+            check_flits(
+                "columnar",
+                sum(r.flits_moved for r in col_results) / len(col_results),
+            )
+        bit_exact = {k: v for k, v in flits.items() if k != "columnar"}
+        if len(set(bit_exact.values())) != 1:
             raise AssertionError(
-                f"{label}: schedulers disagree on flits_moved: {flits}"
+                f"{label}: schedulers disagree on flits_moved: {bit_exact}"
+            )
+        flit_ratio = flits["columnar"] / flits["compiled"]
+        lo, hi = FLIT_RATIO_BAND
+        if not lo <= flit_ratio <= hi:
+            raise AssertionError(
+                f"{label}: columnar flit volume ratio {flit_ratio:.4f} "
+                f"outside the statistical-equivalence band [{lo}, {hi}]"
             )
         for scheduler in SCHEDULERS:
             cell[scheduler] = {
-                "cycles_per_sec": round(best[scheduler], 1),
-                "flits_moved": flits[scheduler],
+                **_timing_stats(samples[scheduler]),
+                "flits_moved": int(flits[scheduler]),
             }
         cell["batched"] = {
-            "cycles_per_sec": round(best_batched, 1),
+            **_timing_stats(samples["batched"]),
             "replicas": BATCH_REPLICAS,
-            "flits_moved": flits["batched"],
+            "flits_moved": int(flits["batched"]),
         }
+        cell["columnar"] = {
+            **_timing_stats(samples["columnar"]),
+            "replicas": BATCH_REPLICAS,
+            "aggregate": True,
+            "flits_moved_mean": round(flits["columnar"], 1),
+            "flit_ratio_vs_compiled": round(flit_ratio, 4),
+        }
+        best = {s: max(v) for s, v in samples.items()}
         cell["speedup_compiled_vs_active"] = round(
             best["compiled"] / best["active"], 2
         )
         cell["speedup_active_vs_naive"] = round(best["active"] / best["naive"], 2)
-        cell["speedup_batched_vs_compiled"] = round(best_batched / best["compiled"], 2)
+        cell["speedup_batched_vs_compiled"] = round(
+            best["batched"] / best["compiled"], 2
+        )
+        cell["speedup_columnar_vs_compiled"] = round(
+            best["columnar"] / best["compiled"], 2
+        )
+        if (
+            label in COLUMNAR_GATED_LOADS
+            and cell["speedup_columnar_vs_compiled"] < COLUMNAR_SPEEDUP_FLOOR
+        ):
+            raise AssertionError(
+                f"{label}: columnar aggregate speedup "
+                f"{cell['speedup_columnar_vs_compiled']}x below the "
+                f"{COLUMNAR_SPEEDUP_FLOOR}x floor vs solo compiled"
+            )
         report["points"][label] = cell
     return report
 
@@ -161,7 +252,14 @@ def _history_entry(report: dict) -> dict:
         "points": {
             label: {
                 scheduler: cell[scheduler]["cycles_per_sec"]
-                for scheduler in SCHEDULERS + ("batched",)
+                for scheduler in SCHEDULERS + ("batched", "columnar")
+            }
+            for label, cell in report["points"].items()
+        },
+        "spread": {
+            label: {
+                scheduler: cell[scheduler]["repeat_spread"]
+                for scheduler in SCHEDULERS + ("batched", "columnar")
             }
             for label, cell in report["points"].items()
         },
@@ -196,6 +294,39 @@ def _merge_history(history: list, entry: dict) -> list:
     return history
 
 
+def compare_to_history(entry: dict, history: list) -> "list[str]":
+    """Per-cell regressions of *entry* against the last same-mode row.
+
+    Compares each (load, scheduler) cycles/sec of the fresh *entry*
+    against the most recent history row of the same mode (the row the
+    current run will replace or follow).  Returns one description per
+    cell that slowed down by more than :data:`REGRESSION_TOLERANCE`;
+    empty when there is no prior row to compare against.
+    """
+    prior = None
+    for row in reversed(history):
+        if row.get("mode") == entry.get("mode"):
+            prior = row
+            break
+    if prior is None:
+        return []
+    regressions = []
+    for label, cells in entry.get("points", {}).items():
+        old_cells = prior.get("points", {}).get(label, {})
+        for scheduler, new_value in cells.items():
+            old_value = old_cells.get(scheduler)
+            if not old_value or not new_value:
+                continue
+            drop = (old_value - new_value) / old_value
+            if drop > REGRESSION_TOLERANCE:
+                regressions.append(
+                    f"{label}/{scheduler}: {old_value:.0f} -> {new_value:.0f} "
+                    f"cyc/s ({drop:.0%} slower than {prior.get('sha', '?')}, "
+                    f"tolerance {REGRESSION_TOLERANCE:.0%})"
+                )
+    return regressions
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -215,7 +346,15 @@ def main(argv: "list[str] | None" = None) -> int:
         default=None,
         help="write the report as JSON to this path (appends to its history)",
     )
+    parser.add_argument(
+        "--bench-compare",
+        action="store_true",
+        help="diff this run against the last same-mode history row in the "
+        "output file and exit non-zero on a >25%% per-cell regression",
+    )
     args = parser.parse_args(argv)
+    if args.bench_compare and not args.output:
+        parser.error("--bench-compare needs -o/--output (the history lives there)")
 
     params = SMOKE_PARAMS if args.smoke else FULL_PARAMS
     repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 5)
@@ -228,23 +367,38 @@ def main(argv: "list[str] | None" = None) -> int:
     for label, cell in report["points"].items():
         print(
             f"  {label:<{width}}  C={cell['miss_rate']:<6}"
+            f"  columnar {cell['columnar']['cycles_per_sec']:>9.0f} cyc/s agg"
             f"  batched {cell['batched']['cycles_per_sec']:>9.0f} cyc/s/rep"
             f"  compiled {cell['compiled']['cycles_per_sec']:>9.0f} cyc/s"
             f"  active {cell['active']['cycles_per_sec']:>9.0f} cyc/s"
             f"  naive {cell['naive']['cycles_per_sec']:>9.0f} cyc/s"
+            f"  col/c {cell['speedup_columnar_vs_compiled']:.2f}x"
             f"  b/c {cell['speedup_batched_vs_compiled']:.2f}x"
             f"  c/a {cell['speedup_compiled_vs_active']:.2f}x"
             f"  a/n {cell['speedup_active_vs_naive']:.2f}x"
         )
 
+    regressions: "list[str]" = []
     if args.output:
-        history = _merge_history(_prior_history(args.output), _history_entry(report))
+        prior = _prior_history(args.output)
+        entry = _history_entry(report)
+        if args.bench_compare:
+            regressions = compare_to_history(entry, prior)
+        history = _merge_history(prior, entry)
         report["history"] = history
         with open(args.output, "w") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.output} ({len(history)} history entr"
               f"{'y' if len(history) == 1 else 'ies'})")
+    if args.bench_compare:
+        if regressions:
+            print("bench-compare: REGRESSED")
+            for line in regressions:
+                print(f"  {line}")
+            return 1
+        print("bench-compare: no per-cell regression beyond "
+              f"{REGRESSION_TOLERANCE:.0%}")
     return 0
 
 

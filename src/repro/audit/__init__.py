@@ -16,10 +16,19 @@ when off, ambient enable/disable around a run::
         result = simulate(system, workload, params)
     print(auditor.describe())
 
+The columnar scheduler gives up byte-identity for throughput, so it is
+gated statistically instead: :mod:`repro.audit.stat_equiv` runs paired
+columnar-vs-bit-exact campaigns (overlapping cross-seed confidence
+intervals for latency/throughput on every paper topology) and samples
+running columnar engines, materializing one replica's columns back
+into object form to check the same structural invariants.
+
 Command line (see ``python -m repro.audit --help``)::
 
     python -m repro.audit fuzz --cases 50 --seed 0
+    python -m repro.audit fuzz --cases 10 --include-columnar
     python -m repro.audit smoke
+    python -m repro.audit stat-equiv --seeds 8
 
 This ``__init__`` keeps heavy imports lazy: the engine imports
 ``repro.audit.runtime`` from inside ``_finalize`` (which executes this
@@ -36,15 +45,19 @@ from .runtime import current, disable, enable, enabled
 __all__ = [
     "AuditError",
     "Auditor",
+    "SamplingAuditor",
     "current",
     "disable",
     "enable",
     "enabled",
+    "run_campaign",
 ]
 
-#: Names resolved lazily from :mod:`repro.audit.invariants` (which
-#: imports the ring and mesh packages) on first attribute access.
+#: Names resolved lazily on first attribute access (invariants imports
+#: the ring and mesh packages; stat_equiv imports numpy and the
+#: columnar engine).
 _LAZY = {"Auditor", "AuditError"}
+_LAZY_STAT = {"SamplingAuditor", "run_campaign"}
 
 
 def __getattr__(name: str) -> Any:
@@ -52,4 +65,8 @@ def __getattr__(name: str) -> Any:
         from . import invariants
 
         return getattr(invariants, name)
+    if name in _LAZY_STAT:
+        from . import stat_equiv
+
+        return getattr(stat_equiv, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -16,6 +16,13 @@
 ``replay FILE``
     Re-run a reproducer JSON written by ``fuzz``.  Exit 1 if it still
     fails (i.e. exit 0 means the bug it captured is fixed).
+
+``stat-equiv``
+    Paired columnar-vs-bit-exact campaign (:mod:`repro.audit.stat_equiv`):
+    every paper topology family runs under both schedulers across a
+    common seed set, gated on overlapping cross-seed 95% confidence
+    intervals for latency and throughput plus flit-volume agreement.
+    Exit 1 if any point fails.
 """
 
 from __future__ import annotations
@@ -107,11 +114,43 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the post-run drain/quiescence pass",
     )
+    fuzz_p.add_argument(
+        "--include-columnar",
+        action="store_true",
+        help="also run each clean case under the columnar scheduler "
+        "with the sampled materialization audit and loose statistical "
+        "sanity gates",
+    )
 
     sub.add_parser("smoke", help="audited scheduler-identity smoke matrix")
 
     replay_p = sub.add_parser("replay", help="re-run a fuzz reproducer")
     replay_p.add_argument("file", type=Path, help="reproducer JSON path")
+
+    equiv_p = sub.add_parser(
+        "stat-equiv", help="columnar statistical-equivalence campaign"
+    )
+    equiv_p.add_argument(
+        "--seeds", type=int, default=8, help="seeds per side of each paired point"
+    )
+    equiv_p.add_argument(
+        "--seed", type=int, default=1, help="first simulation seed"
+    )
+    equiv_p.add_argument(
+        "--baseline",
+        default="compiled",
+        choices=["compiled", "batched", "active", "naive"],
+        help="bit-exact baseline scheduler (all are byte-identical; "
+        "'batched' is the fastest)",
+    )
+    equiv_p.add_argument(
+        "--points",
+        default=None,
+        metavar="SUBSTR[,SUBSTR...]",
+        help="only run paper points whose name contains one of these "
+        "substrings (e.g. 'ring-2level,mesh' for the fig7/fig12 "
+        "families); default: all",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "fuzz":
@@ -120,10 +159,38 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             out_dir=args.out,
             lifecycle=not args.no_lifecycle,
+            include_columnar=args.include_columnar,
         )
         return 1 if failures else 0
     if args.command == "smoke":
         return 1 if run_smoke() else 0
     if args.command == "replay":
         return 1 if replay(args.file).failed else 0
+    if args.command == "stat-equiv":
+        from .stat_equiv import paper_points, run_campaign
+
+        points = None
+        if args.points is not None:
+            wanted = [s.strip() for s in args.points.split(",") if s.strip()]
+            points = [
+                (name, system)
+                for name, system in paper_points()
+                if any(w in name for w in wanted)
+            ]
+            if not points:
+                parser.error(
+                    f"--points {args.points!r} matches no paper point; "
+                    f"names: {', '.join(n for n, _ in paper_points())}"
+                )
+        reports = run_campaign(
+            points=points,
+            seeds=range(args.seed, args.seed + args.seeds),
+            baseline=args.baseline,
+            log=print,
+        )
+        failed = sum(1 for r in reports if not r.passed)
+        print(
+            f"stat-equiv: {len(reports)} point(s), {failed} failure(s)"
+        )
+        return 1 if failed else 0
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -27,6 +27,15 @@ configurations instead:
    run, T=1, ...) while it keeps failing, and write the minimal
    reproducer as JSON (replayable via ``python -m repro.audit replay``).
 
+With ``include_columnar=True`` (CLI ``--include-columnar``) each clean
+case additionally runs under the ``columnar`` scheduler with the
+sampled materialization audit (:mod:`repro.audit.stat_equiv`) hooked
+in.  Columnar results are only *statistically* equivalent, so they are
+held to tolerant sanity gates — flit volume within a generous band of
+the bit-exact baseline — rather than byte identity; materialization
+invariant violations fail the case outright.  Slotted-switching cases
+are skipped (the columnar engine models wormhole switching only).
+
 Everything is deterministic in ``--seed``: the case stream, the
 per-case simulation seeds, and the shrink order.
 """
@@ -65,6 +74,15 @@ from .invariants import AuditError, Auditor
 from .runtime import enabled
 
 SCHEDULERS = ("naive", "active", "compiled", "batched")
+
+#: Columnar sanity run: seeds per case and the tolerated total-flit
+#: ratio against the bit-exact baseline.  Fuzz cases are short, so the
+#: band is loose — the point is catching gross datapath breakage and
+#: materialization invariant violations, not tight statistics (the
+#: paired CI campaign in :mod:`repro.audit.stat_equiv` does that).
+COLUMNAR_SEEDS = 3
+COLUMNAR_RATIO_BAND = (0.4, 2.5)
+COLUMNAR_AUDIT_INTERVAL = 50
 
 #: Drain budget for the lifecycle pass: chunks of cycles stepped after
 #: generation is cut, polling for quiescence between chunks.
@@ -124,7 +142,7 @@ class FuzzCase:
 class CaseResult:
     """Outcome of running one case under every scheduler."""
 
-    kind: str  # "ok" | "divergence" | "violation" | "lifecycle"
+    kind: str  # "ok" | "divergence" | "violation" | "lifecycle" | "columnar"
     detail: str
 
     @property
@@ -226,7 +244,64 @@ def _lifecycle_problem(case: FuzzCase) -> str | None:
         return f"{type(exc).__name__} while draining: {exc}"
 
 
-def run_case(case: FuzzCase, lifecycle: bool = True) -> CaseResult:
+def _columnar_problem(case: FuzzCase, baseline_payload: str | None) -> str | None:
+    """Columnar sanity run of *case*; ``None`` when clean or out of scope.
+
+    Runs :data:`COLUMNAR_SEEDS` seeds on the columnar engine with the
+    sampled materialization audit hooked in every
+    :data:`COLUMNAR_AUDIT_INTERVAL` cycles, then gates the mean total
+    flit volume against the bit-exact baseline's within
+    :data:`COLUMNAR_RATIO_BAND`.  Slotted-switching cases are skipped
+    (columnar models wormhole only); under conservative flow control a
+    seed-dependent deadlock on either side is not a divergence.
+    """
+    system = case.system
+    if isinstance(system, RingSystemConfig) and system.switching != "wormhole":
+        return None
+    from ..core.columnar import simulate_columnar
+    from .stat_equiv import SamplingAuditor
+
+    params = replace(case.params, scheduler="columnar")
+    seeds = tuple(case.params.seed + i for i in range(COLUMNAR_SEEDS))
+    auditor = SamplingAuditor()
+    try:
+        results = simulate_columnar(
+            case.system,
+            case.workload,
+            params,
+            seeds=seeds,
+            cycle_hook=auditor,
+            hook_interval=COLUMNAR_AUDIT_INTERVAL,
+        )
+    except AuditError as exc:
+        return f"materialization audit: {exc}"
+    except SimulationError as exc:
+        if baseline_payload is None or case.params.flow_control == "conservative":
+            # the bit-exact schedulers also failed, or the conservative
+            # ablation wedged under columnar's (different) miss stream
+            return None
+        return f"{type(exc).__name__}: {exc}"
+    if baseline_payload is None:
+        return None  # every bit-exact scheduler errored; nothing to compare
+    base_flits = json.loads(baseline_payload)["flits_moved"]
+    col_flits = sum(r.flits_moved for r in results) / len(results)
+    if base_flits == 0:
+        if col_flits > 0:
+            return f"baseline moved no flits, columnar moved {col_flits:.0f}"
+        return None
+    ratio = col_flits / base_flits
+    lo, hi = COLUMNAR_RATIO_BAND
+    if not lo <= ratio <= hi:
+        return (
+            f"flit volume ratio {ratio:.3f} outside [{lo}, {hi}] "
+            f"(columnar mean {col_flits:.0f} vs baseline {base_flits})"
+        )
+    return None
+
+
+def run_case(
+    case: FuzzCase, lifecycle: bool = True, include_columnar: bool = False
+) -> CaseResult:
     """Differential run of *case* under every scheduler, audited."""
     outcomes = {scheduler: _run_one(case, scheduler) for scheduler in SCHEDULERS}
     for scheduler, (status, detail) in outcomes.items():
@@ -249,6 +324,11 @@ def run_case(case: FuzzCase, lifecycle: bool = True) -> CaseResult:
         problem = _lifecycle_problem(case)
         if problem is not None:
             return CaseResult("lifecycle", problem)
+    if include_columnar:
+        payload = baseline[1] if baseline[0] == "ok" else None
+        problem = _columnar_problem(case, payload)
+        if problem is not None:
+            return CaseResult("columnar", problem)
     return CaseResult("ok", "")
 
 
@@ -332,6 +412,7 @@ def shrink(
     case: FuzzCase,
     budget: int = SHRINK_BUDGET,
     log: Callable[[str], None] | None = None,
+    include_columnar: bool = False,
 ) -> tuple[FuzzCase, CaseResult]:
     """Greedily reduce a failing *case* while it keeps failing.
 
@@ -340,7 +421,7 @@ def shrink(
     at a smaller size).  Returns the smallest failing case found and
     its result.
     """
-    result = run_case(case)
+    result = run_case(case, include_columnar=include_columnar)
     if not result.failed:
         raise ValueError("shrink() called on a passing case")
     attempts = 0
@@ -351,7 +432,7 @@ def shrink(
             if attempts >= budget:
                 break
             attempts += 1
-            candidate_result = run_case(candidate)
+            candidate_result = run_case(candidate, include_columnar=include_columnar)
             if candidate_result.failed:
                 case, result = candidate, candidate_result
                 if log is not None:
@@ -385,6 +466,7 @@ def run_fuzz(
     out_dir: Path,
     log: Callable[[str], None] = print,
     lifecycle: bool = True,
+    include_columnar: bool = False,
 ) -> int:
     """Run a fuzz campaign; returns the number of failing cases.
 
@@ -394,14 +476,14 @@ def run_fuzz(
     failures = 0
     for index in range(cases):
         case = random_case(rng)
-        result = run_case(case, lifecycle=lifecycle)
+        result = run_case(case, lifecycle=lifecycle, include_columnar=include_columnar)
         if not result.failed:
             log(f"[{index + 1}/{cases}] ok   {case.describe()}")
             continue
         failures += 1
         log(f"[{index + 1}/{cases}] FAIL {case.describe()}")
         log(f"  {result.kind}: {result.detail}")
-        case, result = shrink(case, log=log)
+        case, result = shrink(case, log=log, include_columnar=include_columnar)
         path = write_reproducer(out_dir, index, case, result)
         log(f"  minimal reproducer: {path}")
     log(
@@ -416,6 +498,6 @@ def replay(path: Path, log: Callable[[str], None] = print) -> CaseResult:
     payload = json.loads(Path(path).read_text())
     case = FuzzCase.from_payload(payload["case"])
     log(f"replaying: {case.describe()}")
-    result = run_case(case)
+    result = run_case(case, include_columnar=payload.get("kind") == "columnar")
     log(f"{result.kind}" + (f": {result.detail}" if result.detail else ""))
     return result

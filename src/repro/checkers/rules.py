@@ -174,6 +174,12 @@ def check_set_iteration(context: ModuleContext) -> Iterator[Finding]:
 
 _CLOCK_MODULES = ("time", "datetime")
 
+#: numpy.random constructors that take an explicit seed/key: calling
+#: them *with* arguments is the sanctioned counter-based-stream path
+#: (the columnar engine's per-replica Philox columns); calling
+#: ``default_rng()`` bare draws from OS entropy like ``Random()``.
+_NUMPY_SEEDED_CTORS = {"default_rng", "Generator", "Philox", "PCG64", "SeedSequence"}
+
 
 def _root_name(node: ast.AST) -> str | None:
     while isinstance(node, ast.Attribute):
@@ -181,20 +187,40 @@ def _root_name(node: ast.AST) -> str | None:
     return node.id if isinstance(node, ast.Name) else None
 
 
+def _attr_chain(node: ast.AST) -> "list[str]":
+    """Dotted name parts of an attribute chain (``np.random.rand`` ->
+    ``["np", "random", "rand"]``); empty when the root is not a name."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return []
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
 @rule(
     "RPR002",
     "nondeterministic-source",
     "no random/time/datetime wall-clock or module-level RNG use outside "
-    "the seeded workload RNG wrappers (seeded random.Random(...) "
-    "construction is the sanctioned source)",
+    "the seeded workload RNG wrappers (seeded random.Random(...) and "
+    "seeded/keyed numpy.random generator construction are the "
+    "sanctioned sources)",
     scope=("core", "ring", "mesh", "workload", "analysis", "runtime"),
 )
 def check_nondeterministic_sources(context: ModuleContext) -> Iterator[Finding]:
     # Names imported straight off the offending modules
     # (``from time import monotonic``): calling them is equivalent.
     imported: dict[str, str] = {}
+    numpy_aliases: set[str] = set()
     for node in ast.walk(context.tree):
-        if isinstance(node, ast.ImportFrom) and node.module in (
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    numpy_aliases.add(alias.asname or "numpy")
+        elif isinstance(node, ast.ImportFrom) and node.module in (
             "random",
             *_CLOCK_MODULES,
         ):
@@ -202,6 +228,11 @@ def check_nondeterministic_sources(context: ModuleContext) -> Iterator[Finding]:
                 if node.module == "random" and alias.name == "Random":
                     continue  # seeded construction is the sanctioned path
                 imported[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+        elif isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+            for alias in node.names:
+                # Seeded constructors are handled at the call site (an
+                # argument-less default_rng() is still a violation).
+                imported[alias.asname or alias.name] = f"numpy.random.{alias.name}"
 
     for node in ast.walk(context.tree):
         if not isinstance(node, ast.Call):
@@ -209,7 +240,31 @@ def check_nondeterministic_sources(context: ModuleContext) -> Iterator[Finding]:
         func = node.func
         if isinstance(func, ast.Attribute):
             root = _root_name(func)
-            if root == "random":
+            chain = _attr_chain(func)
+            if (
+                len(chain) >= 3
+                and chain[0] in numpy_aliases
+                and chain[1] == "random"
+            ):
+                attr = chain[2]
+                if attr in _NUMPY_SEEDED_CTORS:
+                    if not node.args and not node.keywords:
+                        yield context.finding(
+                            "RPR002",
+                            f"numpy.random.{attr}() without a seed draws "
+                            "from OS entropy; pass an explicit seed or key",
+                            node,
+                        )
+                else:
+                    yield context.finding(
+                        "RPR002",
+                        f"module-level numpy RNG call numpy.random.{attr}() "
+                        "uses the shared global stream; construct a seeded "
+                        "Generator (numpy.random.default_rng(seed) or a "
+                        "keyed Philox) instead",
+                        node,
+                    )
+            elif root == "random":
                 if func.attr == "Random":
                     if not node.args and not node.keywords:
                         yield context.finding(
@@ -235,9 +290,16 @@ def check_nondeterministic_sources(context: ModuleContext) -> Iterator[Finding]:
                     node,
                 )
         elif isinstance(func, ast.Name) and func.id in imported:
+            origin = imported[func.id]
+            if (
+                origin.startswith("numpy.random.")
+                and origin.rsplit(".", 1)[1] in _NUMPY_SEEDED_CTORS
+                and (node.args or node.keywords)
+            ):
+                continue  # seeded/keyed construction: the sanctioned path
             yield context.finding(
                 "RPR002",
-                f"call to {imported[func.id]}() (imported nondeterministic "
+                f"call to {origin}() (imported nondeterministic "
                 "source); use seeded RNGs / the engine clock",
                 node,
             )

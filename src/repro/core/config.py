@@ -22,6 +22,11 @@ from .packet import PacketType
 
 CACHE_LINE_SIZES: tuple[int, ...] = (16, 32, 64, 128)
 
+#: Engine schedulers accepted by :class:`SimulationParams`.  The first
+#: four are byte-identical to each other; ``columnar`` is only
+#: statistically equivalent (see the class docstring).
+SCHEDULERS: tuple[str, ...] = ("compiled", "active", "naive", "batched", "columnar")
+
 RING_FLIT_BYTES = 16  # 128-bit ring data path
 RING_HEADER_FLITS = 1
 MESH_FLIT_BYTES = 4  # 32-bit mesh channels
@@ -297,10 +302,21 @@ class SimulationParams:
     datapath, ``"naive"`` scans everything every cycle, and
     ``"batched"`` runs ``replicas`` seeds of the point in lockstep over
     one compiled datapath (see :mod:`repro.core.batched`; requires
-    numpy).  All four are behavior-identical (same per-replica
+    numpy).  Those four are behavior-identical (same per-replica
     ``SimulationResult`` for every config — enforced by the kernel
-    equivalence test matrix), so the choice is an execution detail and
-    deliberately not part of the cached-result identity.
+    equivalence test matrix), so among them the choice is an execution
+    detail and deliberately not part of the cached-result identity.
+
+    ``"columnar"`` is the fifth scheduler and the exception: it runs
+    ``replicas`` seeds as struct-of-arrays numpy columns with per-column
+    ``Philox`` RNG streams (:mod:`repro.core.columnar`; requires numpy),
+    trading byte-identity for raw aggregate throughput.  Its results
+    are *statistically equivalent* to ``compiled`` (overlapping
+    batch-means confidence intervals, enforced by
+    :mod:`repro.audit.stat_equiv`), not bit-identical, so columnar
+    results ARE part of the cached identity: they are stored under a
+    ``"fidelity": "statistical"`` tag and never serve a request for a
+    bit-exact scheduler (see :mod:`repro.runtime.serialization`).
 
     ``replicas`` is the lockstep batch width used by the batch entry
     points (:func:`repro.core.simulation.simulate_batch`,
@@ -337,10 +353,10 @@ class SimulationParams:
                 f"flow_control must be 'bypass' or 'conservative', "
                 f"got {self.flow_control!r}"
             )
-        if self.scheduler not in ("compiled", "active", "naive", "batched"):
+        if self.scheduler not in SCHEDULERS:
             raise ConfigurationError(
-                f"scheduler must be 'compiled', 'active', 'naive' or "
-                f"'batched', got {self.scheduler!r}"
+                f"scheduler must be 'compiled', 'active', 'naive', "
+                f"'batched' or 'columnar', got {self.scheduler!r}"
             )
         if self.replicas < 1:
             raise ConfigurationError(f"replicas must be >= 1, got {self.replicas}")

@@ -170,6 +170,20 @@ def simulate(
         return simulate_batch(
             system, workload, params, seeds=(params.seed,), miss_sources=miss_sources
         )[0]
+    if params.scheduler == "columnar":
+        # Columnar results are statistically equivalent, not
+        # byte-identical; a solo run is a column batch of one.
+        if miss_sources is not None:
+            raise ConfigurationError(
+                "the columnar scheduler generates misses from its own "
+                "Philox columns; use scheduler='compiled' for "
+                "trace-replay miss sources"
+            )
+        from .columnar import simulate_columnar
+
+        return simulate_columnar(
+            system, workload, params, seeds=(params.seed,)
+        )[0]
 
     metrics = MetricsHub()
     network = build_network(
@@ -247,6 +261,16 @@ def simulate_batch(
     """
     workload = (workload or WorkloadConfig()).validate()
     params = (params or DEFAULT_SIM).validate()
+    if params.scheduler == "columnar":
+        if miss_sources is not None:
+            raise ConfigurationError(
+                "the columnar scheduler generates misses from its own "
+                "Philox columns; use scheduler='compiled' for "
+                "trace-replay miss sources"
+            )
+        from .columnar import simulate_columnar
+
+        return simulate_columnar(system, workload, params, seeds=seeds)
     if seeds is None:
         seeds = tuple(range(params.seed, params.seed + params.replicas))
     else:

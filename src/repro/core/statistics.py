@@ -224,6 +224,36 @@ class LatencyStats:
         if latency > self._open_max:
             self._open_max = latency
 
+    def observe_batch(
+        self,
+        total: float,
+        count: int,
+        minimum: float,
+        maximum: float,
+        last: float,
+    ) -> None:
+        """Fold a pre-aggregated block of observations into the open batch.
+
+        The columnar engine (:mod:`repro.core.columnar`) tallies each
+        replica's latencies as array reductions — sum, count, min, max
+        and the final observation — instead of calling :meth:`record`
+        per transaction.  ``count == 0`` is a no-op (mirroring
+        :meth:`BatchMeans.observe_many`): an empty block carries no
+        observations, so neither ``last`` nor the staged extremes may
+        move.  The staged extremes still only reach ``minimum`` /
+        ``maximum`` when :meth:`close_batch` retains the batch, so the
+        warm-up discard applies to array-fed batches exactly as to
+        per-observation ones.
+        """
+        if count == 0:
+            return
+        self.batch.observe_many(total, count)
+        self.last = last
+        if minimum < self._open_min:
+            self._open_min = minimum
+        if maximum > self._open_max:
+            self._open_max = maximum
+
     def close_batch(self) -> float | None:
         """Close the current batch; fold its extremes in iff retained."""
         mean = self.batch.close_batch()

@@ -23,7 +23,9 @@ import os
 import pathlib
 import sys
 import time
+from dataclasses import replace
 
+from ..core.config import SCHEDULERS as SCHEDULER_CHOICES
 from ..runtime import DEFAULT_CACHE_DIR, ProgressPrinter, ResultCache, runtime_context
 from .base import SCALES, all_experiments, get_experiment
 
@@ -46,6 +48,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
+    )
+    parser.add_argument(
+        "--scheduler",
+        choices=sorted(SCHEDULER_CHOICES),
+        default=None,
+        help="run every sweep point under this engine scheduler instead of "
+        "the default ('columnar' trades byte-exact results for vectorized "
+        "multi-replica throughput — statistically equivalent, cached "
+        "separately; see README's scheduler decision table)",
     )
     parser.add_argument(
         "--jobs",
@@ -157,6 +168,12 @@ def main(argv: list[str] | None = None) -> int:
 
     ids = sorted(experiments, key=_experiment_sort_key) if args.experiments == ["all"] else args.experiments
     scale = SCALES[args.scale]
+    if args.scheduler is not None:
+        # Scale (and its SimulationParams) key the memoized sweeps, so
+        # swapping the scheduler here flows into every point spec — and
+        # into the cache identity for "columnar", whose results are
+        # tagged non-canonical rather than shared with bit-exact runs.
+        scale = replace(scale, sim=replace(scale.sim, scheduler=args.scheduler))
     if args.profile and args.audit:
         # Both swap in a dedicated engine step function; the audited
         # step carries no phase timers, so combining them would

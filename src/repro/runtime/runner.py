@@ -142,6 +142,14 @@ def run_replica_batch(
     batches (split across the process pool when ``jobs > 1``), and
     every fresh result is stored under its own per-seed spec — exactly
     the entry a solo ``run_point`` of that seed would read or write.
+
+    With ``spec.params.scheduler == "columnar"`` the batch runs on the
+    struct-of-arrays columnar engine instead (statistically equivalent
+    results, not byte-identical); its per-seed cache entries carry the
+    ``"fidelity": "statistical"`` payload tag, so they are a *separate*
+    cache population from bit-exact entries of the same point — a
+    columnar batch never serves, and is never served by, a ``compiled``
+    request for the same seed.
     """
     if seeds is None:
         base = spec.params.seed

@@ -103,21 +103,34 @@ def workload_from_payload(payload: dict[str, Any]) -> WorkloadConfig:
 
 def params_payload(params: SimulationParams) -> dict[str, Any]:
     # ``params.scheduler`` and ``params.replicas`` are deliberately
-    # omitted: the schedulers are behavior-identical (enforced by the
-    # kernel equivalence tests) and a lockstep batch is just N
+    # omitted: the bit-exact schedulers are behavior-identical (enforced
+    # by the kernel equivalence tests) and a lockstep batch is just N
     # independent seeds, so cache keys and result payloads must not
     # depend on which scheduler — or how wide a batch — computed a
-    # point.
-    return {
+    # point.  The one exception is ``"columnar"``: its results are only
+    # *statistically* equivalent, so they carry an explicit
+    # ``"fidelity": "statistical"`` tag.  The tag is part of the
+    # canonical payload, which makes columnar cache entries
+    # non-canonical by construction — they can never be returned for a
+    # request keyed on a bit-exact scheduler (whose payload has no such
+    # key), and vice versa.
+    payload = {
         "batch_cycles": params.batch_cycles,
         "batches": params.batches,
         "seed": params.seed,
         "deadlock_threshold": params.deadlock_threshold,
         "flow_control": params.flow_control,
     }
+    if params.scheduler == "columnar":
+        payload["fidelity"] = "statistical"
+    return payload
 
 
 def params_from_payload(payload: dict[str, Any]) -> SimulationParams:
+    payload = dict(payload)
+    fidelity = payload.pop("fidelity", None)
+    if fidelity == "statistical":
+        return SimulationParams(**payload, scheduler="columnar")
     return SimulationParams(**payload)
 
 

@@ -4,6 +4,9 @@ import random
 import time
 from time import monotonic
 
+import numpy as np
+from numpy.random import default_rng
+
 
 def jitter():
     return random.random() + time.time()  # lines flagged twice
@@ -17,5 +20,22 @@ def uptime():
     return monotonic()  # imported nondeterministic source
 
 
+def numpy_global_stream():
+    return np.random.rand(4)  # module-level numpy RNG
+
+
+def numpy_unseeded():
+    return np.random.default_rng()  # unseeded: OS entropy
+
+
+def numpy_unseeded_import():
+    return default_rng()  # unseeded via imported name
+
+
 def sanctioned(seed):
     return random.Random(seed)  # seeded construction: NOT flagged
+
+
+def numpy_sanctioned(seed):
+    gen = np.random.Generator(np.random.Philox(key=seed))  # keyed: NOT flagged
+    return gen, default_rng(seed)  # seeded: NOT flagged

@@ -33,10 +33,16 @@ def test_rpr001_set_iteration(fixture_findings):
 
 def test_rpr002_nondeterministic_sources(fixture_findings):
     found = fixture_findings["workload/rng.py"]
-    assert [f.code for f in found] == ["RPR002"] * 4
-    # random.random() and time.time() share line 9; then the unseeded
-    # Random() and the imported monotonic().  Seeded Random(seed) passes.
-    assert [f.line for f in found] == [9, 9, 13, 17]
+    assert [f.code for f in found] == ["RPR002"] * 7
+    # random.random() and time.time() share line 12; then the unseeded
+    # Random(), the imported monotonic(), the module-level numpy stream,
+    # and the two unseeded default_rng() spellings.  Seeded Random(seed)
+    # and seeded/keyed numpy generator construction pass.
+    assert [f.line for f in found] == [12, 12, 16, 20, 24, 28, 32]
+    numpy_findings = [f for f in found if "numpy" in f.message]
+    assert len(numpy_findings) == 3
+    assert any("shared global stream" in f.message for f in numpy_findings)
+    assert any("without a seed" in f.message for f in numpy_findings)
 
 
 def test_rpr003_phase_discipline(fixture_findings):

@@ -221,6 +221,30 @@ class TestRateMeter:
         meter.close_batch(120, 300)  # (20/100)
         assert meter.retained_rates == (0.2,)
 
+    def test_nan_batch_is_recorded_as_nan_not_dropped(self):
+        """The NaN path records a NaN *batch*, not nothing: the batch
+        list keeps its slot so batch indices stay aligned with the
+        simulation's batch boundaries."""
+        meter = RateMeter()
+        meter.close_batch(10, 100)
+        assert meter.close_batch(10, 100) is None  # no time progressed
+        meter.close_batch(30, 200)
+        assert len(meter._batch_rates) == 3
+        assert math.isnan(meter._batch_rates[1])
+
+    def test_nan_batch_still_advances_the_snapshots(self):
+        """A NaN close must still latch the counter snapshots: the next
+        batch's delta is measured from the rejected snapshot, not from
+        the last good one — otherwise the lost interval's flits would be
+        double-counted into the following batch's rate."""
+        meter = RateMeter()
+        meter.close_batch(10, 100)   # warm-up, dropped
+        meter.close_batch(20, 200)   # (10/100)
+        assert meter.close_batch(5, 300) is None  # reset: NaN, but latched
+        # Delta measured from (5, 300), not (20, 200): (25-5)/(400-300).
+        meter.close_batch(25, 400)
+        assert meter.retained_rates == (0.1, 0.2)
+
 
 class TestLatencyStats:
     def test_extremes(self):
@@ -285,6 +309,97 @@ class TestLatencyStats:
         assert stats.batch.retained_means == (7.0,)
         assert stats.minimum == 7.0
         assert stats.maximum == 7.0
+
+
+class TestLatencyStatsArrayFed:
+    """The columnar engine feeds pre-aggregated blocks via observe_batch
+    instead of per-transaction record calls; the batch-retention policy
+    (warm-up discard, extremes, ``last``) must be representation-blind.
+    """
+
+    def test_observe_batch_matches_record_stream(self):
+        """Array-fed blocks and per-observation record() produce the
+        same summary, extremes and last for the same observations."""
+        scalar = LatencyStats()
+        array = LatencyStats()
+        blocks = [(100.0, 200.0), (10.0, 30.0, 20.0), (5.0, 45.0)]
+        for block in blocks:
+            for value in block:
+                scalar.record(value)
+            array.observe_batch(
+                total=sum(block),
+                count=len(block),
+                minimum=min(block),
+                maximum=max(block),
+                last=block[-1],
+            )
+            scalar.close_batch()
+            array.close_batch()
+        assert array.batch.retained_means == scalar.batch.retained_means
+        assert array.minimum == scalar.minimum == 5.0
+        assert array.maximum == scalar.maximum == 45.0
+        assert array.last == scalar.last == 45.0
+
+    def test_empty_block_is_a_noop(self):
+        """count == 0 carries no observations: ``last`` and the staged
+        extremes must not move (NaN min/max reductions over an empty
+        array would otherwise poison the staged extremes)."""
+        stats = LatencyStats()
+        stats.observe_batch(total=0.0, count=0, minimum=math.inf,
+                            maximum=-math.inf, last=math.nan)
+        assert math.isnan(stats.last)
+        assert stats._open_min == math.inf
+        assert stats._open_max == -math.inf
+        stats.record(3.0)
+        stats.observe_batch(total=0.0, count=0, minimum=math.nan,
+                            maximum=math.nan, last=math.nan)
+        assert stats.last == 3.0  # empty block did not clobber it
+
+    def test_last_survives_warmup_discard(self):
+        """``last`` is a diagnostic of the most recent observation,
+        regardless of retention: an array-fed warm-up batch updates it
+        even though its extremes and mean are discarded."""
+        stats = LatencyStats()
+        stats.observe_batch(total=900.0, count=2, minimum=400.0,
+                            maximum=500.0, last=500.0)
+        stats.close_batch()  # warm-up: mean and extremes discarded
+        assert stats.last == 500.0
+        assert stats.minimum == math.inf
+        assert stats.maximum == -math.inf
+        assert stats.batch.retained_means == ()
+
+    def test_warmup_block_extremes_discarded_retained_block_folds(self):
+        """The warm-up discard applies to array-fed batches exactly as
+        to per-observation ones: only the retained block's extremes
+        reach minimum/maximum, and ``last`` tracks the newest block."""
+        stats = LatencyStats()
+        stats.observe_batch(total=1000.0, count=1, minimum=1000.0,
+                            maximum=1000.0, last=1000.0)
+        stats.close_batch()  # warm-up
+        stats.observe_batch(total=60.0, count=3, minimum=10.0,
+                            maximum=30.0, last=25.0)
+        stats.close_batch()
+        assert stats.batch.retained_means == (20.0,)
+        assert stats.minimum == 10.0
+        assert stats.maximum == 30.0
+        assert stats.last == 25.0
+
+    def test_trailing_unclosed_block_excluded_from_extremes(self):
+        """A block folded into a batch that never closes enters no
+        retained mean, so its extremes stay staged — but ``last`` still
+        reflects it (the diagnostic ignores retention)."""
+        stats = LatencyStats()
+        stats.observe_batch(total=50.0, count=1, minimum=50.0,
+                            maximum=50.0, last=50.0)
+        stats.close_batch()  # warm-up
+        stats.observe_batch(total=40.0, count=2, minimum=15.0,
+                            maximum=25.0, last=15.0)
+        stats.close_batch()
+        stats.observe_batch(total=999.5, count=2, minimum=0.5,
+                            maximum=999.0, last=0.5)  # run ends mid-batch
+        assert stats.minimum == 15.0
+        assert stats.maximum == 25.0
+        assert stats.last == 0.5
 
 
 @given(

@@ -1,0 +1,164 @@
+"""Columnar scheduler integration: determinism, kernel identity, caching.
+
+The columnar engine (``SimulationParams.scheduler="columnar"``) drops
+the byte-identity contract the other four schedulers share: it keeps
+all replicas of a point as flat numpy columns and resolves contention
+with masked array ops, so its results are only *statistically*
+equivalent to the object engines (enforced by repro.audit.stat_equiv).
+What this module pins down instead:
+
+* the columnar path is still **self-deterministic** — same seeds, same
+  bytes, run after run, and each seed's result is independent of which
+  other seeds share the batch;
+* the optional C kernel (repro.core.ckernel) is bit-identical to the
+  numpy columnar path it replaces (``REPRO_COLUMNAR_KERNEL=0``);
+* configuration guards reject what the engine cannot model (slotted
+  ring switching, externally supplied miss sources);
+* cache identity: columnar payloads carry ``"fidelity":
+  "statistical"`` so they can never be served for a bit-exact request,
+  while the four bit-exact schedulers still share one identity.
+"""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.core import ckernel
+from repro.core.columnar import simulate_columnar
+from repro.core.config import (
+    MeshSystemConfig,
+    RingSystemConfig,
+    SimulationParams,
+    WorkloadConfig,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.simulation import simulate, simulate_batch
+from repro.runtime.serialization import (
+    canonical_json,
+    params_from_payload,
+    params_payload,
+    result_payload,
+)
+
+PARAMS = SimulationParams(batch_cycles=300, batches=3, seed=7, scheduler="columnar")
+WORKLOAD = WorkloadConfig(locality=0.9, miss_rate=0.04, outstanding=4)
+
+RING = RingSystemConfig(topology="2:4", cache_line_bytes=32)
+MESH = MeshSystemConfig(side=3, cache_line_bytes=32, buffer_flits=4)
+
+SYSTEMS = [
+    pytest.param(RING, id="ring-2level"),
+    pytest.param(
+        RingSystemConfig(topology="2:2:4", cache_line_bytes=32, global_ring_speed=2),
+        id="ring-3level-fast-global",
+    ),
+    pytest.param(MESH, id="mesh-buf4"),
+]
+
+
+def payloads(results):
+    return [canonical_json(result_payload(r)) for r in results]
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_columnar_is_self_deterministic(system):
+    """Same seeds twice -> byte-identical canonical result JSON."""
+    first = simulate_columnar(system, WORKLOAD, PARAMS, seeds=(7, 8, 9))
+    second = simulate_columnar(system, WORKLOAD, PARAMS, seeds=(7, 8, 9))
+    assert payloads(first) == payloads(second)
+
+
+@pytest.mark.parametrize("system", [SYSTEMS[0], SYSTEMS[2]])
+def test_seed_results_independent_of_batch_composition(system):
+    """Philox streams are keyed per replica *seed*, not per column
+    index: seed 8's result must not change when its neighbours do."""
+    trio = simulate_columnar(system, WORKLOAD, PARAMS, seeds=(7, 8, 9))
+    solo = simulate_columnar(system, WORKLOAD, PARAMS, seeds=(8,))
+    assert payloads([trio[1]]) == payloads(solo)
+
+
+@pytest.mark.skipif(not ckernel.available(), reason="no C toolchain")
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_c_kernel_matches_numpy_path(system, monkeypatch):
+    """The compiled kernel is an execution detail: forcing the numpy
+    fallback (REPRO_COLUMNAR_KERNEL=0) must reproduce the same bytes."""
+    kernel = simulate_columnar(system, WORKLOAD, PARAMS, seeds=(7, 8))
+    monkeypatch.setenv("REPRO_COLUMNAR_KERNEL", "0")
+    numpy_only = simulate_columnar(system, WORKLOAD, PARAMS, seeds=(7, 8))
+    assert payloads(kernel) == payloads(numpy_only)
+
+
+def test_slotted_switching_rejected():
+    slotted = replace(RING, switching="slotted")
+    with pytest.raises(ConfigurationError, match="slotted"):
+        simulate_columnar(slotted, WORKLOAD, PARAMS, seeds=(1,))
+
+
+def test_empty_seed_list_rejected():
+    with pytest.raises(ConfigurationError, match="seed"):
+        simulate_columnar(RING, WORKLOAD, PARAMS, seeds=())
+
+
+def test_miss_sources_rejected():
+    """The engine generates misses from its own per-column Philox
+    streams; injected MissSource objects cannot be honoured."""
+    with pytest.raises(ConfigurationError, match="miss"):
+        simulate(RING, WORKLOAD, PARAMS, miss_sources=[])
+
+
+def test_simulate_dispatches_columnar():
+    """scheduler="columnar" flows through the ordinary entry points."""
+    solo = simulate(RING, WORKLOAD, PARAMS)
+    assert solo.params.scheduler == "columnar"
+    assert solo.flits_moved > 0
+    batch = simulate_batch(RING, WORKLOAD, replace(PARAMS, replicas=2))
+    assert [r.params.seed for r in batch] == [7, 8]
+    direct = simulate_columnar(RING, WORKLOAD, PARAMS, seeds=(7, 8))
+    assert payloads(batch) == payloads(direct)
+    assert payloads([solo]) == payloads([direct[0]])
+
+
+def test_results_are_plausible():
+    """Sanity on the metered outputs: finite latency, extremes bracket
+    the mean, throughput positive, flits conserved per replica."""
+    results = simulate_columnar(MESH, WORKLOAD, PARAMS, seeds=(7, 8, 9))
+    for result in results:
+        assert result.cycles == PARAMS.batch_cycles * PARAMS.batches
+        assert math.isfinite(result.avg_latency)
+        lo, hi = result.latency_range
+        assert lo <= result.avg_latency <= hi
+        assert result.throughput.mean > 0
+        assert result.remote_transactions > 0
+        assert result.flits_moved > 0
+
+
+class TestCacheFidelity:
+    def test_bit_exact_schedulers_share_one_identity(self):
+        base = SimulationParams(batch_cycles=300, batches=3, seed=7)
+        payloads_ = {
+            scheduler: params_payload(replace(base, scheduler=scheduler))
+            for scheduler in ("compiled", "active", "naive", "batched")
+        }
+        assert len({canonical_json(p) for p in payloads_.values()}) == 1
+        assert "fidelity" not in payloads_["compiled"]
+
+    def test_columnar_identity_is_disjoint(self):
+        """A columnar cache entry can never be served for a bit-exact
+        request (and vice versa): the payloads differ structurally."""
+        exact = params_payload(replace(PARAMS, scheduler="compiled"))
+        statistical = params_payload(PARAMS)
+        assert statistical.pop("fidelity") == "statistical"
+        assert statistical == exact  # only the tag separates them
+
+    def test_columnar_round_trips_through_payload(self):
+        restored = params_from_payload(params_payload(PARAMS))
+        assert restored.scheduler == "columnar"
+        assert restored.batch_cycles == PARAMS.batch_cycles
+        assert restored.seed == PARAMS.seed
+
+    def test_bit_exact_round_trip_restores_default_scheduler(self):
+        restored = params_from_payload(
+            params_payload(replace(PARAMS, scheduler="batched"))
+        )
+        assert restored.scheduler == "compiled"
