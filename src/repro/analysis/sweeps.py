@@ -153,6 +153,7 @@ class SweepResult:
                 "notes": self.notes,
             },
             indent=2,
+            sort_keys=True,
         )
 
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 import argparse
 from dataclasses import replace
 from pathlib import Path
+from typing import Callable
 
 from ..core.config import (
     MeshSystemConfig,
@@ -69,12 +70,12 @@ SMOKE_PARAMS = SimulationParams(batch_cycles=400, batches=3, seed=7)
 SMOKE_WORKLOAD = WorkloadConfig(miss_rate=0.05, outstanding=4)
 
 
-def run_smoke(log=print) -> int:
+def run_smoke(log: Callable[[str], object] = print) -> int:
     """Audited cross-scheduler identity check on the smoke matrix."""
     failures = 0
     auditor = Auditor()
     for name, system in SMOKE_SYSTEMS:
-        payloads = {}
+        payloads: dict[str, str] = {}
         with enabled(auditor):
             for scheduler in SCHEDULERS:
                 result = simulate(
@@ -169,7 +170,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "stat-equiv":
         from .stat_equiv import paper_points, run_campaign
 
-        points = None
+        points: list[tuple[str, SystemConfig]] | None = None
         if args.points is not None:
             wanted = [s.strip() for s in args.points.split(",") if s.strip()]
             points = [

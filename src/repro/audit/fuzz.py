@@ -12,17 +12,23 @@ configurations instead:
 1. draw a :class:`FuzzCase` — topology (1–3 ring levels or a 2–4 side
    mesh), switching mode, clock-domain layout, buffer depth, M-MRP
    workload and run schedule — from a seeded ``random.Random``;
-2. run it under all four schedulers with the runtime invariant auditor
+2. gate the generated topology through the static CDG prover
+   (:func:`repro.checkers.static_routing_problem`, cached per distinct
+   shape): a topology whose routing spec cannot be certified
+   deadlock-free fails immediately as kind ``"spec"`` — no simulation
+   time is spent chasing what would surface as a confusing watchdog
+   timeout;
+3. run it under all four schedulers with the runtime invariant auditor
    (:class:`repro.audit.Auditor`) enabled, so every cycle of every run
    is also checked for conservation/protocol violations;
-3. assert the four canonical result payloads are byte-identical (a
+4. assert the four canonical result payloads are byte-identical (a
    raised error is accepted only if all four schedulers raise the
    *same* error);
-4. for clean bypass-flow-control cases, re-run once more with packet
+5. for clean bypass-flow-control cases, re-run once more with packet
    generation cut after the measured cycles and assert the network
    drains to full quiescence (transaction lifecycle: every request got
    exactly one response, nothing left in any buffer);
-5. on any failure, greedily *shrink* the case through monotone
+6. on any failure, greedily *shrink* the case through monotone
    reductions (fewer levels, smaller radix, shallower buffers, shorter
    run, T=1, ...) while it keeps failing, and write the minimal
    reproducer as JSON (replayable via ``python -m repro.audit replay``).
@@ -45,9 +51,11 @@ from __future__ import annotations
 import json
 import random
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from pathlib import Path
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Literal
 
+from ..checkers.model import static_routing_problem
 from ..core.config import (
     CACHE_LINE_SIZES,
     MeshSystemConfig,
@@ -74,6 +82,10 @@ from .invariants import AuditError, Auditor
 from .runtime import enabled
 
 SCHEDULERS = ("naive", "active", "compiled", "batched")
+
+#: Mesh input-FIFO depths the fuzzer draws from (typed so a drawn
+#: ``"cl"`` stays the literal the config field expects).
+BUFFER_CHOICES: tuple[int | Literal["cl"], ...] = (1, 4, "cl")
 
 #: Columnar sanity run: seeds per case and the tolerated total-flit
 #: ratio against the bit-exact baseline.  Fuzz cases are short, so the
@@ -142,7 +154,8 @@ class FuzzCase:
 class CaseResult:
     """Outcome of running one case under every scheduler."""
 
-    kind: str  # "ok" | "divergence" | "violation" | "lifecycle" | "columnar"
+    #: "ok" | "spec" | "divergence" | "violation" | "lifecycle" | "columnar"
+    kind: str
     detail: str
 
     @property
@@ -176,7 +189,7 @@ def random_case(rng: random.Random) -> FuzzCase:
         system = MeshSystemConfig(
             side=rng.randint(2, 4),
             cache_line_bytes=cache_line,
-            buffer_flits=rng.choice((1, 4, "cl")),
+            buffer_flits=rng.choice(BUFFER_CHOICES),
         )
     workload = WorkloadConfig(
         locality=rng.choice((1.0, 1.0, 0.9, 0.5)),
@@ -197,6 +210,34 @@ def random_case(rng: random.Random) -> FuzzCase:
 # ----------------------------------------------------------------------
 # execution
 # ----------------------------------------------------------------------
+@lru_cache(maxsize=None)
+def _mesh_spec_problem(side: int) -> str | None:
+    return static_routing_problem(
+        MeshSystemConfig(side=side, cache_line_bytes=32)
+    )
+
+
+@lru_cache(maxsize=None)
+def _ring_spec_problem(topology: str) -> str | None:
+    return static_routing_problem(
+        RingSystemConfig(topology=topology, cache_line_bytes=32)
+    )
+
+
+def static_spec_problem(case: FuzzCase) -> str | None:
+    """The CDG prover's objection to the case's topology, or ``None``.
+
+    Routing depends only on the topology shape (never on cache-line
+    size, buffer depth, ring speed, or the workload), so proofs are
+    cached per distinct mesh side / ring branching — a whole campaign
+    pays for each shape once.
+    """
+    system = case.system
+    if isinstance(system, MeshSystemConfig):
+        return _mesh_spec_problem(system.side)
+    return _ring_spec_problem(format_hierarchy(system.branching))
+
+
 def _run_one(case: FuzzCase, scheduler: str) -> tuple[str, str]:
     """(status, payload) for one audited run: ``("ok", canonical_json)``
     on success, ``("audit", message)`` on an invariant violation,
@@ -302,7 +343,14 @@ def _columnar_problem(case: FuzzCase, baseline_payload: str | None) -> str | Non
 def run_case(
     case: FuzzCase, lifecycle: bool = True, include_columnar: bool = False
 ) -> CaseResult:
-    """Differential run of *case* under every scheduler, audited."""
+    """Differential run of *case* under every scheduler, audited.
+
+    The static spec gate runs first: a topology the CDG prover cannot
+    certify deadlock-free fails as ``"spec"`` without simulating.
+    """
+    spec_problem = static_spec_problem(case)
+    if spec_problem is not None:
+        return CaseResult("spec", spec_problem)
     outcomes = {scheduler: _run_one(case, scheduler) for scheduler in SCHEDULERS}
     for scheduler, (status, detail) in outcomes.items():
         if status == "audit":

@@ -15,9 +15,11 @@ three schedulers' equivalence argument rests on:
       packets that do not change rings");
     * body flits of a wormhole send follow the route pinned on the
       channel by their packet's head;
-    * mesh proposals obey e-cube routing: a head flit offered to output
-      *d* is a flit :meth:`~repro.mesh.router.MeshRouter.route` sends to
-      *d* (and a local ejection is addressed to this node).
+    * mesh proposals obey the declarative routing spec: a head flit
+      offered to output *d* must have *d* in the legal-output set of
+      :func:`repro.checkers.specs.mesh_legal_outputs` for its
+      destination — the same table the static CDG prover certified, so
+      the static and dynamic legality models are one artifact.
 
 **Per subcycle, after resolve** (:meth:`Auditor.check_resolution`)
     * the surviving set is a valid fixed point (no surviving fill
@@ -70,12 +72,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any
 
+from ..checkers.specs import mesh_legal_outputs
 from ..core.buffers import FlitBuffer
 from ..core.channel import Channel
 from ..core.errors import SimulationError
 from ..core.pm import ProcessingModule
 from ..mesh.router import MeshRouter
-from ..mesh.routing import LOCAL
 from ..ring.iri import InterRingInterface
 from ..ring.port import RingPort
 
@@ -292,20 +294,23 @@ class Auditor:
                         f"{owner.name}: head {flit!r} proposed into "
                         f"{dest.name!r}, which is not one of its outputs",
                     )
-                elif direction == LOCAL:
-                    if flit.packet.destination != owner.node:
+                else:
+                    # Legality comes from the same declarative spec
+                    # table the static CDG prover certified — not from
+                    # re-running the router's own route() against
+                    # itself — so the static and dynamic layers cannot
+                    # drift apart (LOCAL is legal exactly at the
+                    # packet's destination).
+                    allowed = mesh_legal_outputs(owner.shape)[
+                        (owner.node, flit.packet.destination)
+                    ]
+                    if direction not in allowed:
                         self._fail(
                             "mesh-route",
-                            f"{owner.name}: ejecting {flit.packet!r} "
-                            f"addressed to node {flit.packet.destination}",
+                            f"{owner.name}: head of {flit.packet!r} offered "
+                            f"to output {direction} but the routing spec "
+                            f"allows {sorted(allowed)}",
                         )
-                elif owner.route(flit.packet) != direction:
-                    self._fail(
-                        "mesh-route",
-                        f"{owner.name}: head of {flit.packet!r} offered to "
-                        f"output {direction} but e-cube routes it to "
-                        f"{owner.route(flit.packet)}",
-                    )
 
     # ------------------------------------------------------------------
     # hook: after the resolve phase of a subcycle

@@ -264,7 +264,7 @@ def run_campaign(
         workload = WorkloadConfig(locality=1.0, miss_rate=0.04, outstanding=4)
     if params is None:
         params = SimulationParams(batch_cycles=500, batches=3)
-    reports = []
+    reports: list[PairedReport] = []
     for name, system in points:
         report = paired_point(
             name, system, workload, params, seeds=seeds, baseline=baseline
@@ -401,7 +401,8 @@ def audit_replica(engine: "ColumnarEngine", replica: int) -> list[str]:
             problems.append(f"{name}: occupancy {occ} outside [0, {cap}]")
             continue
         pids = _buffer_pids(engine, b)
-        run_pid, run_len, seen = -1, 0, set()
+        seen: set[int] = set()
+        run_pid, run_len = -1, 0
         for pid in pids:
             if not 1 <= pid < npkt:
                 problems.append(f"{name}: slot holds invalid packet id {pid}")

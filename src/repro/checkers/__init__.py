@@ -9,45 +9,83 @@ test suite stops the next change from iterating an unordered ``set``,
 pulling an unseeded RNG, or mutating engine state outside its kernel
 phase — the hazards only show up as rare, unreproducible divergence.
 
-This package checks those properties *statically*, in two layers:
+This package checks those properties *statically*, in three layers:
 
 * **Layer 1 — AST lints** (:mod:`repro.checkers.lint`,
   :mod:`repro.checkers.rules`): a small rule framework (registry,
   per-rule codes, ``# repro: noqa[CODE]`` suppressions, JSON and human
-  output) with simulator-specific rules RPR001-RPR004.
+  output) with simulator-specific rules RPR001-RPR005.
 * **Layer 2 — static model checker** (:mod:`repro.checkers.model`):
   builds the ring-hierarchy and mesh topology graphs without running a
-  simulation and verifies deadlock freedom (acyclic channel-dependency
-  graph under e-cube XY routing; ring wait-for cycles limited to the
-  rotating transit rings), packet-sized buffering, the paper's 2x2 IRI
-  crossbar spec, and routing totality.
+  simulation and verifies packet-sized buffering, the paper's 2x2 IRI
+  crossbar spec, routing totality, and runtime/spec conformance.
+* **Layer 3 — routing-spec algebra + CDG prover**
+  (:mod:`repro.checkers.specs`, :mod:`repro.checkers.cdg`): each
+  routing algorithm is a declarative :class:`RoutingSpec` (legal output
+  channels per occupied channel and destination); the prover builds the
+  reachable channel-dependency graph and certifies deadlock freedom —
+  acyclic CDGs outright, cycles discharged via rotation-progress
+  groups, Duato escape-subnetwork analysis, or a deflection livelock
+  bound — or rejects with a minimal, replayable cycle witness.  The
+  runtime auditor (:mod:`repro.audit`) reads route legality from the
+  same spec tables, so static and dynamic layers cannot disagree.
 
-Run both from the command line::
+Run everything from the command line::
 
-    python -m repro.checkers --strict
+    python -m repro.checkers --strict          # lints + model checker
+    python -m repro.checkers --routing-proofs  # named proof suite
 
 which is also what the CI ``checks`` job gates on.
 """
 
 from __future__ import annotations
 
+from .cdg import CycleWitness, ProofResult, prove, replay_witness
 from .lint import Finding, LintRule, all_rules, lint_file, lint_tree, rule
 from .model import (
     ModelFinding,
     paper_model_report,
+    routing_proof_report,
+    routing_proof_suite,
+    static_routing_problem,
     verify_mesh_network,
     verify_ring_network,
 )
+from .specs import (
+    DELIVER,
+    RoutingSpec,
+    SpecChannel,
+    adaptive_mesh_spec,
+    ecube_mesh_spec,
+    mesh_legal_outputs,
+    ring_deflection_spec,
+    torus_spec,
+)
 
 __all__ = [
+    "DELIVER",
+    "CycleWitness",
     "Finding",
     "LintRule",
     "ModelFinding",
+    "ProofResult",
+    "RoutingSpec",
+    "SpecChannel",
+    "adaptive_mesh_spec",
     "all_rules",
+    "ecube_mesh_spec",
     "lint_file",
     "lint_tree",
+    "mesh_legal_outputs",
     "paper_model_report",
+    "prove",
+    "replay_witness",
+    "ring_deflection_spec",
+    "routing_proof_report",
+    "routing_proof_suite",
     "rule",
+    "static_routing_problem",
+    "torus_spec",
     "verify_mesh_network",
     "verify_ring_network",
 ]

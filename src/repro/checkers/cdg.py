@@ -1,0 +1,523 @@
+"""The channel-dependency-graph (CDG) deadlock prover.
+
+Consumes a declarative :class:`~repro.checkers.specs.RoutingSpec` — a
+pure-data description of which output channels a routing algorithm may
+legally pick per (occupied channel, destination) — and decides, by
+graph analysis alone, whether the algorithm is deadlock-free on the
+described topology:
+
+1. **Reachability.**  The *extended* CDG is built over the reachable
+   state space only: starting from the spec's injection channels, every
+   ``(channel, destination)`` pair a packet can actually occupy is
+   enumerated, and an edge ``c1 -> c2`` is recorded when some reachable
+   packet holding ``c1`` may next request ``c2``.  Restricting to
+   reachable states is what lets adaptive algorithms whose *full*
+   output relation is cyclic still be certified (Duato's observation
+   that only dependencies routing can produce matter).
+2. **Cycle detection.**  Strongly connected components of the CDG; an
+   acyclic CDG certifies outright (Dally & Seitz).
+3. **Discharge rules** for the cyclic cases, applied per component:
+
+   * *Rotation progress* — every channel of the component carries the
+     same non-``None`` ``rotation_group``.  This is the hierarchical
+     ring's bypass argument: a full ring of packet-sized transit
+     buffers advances simultaneously, so the rotation cycle always
+     makes progress (see DESIGN.md §6.2).
+   * *Escape subnetwork* — Duato-style: the CDG restricted to the
+     spec's escape channels is acyclic, and every reachable state can
+     either deliver or move into an escape channel.  Then any cycle
+     containing a non-escape channel is harmless (blocked packets fall
+     back to the escape subnetwork, which drains).
+   * *Deflection livelock bound* — for bufferless deflection specs
+     channels never block, so deadlock is impossible by construction;
+     the obligation shifts to livelock: the spec must declare a
+     monotone (``"age"``) priority and every reachable state must
+     retain at least one *productive* output, which bounds the number
+     of deflections the oldest packet can suffer.
+
+4. **Witness.**  Any undischarged cycle is rejected together with a
+   *minimal cycle witness*: the shortest cycle inside the offending
+   component, each edge annotated with a destination that induces it.
+   :func:`replay_witness` re-validates a witness against the spec — the
+   property tests use it to prove emitted witnesses are real reachable
+   dependency chains, not artifacts of the search.
+
+Everything is deterministic: iteration orders are sorted, so the same
+spec always yields the same verdict, method, and witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, Mapping, Sequence, TypeVar
+
+from .specs import DELIVER, RoutingSpec
+
+#: Graph node type for the SCC helper (channel names here; the model
+#: layer's legacy callers use ints and tuples).
+_N = TypeVar("_N", bound=Hashable)
+
+
+# ----------------------------------------------------------------------
+# generic graph helpers (shared with repro.checkers.model)
+# ----------------------------------------------------------------------
+def strongly_connected_components(
+    nodes: Sequence[_N], edges: Mapping[_N, set[_N]]
+) -> list[list[_N]]:
+    """Tarjan's SCC algorithm, iterative (rings can be deep)."""
+    index_of: dict[_N, int] = {}
+    lowlink: dict[_N, int] = {}
+    on_stack: set[_N] = set()
+    stack: list[_N] = []
+    components: list[list[_N]] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index_of:
+            continue
+        work: list[tuple[_N, Iterator[_N]]] = [
+            (root, iter(sorted(edges.get(root, ()))))
+        ]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index_of:
+                    index_of[successor] = lowlink[successor] = counter
+                    counter += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append(
+                        (successor, iter(sorted(edges.get(successor, ()))))
+                    )
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: list[_N] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def nontrivial_sccs(
+    nodes: Sequence[_N], edges: Mapping[_N, set[_N]]
+) -> list[list[_N]]:
+    """SCCs that actually contain a cycle (size > 1 or a self-loop)."""
+    return [
+        component
+        for component in strongly_connected_components(nodes, edges)
+        if len(component) > 1
+        or component[0] in edges.get(component[0], set())
+    ]
+
+
+# ----------------------------------------------------------------------
+# proof results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CycleWitness:
+    """A minimal undischarged CDG cycle, with inducing destinations.
+
+    ``channels[i] -> channels[(i + 1) % len]`` is a CDG edge induced by
+    a packet heading to ``destinations[i]`` (the destination tokens are
+    whatever the spec used — PM ids for meshes, ``(pm, framing)`` pairs
+    for rings).
+    """
+
+    channels: tuple[str, ...]
+    destinations: tuple[Hashable, ...]
+
+    def __len__(self) -> int:
+        return len(self.channels)
+
+    def format(self) -> str:
+        hops = " -> ".join(self.channels)
+        return f"[{hops} -> {self.channels[0]}]"
+
+    def payload(self) -> dict[str, object]:
+        """Stable JSON form (documented in :mod:`repro.checkers.cli`)."""
+        return {
+            "channels": list(self.channels),
+            "destinations": [str(d) for d in self.destinations],
+        }
+
+    @classmethod
+    def from_payload(cls, data: Mapping[str, object]) -> "CycleWitness":
+        """Rebuild from :meth:`payload` output (destinations come back
+        as their string forms — payload/from_payload round-trips)."""
+        channels_raw = data.get("channels")
+        destinations_raw = data.get("destinations")
+        channels = (
+            tuple(str(c) for c in channels_raw)
+            if isinstance(channels_raw, list)
+            else ()
+        )
+        destinations: tuple[Hashable, ...] = (
+            tuple(str(d) for d in destinations_raw)
+            if isinstance(destinations_raw, list)
+            else ()
+        )
+        return cls(channels=channels, destinations=destinations)
+
+
+@dataclass(frozen=True)
+class ProofResult:
+    """Verdict of :func:`prove` for one spec."""
+
+    spec: str
+    kind: str
+    certified: bool
+    #: how every cycle was discharged: "acyclic-cdg",
+    #: "rotation-progress", "escape-subnetwork",
+    #: "deflection-livelock-bound", a "+"-joined mix, or "" on rejection
+    method: str
+    detail: str
+    witness: CycleWitness | None
+    channels: int = 0
+    states: int = 0
+    edges: int = 0
+
+    def format(self) -> str:
+        verdict = "certified" if self.certified else "REJECTED"
+        extra = f" via {self.method}" if self.certified and self.method else ""
+        tail = f": {self.detail}" if self.detail else ""
+        return (
+            f"{self.spec}: {verdict}{extra} "
+            f"({self.channels} channels, {self.states} states, "
+            f"{self.edges} CDG edges){tail}"
+        )
+
+    def payload(self) -> dict[str, object]:
+        """Stable JSON form (documented in :mod:`repro.checkers.cli`)."""
+        out: dict[str, object] = {
+            "spec": self.spec,
+            "kind": self.kind,
+            "certified": self.certified,
+            "method": self.method,
+            "detail": self.detail,
+            "channels": self.channels,
+            "states": self.states,
+            "edges": self.edges,
+        }
+        out["witness"] = self.witness.payload() if self.witness else None
+        return out
+
+    @classmethod
+    def from_payload(cls, data: Mapping[str, object]) -> "ProofResult":
+        """Rebuild from :meth:`payload` output."""
+        witness_data = data.get("witness")
+        witness = (
+            CycleWitness.from_payload(witness_data)
+            if isinstance(witness_data, Mapping)
+            else None
+        )
+
+        def as_int(key: str) -> int:
+            value = data.get(key, 0)
+            return value if isinstance(value, int) else 0
+
+        return cls(
+            spec=str(data["spec"]),
+            kind=str(data["kind"]),
+            certified=bool(data["certified"]),
+            method=str(data["method"]),
+            detail=str(data["detail"]),
+            witness=witness,
+            channels=as_int("channels"),
+            states=as_int("states"),
+            edges=as_int("edges"),
+        )
+
+
+@dataclass
+class _Cdg:
+    """The reachable extended CDG of one spec."""
+
+    #: reachable (channel, destination) occupancies
+    states: set[tuple[str, Hashable]] = field(default_factory=set)
+    #: channel -> set of successor channels
+    edges: dict[str, set[str]] = field(default_factory=dict)
+    #: (c1, c2) -> a destination inducing that edge (first found wins,
+    #: deterministic because exploration order is sorted)
+    edge_dest: dict[tuple[str, str], Hashable] = field(default_factory=dict)
+    #: reachable states with no legal output at all (routing dead ends)
+    dead_ends: list[tuple[str, Hashable]] = field(default_factory=list)
+
+
+def _build_cdg(spec: RoutingSpec) -> _Cdg:
+    graph = _Cdg()
+    pending: list[tuple[str, Hashable]] = []
+    for dest in sorted(spec.starts, key=str):
+        for channel in sorted(spec.starts[dest]):
+            state = (channel, dest)
+            if state not in graph.states:
+                graph.states.add(state)
+                pending.append(state)
+    while pending:
+        channel, dest = pending.pop()
+        outputs = spec.moves.get((channel, dest))
+        if not outputs:
+            graph.dead_ends.append((channel, dest))
+            continue
+        for successor in sorted(outputs):
+            if successor == DELIVER:
+                continue
+            graph.edges.setdefault(channel, set()).add(successor)
+            graph.edge_dest.setdefault((channel, successor), dest)
+            state = (successor, dest)
+            if state not in graph.states:
+                graph.states.add(state)
+                pending.append(state)
+    return graph
+
+
+def _shortest_cycle(
+    component: list[str], edges: Mapping[str, set[str]]
+) -> list[str]:
+    """Shortest cycle through the component's edges (deterministic)."""
+    members = set(component)
+    best: list[str] = []
+    for origin in sorted(component):
+        # BFS from origin back to origin, restricted to the component.
+        parent: dict[str, str] = {}
+        frontier = [origin]
+        found: list[str] | None = None
+        while frontier and found is None:
+            next_frontier: list[str] = []
+            for node in frontier:
+                for successor in sorted(edges.get(node, ())):
+                    if successor not in members:
+                        continue
+                    if successor == origin:
+                        # reconstruct origin -> ... -> node
+                        cycle = [node]
+                        while cycle[-1] != origin:
+                            cycle.append(parent[cycle[-1]])
+                        cycle.reverse()
+                        found = cycle
+                        break
+                    if successor not in parent:
+                        parent[successor] = node
+                        next_frontier.append(successor)
+                if found is not None:
+                    break
+            frontier = next_frontier
+        if found is not None and (not best or len(found) < len(best)):
+            best = found
+        if len(best) == 1:
+            break  # a self-loop cannot be beaten
+    return best
+
+
+def _witness_for(component: list[str], graph: _Cdg) -> CycleWitness:
+    cycle = _shortest_cycle(component, graph.edges)
+    destinations = tuple(
+        graph.edge_dest[(cycle[i], cycle[(i + 1) % len(cycle)])]
+        for i in range(len(cycle))
+    )
+    return CycleWitness(channels=tuple(cycle), destinations=destinations)
+
+
+def _escape_analysis(spec: RoutingSpec, graph: _Cdg) -> str | None:
+    """Duato conditions; ``None`` when the escape subnetwork discharges.
+
+    (a) the CDG restricted to escape channels is acyclic, and (b) every
+    reachable state can deliver or step into an escape channel.
+    """
+    escape = {c.name for c in spec.channels if c.escape}
+    if not escape:
+        return "spec declares no escape channels"
+    escape_edges = {
+        c1: {c2 for c2 in successors if c2 in escape}
+        for c1, successors in graph.edges.items()
+        if c1 in escape
+    }
+    cyclic = nontrivial_sccs(sorted(escape), escape_edges)
+    if cyclic:
+        return (
+            "escape subnetwork is itself cyclic: "
+            f"[{', '.join(sorted(cyclic[0]))}]"
+        )
+    for channel, dest in sorted(graph.states, key=lambda s: (s[0], str(s[1]))):
+        outputs = spec.moves.get((channel, dest), frozenset())
+        if DELIVER in outputs:
+            continue
+        if not any(c in escape for c in outputs):
+            return (
+                f"state ({channel}, dest {dest}) has no escape output: "
+                f"legal set {sorted(outputs)}"
+            )
+    return None
+
+
+def _deflection_analysis(spec: RoutingSpec, graph: _Cdg) -> str | None:
+    """Livelock bound for bufferless deflection; ``None`` when it holds.
+
+    Deflection channels never block (no flit ever waits on a buffer),
+    so deadlock is structurally impossible; the proof obligation is a
+    livelock bound instead: with a monotone age priority the oldest
+    packet always wins arbitration, and as long as every reachable
+    state keeps a productive output, it takes one within bounded time —
+    so every packet eventually becomes oldest and delivers.
+    """
+    if spec.priority != "age":
+        return (
+            f"deflection spec declares priority {spec.priority!r}; the "
+            "livelock bound needs a monotone ('age') priority"
+        )
+    productive = spec.productive or {}
+    for channel, dest in sorted(graph.states, key=lambda s: (s[0], str(s[1]))):
+        outputs = spec.moves.get((channel, dest), frozenset())
+        if DELIVER in outputs:
+            continue
+        good = productive.get((channel, dest), frozenset())
+        if not good:
+            return (
+                f"state ({channel}, dest {dest}) has no productive "
+                "output; deflections could circulate it forever"
+            )
+        if not good <= outputs:
+            return (
+                f"state ({channel}, dest {dest}) declares productive "
+                f"outputs {sorted(good - outputs)} that are not legal"
+            )
+    return None
+
+
+def prove(spec: RoutingSpec) -> ProofResult:
+    """Decide deadlock freedom of *spec* (see the module docstring)."""
+    known = {c.name for c in spec.channels}
+    for dest in sorted(spec.starts, key=str):
+        unknown = spec.starts[dest] - known
+        if unknown:
+            return ProofResult(
+                spec=spec.name,
+                kind=spec.kind,
+                certified=False,
+                method="",
+                detail=f"start channels {sorted(unknown)} are not declared",
+                witness=None,
+            )
+    graph = _build_cdg(spec)
+
+    def result(
+        certified: bool,
+        method: str,
+        detail: str,
+        witness: CycleWitness | None = None,
+    ) -> ProofResult:
+        return ProofResult(
+            spec=spec.name,
+            kind=spec.kind,
+            certified=certified,
+            method=method,
+            detail=detail,
+            witness=witness,
+            channels=len(known),
+            states=len(graph.states),
+            edges=sum(len(s) for s in graph.edges.values()),
+        )
+
+    for channel, _dest in sorted(graph.states, key=lambda s: (s[0], str(s[1]))):
+        if channel not in known:
+            return result(
+                False, "", f"move targets undeclared channel {channel!r}"
+            )
+    if graph.dead_ends:
+        channel, dest = min(graph.dead_ends, key=lambda s: (s[0], str(s[1])))
+        return result(
+            False,
+            "",
+            f"routing is not total: reachable state ({channel}, "
+            f"dest {dest}) has no legal output and cannot deliver",
+        )
+
+    components = nontrivial_sccs(sorted(graph.edges), graph.edges)
+    if not components:
+        return result(True, "acyclic-cdg", "")
+
+    if spec.kind == "deflection":
+        problem = _deflection_analysis(spec, graph)
+        if problem is None:
+            return result(True, "deflection-livelock-bound", "")
+        return result(False, "", problem, _witness_for(components[0], graph))
+
+    rotation_of = {c.name: c.rotation_group for c in spec.channels}
+    in_escape = {c.name for c in spec.channels if c.escape}
+    escape_problem: str | None = None
+    escape_checked = False
+    methods: list[str] = []
+    for component in components:
+        groups = {rotation_of[name] for name in component}
+        if len(groups) == 1 and None not in groups:
+            if "rotation-progress" not in methods:
+                methods.append("rotation-progress")
+            continue
+        if not escape_checked:
+            escape_problem = _escape_analysis(spec, graph)
+            escape_checked = True
+        if escape_problem is None and not set(component) <= in_escape:
+            if "escape-subnetwork" not in methods:
+                methods.append("escape-subnetwork")
+            continue
+        detail = (
+            "undischarged channel-dependency cycle"
+            if escape_problem is None
+            else f"undischarged channel-dependency cycle ({escape_problem})"
+        )
+        witness = _witness_for(component, graph)
+        return result(False, "", f"{detail}: {witness.format()}", witness)
+    return result(True, "+".join(methods), "")
+
+
+def replay_witness(spec: RoutingSpec, witness: CycleWitness) -> str | None:
+    """Re-validate *witness* against *spec*; ``None`` when it is real.
+
+    A valid witness is a simple cycle whose every edge is (1) permitted
+    by the spec's move relation for the annotated destination and (2)
+    *reachable* — some packet can actually occupy the edge's source
+    channel while heading to that destination.
+    """
+    if not witness.channels:
+        return "witness has no channels"
+    if len(set(witness.channels)) != len(witness.channels):
+        return "witness cycle repeats a channel (not a simple cycle)"
+    if len(witness.destinations) != len(witness.channels):
+        return (
+            f"{len(witness.channels)} channels but "
+            f"{len(witness.destinations)} destination annotations"
+        )
+    graph = _build_cdg(spec)
+    size = len(witness.channels)
+    for i in range(size):
+        here = witness.channels[i]
+        nxt = witness.channels[(i + 1) % size]
+        dest = witness.destinations[i]
+        if (here, dest) not in graph.states:
+            return (
+                f"edge {here} -> {nxt}: state ({here}, dest {dest}) "
+                "is not reachable from any injection"
+            )
+        if nxt not in spec.moves.get((here, dest), frozenset()):
+            return (
+                f"edge {here} -> {nxt} is not a legal move for "
+                f"dest {dest}"
+            )
+    return None

@@ -1,9 +1,37 @@
-"""``python -m repro.checkers`` — run both static analysis layers.
+"""``python -m repro.checkers`` — run the static analysis layers.
 
 Exit status: 0 when every check passes, 1 when the lint layer reports
-findings, 2 when the model checker does (3 when both do).  ``--json``
-emits a machine-readable report; the default output is one line per
-finding plus a summary, which is what the CI ``checks`` job greps.
+findings, 2 when the model checker or routing-proof suite does (3 when
+both lint and model layers do).  The default output is one line per
+finding plus a summary, which is what the CI ``checks`` job greps;
+``--routing-proofs`` runs only the named routing-proof suite (CI's
+``routing-proofs`` step) and writes witness artifacts for any
+expectation break to ``--witness-dir``.
+
+``--json`` emits a machine-readable report with a stable, versioned
+schema (``"schema": 2``):
+
+``root``
+    Absolute path of the linted package tree (string).
+``lint``
+    List of lint findings: ``{code, message, path, line, column}``.
+``model``
+    List of model findings: ``{check, subject, message, witness}``
+    where ``witness`` is ``null`` or a minimal CDG cycle witness
+    ``{channels: [str], destinations: [str]}`` (``channels[i] ->
+    channels[(i+1) % n]`` is a dependency edge induced by a packet
+    heading to ``destinations[i]``).
+``model_stats``
+    ``{ring_configs, mesh_configs, routes_walked}`` coverage counters
+    (present when the model layer ran, ``{}`` otherwise).
+``proofs``
+    List of routing-proof results (present when ``--routing-proofs``
+    ran, ``[]`` otherwise): ``{spec, kind, certified, method, detail,
+    channels, states, edges, witness}`` with ``witness`` as above.
+
+Schema round-tripping is exercised by
+``tests/checkers/test_cli.py``; bump ``"schema"`` when changing any of
+the above shapes.
 """
 
 from __future__ import annotations
@@ -14,12 +42,19 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from .cdg import ProofResult
 from .lint import Finding, all_rules, lint_tree
-from .model import ModelFinding, paper_model_report
+from .model import ModelFinding, paper_model_report, routing_proof_report
 
 EXIT_OK = 0
 EXIT_LINT = 1
 EXIT_MODEL = 2
+
+#: Version stamp of the ``--json`` report shape documented above.
+JSON_SCHEMA_VERSION = 2
+
+#: Where ``--routing-proofs`` drops witness artifacts on failure.
+DEFAULT_WITNESS_DIR = Path("results/routing-proofs")
 
 
 def _package_root() -> Path:
@@ -32,7 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.checkers",
         description="Simulator-specific static analysis: determinism / "
         "phase-discipline lints plus the static deadlock and invariant "
-        "verifier.",
+        "verifier built on declarative routing specs.",
     )
     parser.add_argument(
         "--root",
@@ -57,6 +92,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only the static model checker",
     )
     parser.add_argument(
+        "--routing-proofs",
+        action="store_true",
+        help="run only the named routing-proof suite (paper topology "
+        "families plus the torus/adaptive/deflection fixtures) through "
+        "the CDG prover",
+    )
+    parser.add_argument(
+        "--witness-dir",
+        type=Path,
+        default=DEFAULT_WITNESS_DIR,
+        help="directory for cycle-witness artifacts when a routing "
+        f"proof fails (default: {DEFAULT_WITNESS_DIR})",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         dest="as_json",
@@ -70,10 +119,36 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_witness_artifacts(
+    directory: Path,
+    results: Sequence[ProofResult],
+    findings: Sequence[ModelFinding],
+) -> Path:
+    """Dump the failing proof report for CI artifact upload."""
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "routing-proof-failures.json"
+    payload = {
+        "schema": JSON_SCHEMA_VERSION,
+        "proofs": [result.payload() for result in results],
+        "failures": [finding.payload() for finding in findings],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     options = build_parser().parse_args(argv)
-    if options.lint_only and options.model_only:
-        print("--lint-only and --model-only are mutually exclusive", file=sys.stderr)
+    exclusive = [
+        name
+        for name, active in [
+            ("--lint-only", options.lint_only),
+            ("--model-only", options.model_only),
+            ("--routing-proofs", options.routing_proofs),
+        ]
+        if active
+    ]
+    if len(exclusive) > 1:
+        print(f"{' and '.join(exclusive)} are mutually exclusive", file=sys.stderr)
         return 2
 
     if options.list_rules:
@@ -87,20 +162,32 @@ def main(argv: Sequence[str] | None = None) -> int:
     lint_findings: list[Finding] = []
     model_findings: list[ModelFinding] = []
     model_stats: dict[str, int] = {}
+    proof_results: list[ProofResult] = []
 
-    if not options.model_only:
-        lint_findings = lint_tree(root, strict=options.strict)
-    if not options.lint_only:
-        model_findings, model_stats = paper_model_report()
+    if options.routing_proofs:
+        proof_results, model_findings = routing_proof_report()
+        if model_findings:
+            artifact = _write_witness_artifacts(
+                options.witness_dir, proof_results, model_findings
+            )
+            if not options.as_json:
+                print(f"witness artifacts written to {artifact}", file=sys.stderr)
+    else:
+        if not options.model_only:
+            lint_findings = lint_tree(root, strict=options.strict)
+        if not options.lint_only:
+            model_findings, model_stats = paper_model_report()
 
     if options.as_json:
         print(
             json.dumps(
                 {
+                    "schema": JSON_SCHEMA_VERSION,
                     "root": str(root),
                     "lint": [finding.payload() for finding in lint_findings],
                     "model": [finding.payload() for finding in model_findings],
                     "model_stats": model_stats,
+                    "proofs": [result.payload() for result in proof_results],
                 },
                 indent=2,
                 sort_keys=True,
@@ -109,18 +196,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     else:
         for finding in lint_findings:
             print(finding.format())
+        for result in proof_results:
+            print(result.format())
         for model_finding in model_findings:
             print(model_finding.format())
         parts = []
-        if not options.model_only:
-            parts.append(f"lint: {len(lint_findings)} finding(s)")
-        if not options.lint_only:
+        if options.routing_proofs:
+            certified = sum(1 for r in proof_results if r.certified)
             parts.append(
-                f"model: {len(model_findings)} finding(s) over "
-                f"{model_stats.get('ring_configs', 0)} ring + "
-                f"{model_stats.get('mesh_configs', 0)} mesh configs "
-                f"({model_stats.get('routes_walked', 0)} routes walked)"
+                f"proofs: {len(model_findings)} failure(s) over "
+                f"{len(proof_results)} spec(s) ({certified} certified)"
             )
+        else:
+            if not options.model_only:
+                parts.append(f"lint: {len(lint_findings)} finding(s)")
+            if not options.lint_only:
+                parts.append(
+                    f"model: {len(model_findings)} finding(s) over "
+                    f"{model_stats.get('ring_configs', 0)} ring + "
+                    f"{model_stats.get('mesh_configs', 0)} mesh configs "
+                    f"({model_stats.get('routes_walked', 0)} routes walked)"
+                )
         print("; ".join(parts))
 
     status = EXIT_OK

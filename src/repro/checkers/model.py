@@ -5,21 +5,17 @@ channel and classifier but runs no simulation) and verifies, purely
 structurally, the properties the paper asserts and the simulator
 assumes:
 
-* **Deadlock freedom.**  For the mesh, the channel-dependency graph
-  under e-cube XY routing must be acyclic (the paper's Section 2
-  argument).  For the hierarchical ring, buffer wait-for cycles are
-  computed from all-pairs route walks through the actual ``classify``
-  functions; the only admissible strongly-connected components are the
-  transit-buffer rotations of individual rings, which cannot deadlock
-  because (a) inter-ring and ejection dependencies leave the SCC — the
-  up-then-down level changes are monotone, so a packet re-enters no
-  ring — and (b) the engine's bypass flow control advances a full ring
-  of packet-sized transit buffers simultaneously (every flit moves into
-  the slot its downstream neighbour vacates the same cycle), so the
-  rotation itself always makes progress given transit priority and the
-  unbounded ejection sinks.  Any SCC that mixes rings, includes an
-  inter-ring queue, or covers only part of a ring breaks that argument
-  and is reported.
+* **Deadlock freedom** — no longer hard-coded per fabric.  Each
+  routing algorithm is expressed as a declarative
+  :class:`~repro.checkers.specs.RoutingSpec` (the mesh directly from
+  the shared e-cube legality table, the hierarchical ring derived from
+  all-pairs route walks through the actual ``classify`` functions) and
+  handed to the channel-dependency-graph prover
+  (:mod:`repro.checkers.cdg`).  The prover certifies acyclic CDGs
+  outright and discharges cycles via rotation-progress groups (the
+  ring's bypass flow control), Duato escape-subnetwork analysis, or a
+  deflection livelock bound; anything else is rejected with a minimal
+  cycle witness.
 * **Buffering invariants.**  Every ring transit buffer and IRI queue
   holds at least one full cache-line packet (wormhole stalls would
   otherwise wedge a packet across a ring change), mesh input buffers
@@ -32,6 +28,15 @@ assumes:
   paths terminate at the destination in exactly the Manhattan distance;
   ring route walks (both request and response framing) terminate in the
   destination PM's ejection sink within a bounded hop count.
+* **Spec conformance.**  The runtime mesh router's e-cube function must
+  agree with the declarative legality table the prover certified — the
+  same table :mod:`repro.audit` enforces per-cycle, so the static and
+  dynamic layers cannot drift apart.
+
+:func:`routing_proof_suite` additionally exposes the named proof
+obligations the CI ``routing-proofs`` step discharges: the seven paper
+topology families plus the torus-dateline / torus-without-dateline /
+adaptive-escape / ring-deflection fixtures.
 
 Everything here is pure graph analysis on constructed objects — no
 ``Engine`` is ever created, no cycle simulated.
@@ -39,8 +44,8 @@ Everything here is pure graph analysis on constructed objects — no
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Mapping, Sequence, TypeVar
+from dataclasses import dataclass, replace
+from typing import Hashable, Iterator, Mapping
 
 from ..core.buffers import FlitBuffer
 from ..core.config import (
@@ -52,35 +57,69 @@ from ..core.config import (
 from ..core.packet import Packet, PacketType
 from ..core.pm import MetricsHub
 from ..mesh.network import MeshNetwork
-from ..mesh.routing import LOCAL, ecube_path
-from ..mesh.topology import OPPOSITE, MeshShape
+from ..mesh.routing import LOCAL, ecube_next_direction, ecube_path
+from ..mesh.topology import OPPOSITE, MeshShape, TorusShape
 from ..ring.network import HierarchicalRingNetwork
 from ..ring.port import RingPort
 from ..ring.topology import PAPER_TABLE2
+from .cdg import CycleWitness, ProofResult, prove, replay_witness
+from .specs import (
+    DELIVER,
+    RoutingSpec,
+    SpecChannel,
+    adaptive_mesh_spec,
+    ecube_mesh_spec,
+    mesh_legal_outputs,
+    ring_deflection_spec,
+    torus_spec,
+)
 
 #: Safety bound on ring route walks, in buffer hops per walk, as a
 #: multiple of the total port count (a legal route visits each port at
 #: most once per level transition; 4x leaves slack for diagnostics).
 _WALK_HOP_FACTOR = 4
 
-#: Graph node type for the SCC helpers (ints for mesh channels,
-#: ``(buffer id, phase)`` tuples for ring wait-for analysis).
-_N = TypeVar("_N", bound="int | tuple[int, bool]")
-
 
 @dataclass(frozen=True)
 class ModelFinding:
-    """One violated structural invariant of a built network."""
+    """One violated structural invariant of a built network.
+
+    ``witness`` carries the prover's minimal cycle witness when the
+    finding is an undischarged deadlock cycle (``None`` otherwise);
+    it round-trips through :meth:`payload` / :meth:`from_payload` for
+    the ``--json`` schema.
+    """
 
     check: str
     subject: str
     message: str
+    witness: CycleWitness | None = None
 
     def format(self) -> str:
         return f"{self.subject}: {self.check}: {self.message}"
 
     def payload(self) -> dict[str, object]:
-        return {"check": self.check, "subject": self.subject, "message": self.message}
+        return {
+            "check": self.check,
+            "subject": self.subject,
+            "message": self.message,
+            "witness": self.witness.payload() if self.witness else None,
+        }
+
+    @classmethod
+    def from_payload(cls, data: Mapping[str, object]) -> "ModelFinding":
+        witness_data = data.get("witness")
+        witness = (
+            CycleWitness.from_payload(witness_data)
+            if isinstance(witness_data, Mapping)
+            else None
+        )
+        return cls(
+            check=str(data["check"]),
+            subject=str(data["subject"]),
+            message=str(data["message"]),
+            witness=witness,
+        )
 
 
 def _probe_packet(source: int, destination: int, ptype: PacketType) -> Packet:
@@ -93,75 +132,6 @@ def _probe_packet(source: int, destination: int, ptype: PacketType) -> Packet:
         transaction_id=0,
         issue_cycle=0,
     )
-
-
-# ----------------------------------------------------------------------
-# generic graph helpers
-# ----------------------------------------------------------------------
-def _strongly_connected_components(
-    nodes: Sequence[_N], edges: Mapping[_N, set[_N]]
-) -> list[list[_N]]:
-    """Tarjan's SCC algorithm, iterative (rings can be deep)."""
-    index_of: dict[_N, int] = {}
-    lowlink: dict[_N, int] = {}
-    on_stack: set[_N] = set()
-    stack: list[_N] = []
-    components: list[list[_N]] = []
-    counter = 0
-
-    for root in nodes:
-        if root in index_of:
-            continue
-        work: list[tuple[_N, Iterator[_N]]] = [
-            (root, iter(sorted(edges.get(root, ()))))
-        ]
-        index_of[root] = lowlink[root] = counter
-        counter += 1
-        stack.append(root)
-        on_stack.add(root)
-        while work:
-            node, successors = work[-1]
-            advanced = False
-            for successor in successors:
-                if successor not in index_of:
-                    index_of[successor] = lowlink[successor] = counter
-                    counter += 1
-                    stack.append(successor)
-                    on_stack.add(successor)
-                    work.append(
-                        (successor, iter(sorted(edges.get(successor, ()))))
-                    )
-                    advanced = True
-                    break
-                if successor in on_stack:
-                    lowlink[node] = min(lowlink[node], index_of[successor])
-            if advanced:
-                continue
-            work.pop()
-            if work:
-                parent = work[-1][0]
-                lowlink[parent] = min(lowlink[parent], lowlink[node])
-            if lowlink[node] == index_of[node]:
-                component: list[_N] = []
-                while True:
-                    member = stack.pop()
-                    on_stack.discard(member)
-                    component.append(member)
-                    if member == node:
-                        break
-                components.append(component)
-    return components
-
-
-def _nontrivial_sccs(
-    nodes: Sequence[_N], edges: Mapping[_N, set[_N]]
-) -> list[list[_N]]:
-    return [
-        component
-        for component in _strongly_connected_components(nodes, edges)
-        if len(component) > 1
-        or component[0] in edges.get(component[0], set())
-    ]
 
 
 # ----------------------------------------------------------------------
@@ -333,6 +303,137 @@ def _walk_ring_route(
     )
 
 
+def _ring_routing_spec(
+    network: HierarchicalRingNetwork, name: str | None = None
+) -> tuple[RoutingSpec, list[ModelFinding], int]:
+    """Derive the hierarchical ring's routing spec from route walks.
+
+    Channels are *buffer occupancies annotated by routing phase*:
+    ``ascending`` while the destination lies outside the subtree of the
+    buffer's ring (the packet still has to climb), ``descending`` once
+    inside.  The hierarchical route is monotone — ascend, turn exactly
+    once, descend — so the same physical transit buffer serves two
+    provably distinct dependency roles; without the annotation the
+    roles conflate and every hierarchy looks cyclic.  Transit buffers
+    carry a ``rotation_group`` of (ring, phase): a dependency cycle
+    confined to one group is a single-ring rotation, which the engine's
+    bypass (greatest-fixed-point) flow control always advances — a full
+    ring of packet-sized buffers rotates simultaneously, and unbounded
+    ejection plus the monotone descent drain it.  Any cycle that mixes
+    rings, phases, or passes through inter-ring/injection queues breaks
+    the argument, carries no shared group, and (with no escape channels
+    declared) is rejected by the prover.
+
+    Returns ``(spec, walk findings, routes walked)``; walk findings are
+    the routing-totality failures, which also leave the spec partial.
+    """
+    drains = _drain_port_map(network)
+    hierarchy = network.spec
+    processors = hierarchy.processors
+    max_hops = _WALK_HOP_FACTOR * max(len(drains), 8)
+
+    # Which ring each buffer lives on.  A port's transit buffer sits on
+    # the ring the port is a member of; an IRI's up queues feed the
+    # parent ring, its down queues the child ring; a PM's output queues
+    # feed its local ring.
+    ring_of: dict[int, tuple[int, ...]] = {}
+    transit_ring_of: dict[int, tuple[int, ...]] = {}
+    for prefix in hierarchy.all_rings():
+        for port in network._ring_members(prefix):
+            ring_of[id(port.transit_buffer)] = prefix
+            transit_ring_of[id(port.transit_buffer)] = prefix
+    for child_prefix in sorted(network.iris):
+        iri = network.iris[child_prefix]
+        ring_of[id(iri.up_req)] = child_prefix[:-1]
+        ring_of[id(iri.up_resp)] = child_prefix[:-1]
+        ring_of[id(iri.down_req)] = child_prefix
+        ring_of[id(iri.down_resp)] = child_prefix
+    for pm in network.pms:
+        local = hierarchy.local_ring_of(pm.pm_id)
+        ring_of[id(pm.out_req)] = local
+        ring_of[id(pm.out_resp)] = local
+
+    # Buffer names are display labels; guard channel identity against
+    # accidental duplicates so two buffers never share a channel.
+    base_names: dict[int, str] = {}
+    used_names: set[str] = set()
+
+    def base_name(buffer: FlitBuffer) -> str:
+        if id(buffer) not in base_names:
+            candidate = buffer.name
+            serial = 1
+            while candidate in used_names:
+                candidate = f"{buffer.name}#{serial}"
+                serial += 1
+            base_names[id(buffer)] = candidate
+            used_names.add(candidate)
+        return base_names[id(buffer)]
+
+    channels: dict[str, SpecChannel] = {}
+
+    def channel(buffer: FlitBuffer, destination: int) -> str:
+        prefix = ring_of.get(id(buffer))
+        descending = prefix is not None and hierarchy.in_subtree(
+            destination, prefix
+        )
+        phase = "desc" if descending else "asc"
+        channel_name = f"{base_name(buffer)}[{phase}]"
+        if channel_name not in channels:
+            transit = transit_ring_of.get(id(buffer))
+            group = (
+                f"ring{list(transit)}|{phase}" if transit is not None else None
+            )
+            channels[channel_name] = SpecChannel(
+                channel_name, rotation_group=group
+            )
+        return channel_name
+
+    starts: dict[Hashable, set[str]] = {}
+    moves: dict[tuple[str, Hashable], set[str]] = {}
+    findings: list[ModelFinding] = []
+    walked = 0
+    for source in range(processors):
+        for destination in range(processors):
+            if source == destination:
+                continue
+            for ptype in (PacketType.READ_REQUEST, PacketType.READ_RESPONSE):
+                walked += 1
+                trail, failure = _walk_ring_route(
+                    network, drains, source, destination, ptype, max_hops
+                )
+                if failure is not None:
+                    findings.append(failure)
+                    continue
+                token: Hashable = (
+                    destination,
+                    "resp" if ptype.is_response else "req",
+                )
+                starts.setdefault(token, set()).add(
+                    channel(trail[0], destination)
+                )
+                # trail[-1] is the destination's ejection sink, which
+                # absorbs (never blocks) and maps to DELIVER.
+                for position in range(len(trail) - 1):
+                    here = channel(trail[position], destination)
+                    nxt = (
+                        DELIVER
+                        if position + 1 == len(trail) - 1
+                        else channel(trail[position + 1], destination)
+                    )
+                    moves.setdefault((here, token), set()).add(nxt)
+
+    spec = RoutingSpec(
+        name=name or f"hier-ring-{network.spec}",
+        kind="deterministic",
+        channels=tuple(
+            channels[channel_name] for channel_name in sorted(channels)
+        ),
+        starts={token: frozenset(first) for token, first in starts.items()},
+        moves={state: frozenset(outputs) for state, outputs in moves.items()},
+    )
+    return spec, findings, walked
+
+
 def verify_ring_network(
     target: "HierarchicalRingNetwork | RingSystemConfig",
     routes: bool = True,
@@ -356,106 +457,13 @@ def verify_ring_network(
     if not routes:
         return findings
 
-    drains = _drain_port_map(network)
-    spec = network.spec
-    processors = spec.processors
-    max_hops = _WALK_HOP_FACTOR * max(len(drains), 8)
-
-    # Which ring each buffer lives on.  A port's transit buffer sits on
-    # the ring the port is a member of; an IRI's up queues feed the
-    # parent ring, its down queues the child ring; a PM's output queues
-    # feed its local ring.
-    ring_of: dict[int, tuple[int, ...]] = {}
-    transit_ring_of: dict[int, tuple[int, ...]] = {}
-    for prefix in spec.all_rings():
-        for port in network._ring_members(prefix):
-            ring_of[id(port.transit_buffer)] = prefix
-            transit_ring_of[id(port.transit_buffer)] = prefix
-    for child_prefix in sorted(network.iris):
-        iri = network.iris[child_prefix]
-        ring_of[id(iri.up_req)] = child_prefix[:-1]
-        ring_of[id(iri.up_resp)] = child_prefix[:-1]
-        ring_of[id(iri.down_req)] = child_prefix
-        ring_of[id(iri.down_resp)] = child_prefix
-    for pm in network.pms:
-        local = spec.local_ring_of(pm.pm_id)
-        ring_of[id(pm.out_req)] = local
-        ring_of[id(pm.out_resp)] = local
-        # Ejection sinks are normally unbounded and never enter the
-        # wait-for graph, but a mis-built bounded sink must map to a
-        # ring so the walk reports it instead of crashing.
-        ring_of[id(pm.in_queue)] = local
-
-    # Wait-for graph over bounded buffers, with each occupancy annotated
-    # by routing phase: *ascending* while the destination lies outside
-    # the subtree of the buffer's ring (the packet still has to climb),
-    # *descending* once inside.  The hierarchical route is monotone —
-    # ascend, turn exactly once, descend — so the same physical transit
-    # buffer serves two provably distinct dependency roles; without the
-    # annotation the roles conflate and every hierarchy looks cyclic.
-    # Unbounded ejection sinks never block, so edges into them are
-    # dropped.
-    Node = tuple[int, bool]
-    buffer_index: dict[int, FlitBuffer] = {}
-    edges: dict[Node, set[Node]] = {}
-    nodes: set[Node] = set()
-
-    def node(buffer: FlitBuffer, destination: int) -> Node:
-        buffer_index[id(buffer)] = buffer
-        descending = spec.in_subtree(destination, ring_of[id(buffer)])
-        key = (id(buffer), descending)
-        nodes.add(key)
-        return key
-
-    for source in range(processors):
-        for destination in range(processors):
-            if source == destination:
-                continue
-            for ptype in (PacketType.READ_REQUEST, PacketType.READ_RESPONSE):
-                trail, failure = _walk_ring_route(
-                    network, drains, source, destination, ptype, max_hops
-                )
-                if failure is not None:
-                    findings.append(failure)
-                    continue
-                for hop, nxt in zip(trail, trail[1:]):
-                    if nxt.capacity is None:
-                        continue  # ejection sinks absorb, never block
-                    edges.setdefault(node(hop, destination), set()).add(
-                        node(nxt, destination)
-                    )
-
-    # The only admissible wait-for cycles are single-ring transit
-    # rotations in a single phase: those always progress, because the
-    # bypass (greatest-fixed-point) flow control rotates a full ring of
-    # packet-sized buffers simultaneously and unbounded ejection plus
-    # the monotone descent guarantee the rotation eventually drains.
-    for component in _nontrivial_sccs(sorted(nodes), edges):
-        rings = {transit_ring_of.get(buffer_id) for buffer_id, __ in component}
-        phases = {descending for __, descending in component}
-        if len(rings) == 1 and None not in rings and len(phases) == 1:
-            continue
-        names = sorted(
-            f"{buffer_index[buffer_id].name}"
-            f"[{'desc' if descending else 'asc'}]"
-            for buffer_id, descending in component
-        )
-        if None in rings:
-            reason = (
-                "cycle passes through inter-ring or injection queues — "
-                "level changes are no longer monotone, the hierarchical "
-                "deadlock-freedom argument fails"
-            )
-        else:
-            reason = (
-                "cycle spans multiple rings or mixes ascent with descent "
-                "— the bypass-rotation progress argument does not cover it"
-            )
+    spec, walk_findings, _walked = _ring_routing_spec(network)
+    findings.extend(walk_findings)
+    proof = prove(spec)
+    if not proof.certified:
         findings.append(
             ModelFinding(
-                "deadlock-freedom",
-                subject,
-                f"unexpected wait-for cycle [{', '.join(names)}]: {reason}",
+                "deadlock-freedom", subject, proof.detail, witness=proof.witness
             )
         )
     return findings
@@ -521,17 +529,8 @@ def _mesh_structure_findings(
 
 
 def _mesh_routing_findings(shape: MeshShape, subject: str) -> Iterator[ModelFinding]:
-    """Routing totality + channel-dependency-graph acyclicity."""
-    # Channels are (node, direction); ids are compact ints.
-    channel_id: dict[tuple[int, str], int] = {}
-    edges: dict[int, set[int]] = {}
-
-    def channel(node: int, direction: str) -> int:
-        key = (node, direction)
-        if key not in channel_id:
-            channel_id[key] = len(channel_id)
-        return channel_id[key]
-
+    """Routing totality/minimality, spec conformance, deadlock proof."""
+    legal = mesh_legal_outputs(shape)
     for source in range(shape.processors):
         for destination in range(shape.processors):
             if source == destination:
@@ -552,28 +551,27 @@ def _mesh_routing_findings(shape: MeshShape, subject: str) -> Iterator[ModelFind
                     f"{len(path) - 1} hops, Manhattan distance is "
                     f"{shape.hop_distance(source, destination)}",
                 )
-            previous: int | None = None
-            for here, nxt in zip(path, path[1:]):
-                direction = next(
-                    d for d, n in shape.neighbors(here).items() if n == nxt
-                )
-                current = channel(here, direction)
-                if previous is not None:
-                    edges.setdefault(previous, set()).add(current)
-                previous = current
 
-    cycles = _nontrivial_sccs(sorted(channel_id.values()), edges)
-    if cycles:
-        by_id = {cid: key for key, cid in channel_id.items()}
-        for component in cycles:
-            names = sorted(f"{node}.{direction}" for node, direction in
-                           (by_id[member] for member in component))
-            yield ModelFinding(
-                "deadlock-freedom",
-                subject,
-                "channel dependency graph has a cycle under e-cube XY "
-                f"routing: [{', '.join(names)}]",
-            )
+    # The runtime router and the declarative spec must agree move for
+    # move — the prover's certificate is only as good as this bridge.
+    for node in range(shape.processors):
+        for destination in range(shape.processors):
+            direction = ecube_next_direction(shape, node, destination)
+            allowed = legal[(node, destination)]
+            if direction not in allowed:
+                yield ModelFinding(
+                    "spec-conformance",
+                    subject,
+                    f"runtime e-cube picks {direction!r} at node {node} "
+                    f"for destination {destination}; the routing spec "
+                    f"allows {sorted(allowed)}",
+                )
+
+    proof = prove(ecube_mesh_spec(shape))
+    if not proof.certified:
+        yield ModelFinding(
+            "deadlock-freedom", subject, proof.detail, witness=proof.witness
+        )
 
 
 def verify_mesh_network(
@@ -682,3 +680,143 @@ def paper_model_report() -> tuple[list[ModelFinding], dict[str, int]]:
             stats["routes_walked"] += processors * (processors - 1)
 
     return findings, stats
+
+
+def static_routing_problem(
+    system: "RingSystemConfig | MeshSystemConfig",
+) -> str | None:
+    """Prove the routing spec of *system*'s topology; ``None`` when
+    certified.
+
+    The differential fuzzer gates every generated topology through this
+    before spending simulation time on it: a topology whose routing the
+    CDG prover cannot certify deadlock-free is a spec problem, not a
+    scheduler-divergence problem.
+    """
+    if isinstance(system, MeshSystemConfig):
+        proof = prove(ecube_mesh_spec(MeshShape(system.side)))
+    else:
+        network = _build_ring_network(system)
+        spec, walk_findings, _walked = _ring_routing_spec(network)
+        if walk_findings:
+            return walk_findings[0].format()
+        proof = prove(spec)
+    return None if proof.certified else proof.detail
+
+
+# ----------------------------------------------------------------------
+# the named routing-proof suite (CI's routing-proofs step)
+# ----------------------------------------------------------------------
+def routing_proof_suite() -> list[tuple[str, RoutingSpec, bool]]:
+    """Named ``(spec, expected certified)`` proof obligations.
+
+    The seven paper topology families (matching the statistical
+    equivalence campaign's paper points — routing specs depend only on
+    the topology shape, so the mesh buffer-depth variants share a
+    side), plus the new-fabric fixtures: the torus with dateline
+    virtual channels the prover must certify, the torus *without* them
+    it must reject with a minimal cycle witness, the minimal-adaptive
+    mesh discharged by escape analysis, and the bufferless ring
+    deflection spec discharged by the livelock bound.
+    """
+    suite: list[tuple[str, RoutingSpec, bool]] = []
+    ring_families = [
+        ("ring-1level", "8", 1),
+        ("ring-2level", "4:4", 1),
+        ("ring-3level", "2:2:4", 1),
+        ("ring-fast-global", "4:4", 2),
+    ]
+    for name, topology, speed in ring_families:
+        network = _build_ring_network(
+            RingSystemConfig(
+                topology=topology,
+                cache_line_bytes=32,
+                global_ring_speed=speed,
+            )
+        )
+        spec, _findings, _walked = _ring_routing_spec(network, name=name)
+        suite.append((name, spec, True))
+    mesh_families = [("mesh-buf1", 4), ("mesh-buf4", 4), ("mesh-bufcl", 4)]
+    for name, side in mesh_families:
+        suite.append((name, replace(ecube_mesh_spec(MeshShape(side)), name=name), True))
+    torus = TorusShape(4)
+    suite.append(
+        ("torus-dateline", replace(torus_spec(torus, dateline=True), name="torus-dateline"), True)
+    )
+    suite.append(
+        (
+            "torus-no-dateline",
+            replace(torus_spec(torus, dateline=False), name="torus-no-dateline"),
+            False,
+        )
+    )
+    suite.append(
+        (
+            "mesh-adaptive-escape",
+            replace(adaptive_mesh_spec(MeshShape(4)), name="mesh-adaptive-escape"),
+            True,
+        )
+    )
+    suite.append(
+        ("ring-deflection", replace(ring_deflection_spec(8), name="ring-deflection"), True)
+    )
+    return suite
+
+
+def routing_proof_report() -> tuple[list[ProofResult], list[ModelFinding]]:
+    """Prove every suite obligation; findings are expectation breaks.
+
+    A spec expected to certify that gets rejected (or vice versa) is a
+    ``routing-proof`` finding.  Expected rejections must additionally
+    come with a minimal cycle witness that replays as a real reachable
+    dependency chain — a rejection the prover cannot substantiate is
+    itself a failure.
+    """
+    results: list[ProofResult] = []
+    findings: list[ModelFinding] = []
+    for name, spec, expect_certified in routing_proof_suite():
+        proof = prove(spec)
+        results.append(proof)
+        if proof.certified != expect_certified:
+            if expect_certified:
+                findings.append(
+                    ModelFinding(
+                        "routing-proof",
+                        name,
+                        f"expected certification, prover rejected: "
+                        f"{proof.detail}",
+                        witness=proof.witness,
+                    )
+                )
+            else:
+                findings.append(
+                    ModelFinding(
+                        "routing-proof",
+                        name,
+                        "expected rejection, prover certified via "
+                        f"{proof.method}",
+                    )
+                )
+            continue
+        if not expect_certified:
+            if proof.witness is None:
+                findings.append(
+                    ModelFinding(
+                        "routing-proof",
+                        name,
+                        "rejected as expected but without a cycle witness: "
+                        f"{proof.detail}",
+                    )
+                )
+            else:
+                problem = replay_witness(spec, proof.witness)
+                if problem is not None:
+                    findings.append(
+                        ModelFinding(
+                            "routing-proof",
+                            name,
+                            f"cycle witness does not replay: {problem}",
+                            witness=proof.witness,
+                        )
+                    )
+    return results, findings

@@ -1,4 +1,4 @@
-"""Simulator-specific lint rules RPR001-RPR004.
+"""Simulator-specific lint rules RPR001-RPR005.
 
 Every rule here guards an invariant the simulator's correctness
 arguments lean on:
@@ -15,6 +15,10 @@ arguments lean on:
   metrics) is mutated from a component's declared phase hooks.
 * **RPR004** — cycle/flit counters are integers; accumulating floats
   into them rounds differently across platforms and run lengths.
+* **RPR005** — emitted JSON is compared byte-for-byte (the scheduler
+  equivalence gate, the result cache, golden files); serializing a
+  dict-derived payload without ``sort_keys=True`` leaks dict insertion
+  order into those bytes.
 
 Rules are conservative by construction: they use lightweight, local
 type inference (set literals, ``set()`` calls, annotated attributes,
@@ -525,5 +529,136 @@ def check_float_counters(context: ModuleContext) -> Iterator[Finding]:
                 f"float value accumulated into integer counter {name!r}; "
                 "keep counters integral (scale or round explicitly at the "
                 "reporting boundary)",
+                node,
+            )
+
+
+# ----------------------------------------------------------------------
+# RPR005 — json serialization of dict payloads must sort keys
+# ----------------------------------------------------------------------
+
+#: Helper names that (by repo convention) build dict payloads:
+#: ``result_payload``, ``params_payload``, ``asdict``, ``to_dict`` ...
+_PAYLOAD_BUILDER_RE = re.compile(r"(^|_)(payload|asdict|to_dict)($|_)")
+
+
+class _DictTypes:
+    """Names and attributes known (locally) to hold dicts."""
+
+    def __init__(self) -> None:
+        self.names: set[str] = set()
+        self.attributes: set[str] = set()
+
+    def is_dict_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Dict, ast.DictComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and (
+                func.id == "dict" or _PAYLOAD_BUILDER_RE.search(func.id)
+            ):
+                return True
+            if isinstance(func, ast.Attribute) and _PAYLOAD_BUILDER_RE.search(
+                func.attr
+            ):
+                return True
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            # PEP 584 dict merge: a | b is a dict if either side is.
+            return self.is_dict_expr(node.left) or self.is_dict_expr(node.right)
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            if node.value.id == "self":
+                return node.attr in self.attributes
+        return False
+
+    @staticmethod
+    def _annotation_is_dict(annotation: ast.AST) -> bool:
+        if isinstance(annotation, ast.Name):
+            return annotation.id in ("dict", "Dict", "OrderedDict", "defaultdict")
+        if isinstance(annotation, ast.Subscript):
+            return _DictTypes._annotation_is_dict(annotation.value)
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            text = annotation.value.strip()
+            return text.startswith(("dict[", "Dict[", "dict ", "Dict "))
+        return False
+
+    def learn(self, node: ast.AST) -> None:
+        """Record dict-typed names/attributes from one statement."""
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            if self.is_dict_expr(node.value):
+                self._record(node.targets[0])
+        elif isinstance(node, ast.AnnAssign):
+            if self._annotation_is_dict(node.annotation) or (
+                node.value is not None and self.is_dict_expr(node.value)
+            ):
+                self._record(node.target)
+
+    def _record(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.names.add(target.id)
+        elif isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+            if target.value.id == "self":
+                self.attributes.add(target.attr)
+
+
+@rule(
+    "RPR005",
+    "unsorted-json-payload",
+    "json.dumps/json.dump of a dict-derived payload must pass "
+    "sort_keys=True; dict insertion order otherwise leaks into emitted "
+    "JSON, breaking byte-identity of results and cache entries",
+    scope=("core", "ring", "mesh", "workload", "runtime", "analysis", "audit"),
+)
+def check_json_sort_keys(context: ModuleContext) -> Iterator[Finding]:
+    json_aliases: set[str] = set()
+    dumps_imports: dict[str, str] = {}
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "json":
+                    json_aliases.add(alias.asname or "json")
+        elif isinstance(node, ast.ImportFrom) and node.module == "json":
+            for alias in node.names:
+                if alias.name in ("dumps", "dump"):
+                    dumps_imports[alias.asname or alias.name] = f"json.{alias.name}"
+
+    types = _DictTypes()
+    for node in ast.walk(context.tree):
+        types.learn(node)
+
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in json_aliases
+            and func.attr in ("dumps", "dump")
+        ):
+            called = f"{func.value.id}.{func.attr}"
+        elif isinstance(func, ast.Name) and func.id in dumps_imports:
+            called = dumps_imports[func.id]
+        else:
+            continue
+        if not node.args:
+            continue
+        if any(keyword.arg is None for keyword in node.keywords):
+            continue  # **kwargs may carry sort_keys; can't prove either way
+        sort_keys = next(
+            (kw for kw in node.keywords if kw.arg == "sort_keys"), None
+        )
+        if sort_keys is not None and not (
+            isinstance(sort_keys.value, ast.Constant)
+            and sort_keys.value.value is False
+        ):
+            continue  # sort_keys=True, or dynamic — benefit of the doubt
+        if types.is_dict_expr(node.args[0]):
+            yield context.finding(
+                "RPR005",
+                f"{called}() serializes a dict-derived payload without "
+                "sort_keys=True; dict insertion order leaks into the "
+                "emitted bytes — pass sort_keys=True for stable output",
                 node,
             )

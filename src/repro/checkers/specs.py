@@ -1,0 +1,369 @@
+"""Declarative routing specifications — the spec algebra.
+
+A :class:`RoutingSpec` describes a routing algorithm as *pure data*:
+for every ``(occupied channel, destination)`` pair, the set of output
+channels the algorithm may legally pick next.  Turn-model restrictions,
+virtual-channel/dateline classes, escape channels, and deflection
+productivity rules are all just shapes of that relation — there is no
+algorithm-specific verifier code.  The CDG prover
+(:mod:`repro.checkers.cdg`) consumes a spec and decides deadlock
+freedom from the relation alone; the runtime auditor
+(:mod:`repro.audit.invariants`) consumes the same tables for
+route-conformance, so the static and dynamic layers can never disagree
+about what a router is allowed to do.
+
+Conventions:
+
+* Channel names are opaque strings.  The builders here use
+  ``"<node>.<direction>"`` for mesh/torus links (with a ``.vc<k>``
+  suffix when virtual channels are in play) and ``"ring.<i>"`` for the
+  links of a plain unidirectional ring.
+* Destination tokens are opaque hashables — PM ids for meshes,
+  ``(pm, framing)`` pairs for the hierarchical ring walks built in
+  :mod:`repro.checkers.model`.
+* The pseudo-channel :data:`DELIVER` in a legal-output set means the
+  packet may eject into the destination's (unbounded) sink, which never
+  blocks and therefore never appears in the dependency graph.
+
+Builders provided here are the pure-geometry ones: e-cube mesh (the
+paper's fabric), 2D torus with and without dateline virtual channels,
+minimal-adaptive mesh with an e-cube escape subnetwork, and bufferless
+ring deflection (HiRD-style).  The hierarchical-ring spec is derived
+from real network walks and therefore lives with the network builders
+in :mod:`repro.checkers.model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Hashable, Mapping
+
+from ..mesh.routing import LOCAL
+from ..mesh.topology import MeshShape, TorusShape
+
+#: Pseudo-channel: the packet may eject at its destination.  Ejection
+#: sinks are unbounded by protocol-deadlock rule (DESIGN.md §4), so
+#: delivery never blocks and never contributes a CDG edge.
+DELIVER = "<deliver>"
+
+
+@dataclass(frozen=True)
+class SpecChannel:
+    """One named channel (link/buffer class) of a routing spec.
+
+    ``rotation_group`` marks channels whose wait-for cycles are
+    discharged by simultaneous-rotation flow control (the hierarchical
+    ring's bypass argument): a CDG cycle lying entirely inside one
+    group is admissible.  ``escape`` marks membership in a Duato escape
+    subnetwork.
+    """
+
+    name: str
+    rotation_group: str | None = None
+    escape: bool = False
+
+
+@dataclass(frozen=True, eq=False)
+class RoutingSpec:
+    """A routing algorithm as data (see the module docstring).
+
+    ``kind`` is ``"deterministic"``, ``"adaptive"``, or
+    ``"deflection"``; the prover only treats ``"deflection"``
+    specially (cycles are discharged by the livelock bound instead of
+    escape analysis).  ``productive`` and ``priority`` are only
+    meaningful for deflection specs: productive outputs are the subset
+    of legal outputs that make guaranteed progress, and ``priority``
+    must be the monotone ``"age"`` arbitration for the livelock bound
+    to hold.
+    """
+
+    name: str
+    kind: str
+    channels: tuple[SpecChannel, ...]
+    starts: Mapping[Hashable, frozenset[str]]
+    moves: Mapping[tuple[str, Hashable], frozenset[str]]
+    productive: Mapping[tuple[str, Hashable], frozenset[str]] | None = None
+    priority: str | None = None
+
+
+def _freeze(
+    moves: Mapping[tuple[str, Hashable], set[str]]
+) -> dict[tuple[str, Hashable], frozenset[str]]:
+    return {state: frozenset(outputs) for state, outputs in moves.items()}
+
+
+# ----------------------------------------------------------------------
+# e-cube mesh (the paper's fabric)
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=None)
+def mesh_legal_outputs(shape: MeshShape) -> Mapping[tuple[int, int], frozenset[str]]:
+    """Legal output directions per ``(node, destination)`` — the shared
+    e-cube legality table.
+
+    This is the single source of truth for dimension-order legality:
+    the static prover derives the mesh spec from it and the runtime
+    auditor checks every head-flit proposal against it, so the two
+    layers cannot drift apart.  For the deterministic e-cube algorithm
+    every entry is a singleton: correct X (E/W) before Y (S/N), then
+    eject ``LOCAL``.
+    """
+    table: dict[tuple[int, int], frozenset[str]] = {}
+    for node in range(shape.processors):
+        node_x, node_y = shape.coordinates(node)
+        for dest in range(shape.processors):
+            dest_x, dest_y = shape.coordinates(dest)
+            if node_x < dest_x:
+                legal = frozenset({"E"})
+            elif node_x > dest_x:
+                legal = frozenset({"W"})
+            elif node_y < dest_y:
+                legal = frozenset({"S"})
+            elif node_y > dest_y:
+                legal = frozenset({"N"})
+            else:
+                legal = frozenset({LOCAL})
+            table[(node, dest)] = legal
+    return table
+
+
+def ecube_mesh_spec(shape: MeshShape) -> RoutingSpec:
+    """The paper's deterministic e-cube XY mesh as a spec."""
+    legal = mesh_legal_outputs(shape)
+    channels = tuple(
+        SpecChannel(f"{node}.{direction}")
+        for node in range(shape.processors)
+        for direction in sorted(shape.neighbors(node))
+    )
+    starts: dict[Hashable, frozenset[str]] = {}
+    moves: dict[tuple[str, Hashable], set[str]] = {}
+    for dest in range(shape.processors):
+        first: set[str] = set()
+        for source in range(shape.processors):
+            if source == dest:
+                continue
+            for direction in legal[(source, dest)]:
+                first.add(f"{source}.{direction}")
+        starts[dest] = frozenset(first)
+    for node in range(shape.processors):
+        for direction, neighbor in shape.neighbors(node).items():
+            channel = f"{node}.{direction}"
+            for dest in range(shape.processors):
+                moves[(channel, dest)] = {
+                    DELIVER if d == LOCAL else f"{neighbor}.{d}"
+                    for d in legal[(neighbor, dest)]
+                }
+    return RoutingSpec(
+        name=f"ecube-mesh-{shape.side}x{shape.side}",
+        kind="deterministic",
+        channels=channels,
+        starts=starts,
+        moves=_freeze(moves),
+    )
+
+
+# ----------------------------------------------------------------------
+# 2D torus with dateline virtual channels
+# ----------------------------------------------------------------------
+def _torus_offset(side: int, here: int, there: int) -> int:
+    """Signed shortest-way-around offset; ties break positive."""
+    delta = (there - here) % side
+    if delta == 0:
+        return 0
+    if delta <= side - delta:
+        return delta
+    return delta - side
+
+
+def _torus_route(
+    shape: TorusShape, source: int, destination: int
+) -> list[tuple[int, str, bool]]:
+    """The dimension-order torus route as ``(node, direction, wraps)``
+    hops; ``wraps`` is true for the end-around hop of its dimension."""
+    hops: list[tuple[int, str, bool]] = []
+    x, y = shape.coordinates(source)
+    dest_x, dest_y = shape.coordinates(destination)
+    off_x = _torus_offset(shape.side, x, dest_x)
+    step, direction = (1, "E") if off_x > 0 else (-1, "W")
+    for _ in range(abs(off_x)):
+        node = shape.pm_id(x, y)
+        wraps = (direction == "E" and x == shape.side - 1) or (
+            direction == "W" and x == 0
+        )
+        hops.append((node, direction, wraps))
+        x = (x + step) % shape.side
+    off_y = _torus_offset(shape.side, y, dest_y)
+    step, direction = (1, "S") if off_y > 0 else (-1, "N")
+    for _ in range(abs(off_y)):
+        node = shape.pm_id(x, y)
+        wraps = (direction == "S" and y == shape.side - 1) or (
+            direction == "N" and y == 0
+        )
+        hops.append((node, direction, wraps))
+        y = (y + step) % shape.side
+    return hops
+
+
+def torus_spec(shape: TorusShape, dateline: bool = True) -> RoutingSpec:
+    """Dimension-order routing on a 2D torus, as a spec.
+
+    With ``dateline=True`` each unidirectional ring of each dimension
+    gets two virtual-channel classes: packets travel on ``vc0`` until
+    the hop that crosses the end-around (dateline) link, which — along
+    with every later hop in that dimension — uses ``vc1``.  Minimal
+    routes wrap at most once per dimension, so the ``vc0`` chains never
+    include a wrap link, ``vc1`` chains never re-wrap, and the CDG is
+    acyclic.  With ``dateline=False`` the wrap links close each ring's
+    dependency cycle and the prover must reject the spec — the negative
+    fixture for the witness machinery.
+    """
+    seen: set[str] = set()
+    channels: list[SpecChannel] = []
+    starts: dict[Hashable, frozenset[str]] = {}
+    moves: dict[tuple[str, Hashable], set[str]] = {}
+
+    def channel_name(node: int, direction: str, wrapped: bool) -> str:
+        base = f"{node}.{direction}"
+        if dateline:
+            base = f"{base}.vc{1 if wrapped else 0}"
+        if base not in seen:
+            seen.add(base)
+            channels.append(SpecChannel(base))
+        return base
+
+    for source in range(shape.processors):
+        for destination in range(shape.processors):
+            if source == destination:
+                continue
+            route = _torus_route(shape, source, destination)
+            names: list[str] = []
+            wrapped = False
+            current_dim = ""
+            for node, direction, wraps in route:
+                dim = "x" if direction in ("E", "W") else "y"
+                if dim != current_dim:
+                    current_dim = dim
+                    wrapped = False
+                wrapped = wrapped or wraps
+                names.append(channel_name(node, direction, wrapped))
+            starts.setdefault(destination, frozenset())
+            starts[destination] = starts[destination] | {names[0]}
+            for here, nxt in zip(names, names[1:]):
+                moves.setdefault((here, destination), set()).add(nxt)
+            moves.setdefault((names[-1], destination), set()).add(DELIVER)
+    suffix = "dateline" if dateline else "no-dateline"
+    return RoutingSpec(
+        name=f"torus-{shape.side}x{shape.side}-{suffix}",
+        kind="deterministic",
+        channels=tuple(channels),
+        starts=starts,
+        moves=_freeze(moves),
+    )
+
+
+# ----------------------------------------------------------------------
+# minimal-adaptive mesh with an e-cube escape subnetwork
+# ----------------------------------------------------------------------
+def _minimal_directions(shape: MeshShape, node: int, dest: int) -> frozenset[str]:
+    node_x, node_y = shape.coordinates(node)
+    dest_x, dest_y = shape.coordinates(dest)
+    directions: set[str] = set()
+    if node_x < dest_x:
+        directions.add("E")
+    if node_x > dest_x:
+        directions.add("W")
+    if node_y < dest_y:
+        directions.add("S")
+    if node_y > dest_y:
+        directions.add("N")
+    return frozenset(directions)
+
+
+def adaptive_mesh_spec(shape: MeshShape) -> RoutingSpec:
+    """Minimal-adaptive mesh routing, Duato-style.
+
+    Every physical link carries an adaptive class (``.adp``, any
+    minimal direction allowed — the full turn set, whose CDG is cyclic
+    for any side >= 2) and an escape class (``.esc``, dimension-order
+    only).  From every state the packet may fall back to the escape
+    class, whose own dependency graph is the acyclic e-cube CDG, so the
+    prover discharges the adaptive cycles by escape-subnetwork
+    analysis.
+    """
+    legal = mesh_legal_outputs(shape)
+    channels: list[SpecChannel] = []
+    for node in range(shape.processors):
+        for direction in sorted(shape.neighbors(node)):
+            channels.append(SpecChannel(f"{node}.{direction}.adp"))
+            channels.append(SpecChannel(f"{node}.{direction}.esc", escape=True))
+
+    def nexts(at: int, dest: int) -> set[str]:
+        if at == dest:
+            return {DELIVER}
+        out = {f"{at}.{d}.adp" for d in _minimal_directions(shape, at, dest)}
+        out |= {f"{at}.{d}.esc" for d in legal[(at, dest)]}
+        return out
+
+    starts: dict[Hashable, frozenset[str]] = {}
+    moves: dict[tuple[str, Hashable], set[str]] = {}
+    for dest in range(shape.processors):
+        first: set[str] = set()
+        for source in range(shape.processors):
+            if source != dest:
+                first |= nexts(source, dest)
+        starts[dest] = frozenset(first)
+        for node in range(shape.processors):
+            for direction, neighbor in shape.neighbors(node).items():
+                for cls in ("adp", "esc"):
+                    moves[(f"{node}.{direction}.{cls}", dest)] = nexts(
+                        neighbor, dest
+                    )
+    return RoutingSpec(
+        name=f"adaptive-mesh-{shape.side}x{shape.side}",
+        kind="adaptive",
+        channels=tuple(channels),
+        starts=starts,
+        moves=_freeze(moves),
+    )
+
+
+# ----------------------------------------------------------------------
+# bufferless ring deflection (HiRD-style)
+# ----------------------------------------------------------------------
+def ring_deflection_spec(nodes: int, name: str | None = None) -> RoutingSpec:
+    """Bufferless deflection on a unidirectional ring of *nodes* PMs.
+
+    Channel ``ring.i`` is the link from node *i* to ``(i+1) % nodes``.
+    A flit that reaches its destination may eject or — if the ejection
+    port lost arbitration — be deflected onward around the ring; no
+    flit ever waits in a buffer, so deadlock is impossible and the
+    proof obligation is the livelock bound: arbitration is by packet
+    age (monotone priority) and the single continue output is always
+    productive on a unidirectional ring, so the oldest packet delivers
+    within one lap and every packet eventually becomes oldest.
+    """
+    channels = tuple(SpecChannel(f"ring.{i}") for i in range(nodes))
+    starts: dict[Hashable, frozenset[str]] = {}
+    moves: dict[tuple[str, Hashable], set[str]] = {}
+    productive: dict[tuple[str, Hashable], frozenset[str]] = {}
+    for dest in range(nodes):
+        starts[dest] = frozenset(
+            f"ring.{source}" for source in range(nodes) if source != dest
+        )
+        for i in range(nodes):
+            at = (i + 1) % nodes
+            onward = f"ring.{at}"
+            if at == dest:
+                moves[(f"ring.{i}", dest)] = {DELIVER, onward}
+            else:
+                moves[(f"ring.{i}", dest)] = {onward}
+                productive[(f"ring.{i}", dest)] = frozenset({onward})
+    return RoutingSpec(
+        name=name or f"ring-deflection-{nodes}",
+        kind="deflection",
+        channels=channels,
+        starts=starts,
+        moves=_freeze(moves),
+        productive=productive,
+        priority="age",
+    )

@@ -72,5 +72,58 @@ class MeshShape:
         return total / count if count else 0.0
 
 
+@dataclass(frozen=True)
+class TorusShape:
+    """Geometry helpers for a ``side x side`` 2D torus.
+
+    Same row-major coordinates as :class:`MeshShape`, but every
+    direction wraps end-around, so each row and column is a
+    bi-directional ring and the hop metric is the wrapped Manhattan
+    distance.  Deterministic dimension-order routing on a torus needs
+    dateline virtual channels to stay deadlock-free — the routing-spec
+    builders in :mod:`repro.checkers.specs` encode (and the CDG prover
+    certifies/rejects) both variants.
+    """
+
+    side: int
+
+    def __post_init__(self) -> None:
+        if self.side < 1:
+            raise TopologyError(f"torus side must be >= 1, got {self.side}")
+
+    @property
+    def processors(self) -> int:
+        return self.side * self.side
+
+    def coordinates(self, pm_id: int) -> tuple[int, int]:
+        if not 0 <= pm_id < self.processors:
+            raise TopologyError(
+                f"pm_id {pm_id} out of range for {self.side}x{self.side} torus"
+            )
+        return pm_id % self.side, pm_id // self.side
+
+    def pm_id(self, x: int, y: int) -> int:
+        if not (0 <= x < self.side and 0 <= y < self.side):
+            raise TopologyError(f"({x},{y}) outside {self.side}x{self.side} torus")
+        return y * self.side + x
+
+    def hop_distance(self, a: int, b: int) -> int:
+        ax, ay = self.coordinates(a)
+        bx, by = self.coordinates(b)
+        dx = abs(ax - bx)
+        dy = abs(ay - by)
+        return min(dx, self.side - dx) + min(dy, self.side - dy)
+
+    def neighbors(self, pm_id: int) -> dict[str, int]:
+        """Adjacent node per direction; every direction exists (wrap)."""
+        x, y = self.coordinates(pm_id)
+        return {
+            "N": self.pm_id(x, (y - 1) % self.side),
+            "S": self.pm_id(x, (y + 1) % self.side),
+            "E": self.pm_id((x + 1) % self.side, y),
+            "W": self.pm_id((x - 1) % self.side, y),
+        }
+
+
 #: Direction sent in maps to the receive-side buffer at the neighbor.
 OPPOSITE = {"N": "S", "S": "N", "E": "W", "W": "E"}

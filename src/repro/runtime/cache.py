@@ -71,7 +71,7 @@ class ResultCache:
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(result_payload(result)))
+        tmp.write_text(json.dumps(result_payload(result), sort_keys=True))
         os.replace(tmp, path)
 
     def clear(self) -> int:

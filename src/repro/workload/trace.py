@@ -85,11 +85,13 @@ class MemoryTrace:
     def dump_jsonl(self, path: "str | Path") -> None:
         """Write the trace as JSON lines (one record per line)."""
         with open(path, "w") as handle:
-            handle.write(json.dumps({"processors": self.processors}) + "\n")
+            handle.write(
+                json.dumps({"processors": self.processors}, sort_keys=True) + "\n"
+            )
             for pm_id, records in enumerate(self._records):
                 for record in records:
                     payload = {"pm": pm_id, **asdict(record)}
-                    handle.write(json.dumps(payload) + "\n")
+                    handle.write(json.dumps(payload, sort_keys=True) + "\n")
 
     @classmethod
     def load_jsonl(cls, path: "str | Path") -> "MemoryTrace":

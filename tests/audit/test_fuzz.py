@@ -12,6 +12,7 @@ from repro.audit.fuzz import (
     run_case,
     run_fuzz,
     shrink,
+    static_spec_problem,
 )
 from repro.core.config import (
     MeshSystemConfig,
@@ -111,3 +112,30 @@ def test_run_case_accepts_consistent_errors(monkeypatch):
     )
     result = run_case(case, lifecycle=False)
     assert not result.failed
+
+def test_generated_topologies_pass_the_spec_gate():
+    """Every topology the generator emits is certified deadlock-free by
+    the CDG prover, so the gate never wastes a fuzz case."""
+    rng = random.Random(11)
+    for _ in range(30):
+        assert static_spec_problem(random_case(rng)) is None
+
+
+def test_run_case_fails_fast_on_spec_rejection(monkeypatch):
+    """A topology the prover rejects fails the case *before* any
+    simulation runs."""
+    import repro.audit.fuzz as fuzz_module
+
+    def reject(case):
+        return "synthetic spec rejection"
+
+    def no_simulation(case, scheduler):
+        raise AssertionError("simulation must not run on a rejected spec")
+
+    monkeypatch.setattr(fuzz_module, "static_spec_problem", reject)
+    monkeypatch.setattr(fuzz_module, "_run_one", no_simulation)
+    case = random_case(random.Random(5))
+    result = run_case(case, lifecycle=True)
+    assert result.failed
+    assert result.kind == "spec"
+    assert "synthetic spec rejection" in result.detail

@@ -1,0 +1,27 @@
+"""RPR005 fixture: unsorted json serialization of dict payloads."""
+
+import json
+from json import dumps
+
+RESULTS = {"b": 1, "a": 2}
+
+
+def emit(stream):
+    text = json.dumps({"b": 1, "a": 2})  # line 10: dict literal
+    json.dump(RESULTS, stream)  # line 11: module-level dict name
+    blob = dumps(dict(x=1))  # line 12: imported alias over dict()
+    payload = make_payload()
+    return text, blob, json.dumps(payload)  # line 14: payload-builder result
+
+
+def make_payload():
+    return {"k": 0}
+
+
+def fine(stream):
+    # Sorted, non-dict, dynamic and suppressed uses must stay silent.
+    json.dumps({"a": 1}, sort_keys=True)
+    json.dump(RESULTS, stream, sort_keys=True)
+    json.dumps([1, 2, 3])
+    json.dumps(RESULTS, sort_keys=bool(stream))
+    json.dumps(RESULTS)  # repro: noqa[RPR005]

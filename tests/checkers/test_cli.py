@@ -1,9 +1,11 @@
-"""CLI tests: exit codes, flag validation, JSON output."""
+"""CLI tests: exit codes, flag validation, JSON schema round-trips."""
 
 import json
 from pathlib import Path
 
-from repro.checkers.cli import EXIT_LINT, EXIT_MODEL, EXIT_OK, main
+from repro.checkers.cdg import CycleWitness, ProofResult
+from repro.checkers.cli import EXIT_LINT, EXIT_MODEL, EXIT_OK, JSON_SCHEMA_VERSION, main
+from repro.checkers.model import ModelFinding
 
 FIXTURES = Path(__file__).parent / "fixtures" / "violations"
 
@@ -31,7 +33,7 @@ def test_mutually_exclusive_flags_rejected(capsys):
 def test_list_rules(capsys):
     assert main(["--list-rules"]) == EXIT_OK
     out = capsys.readouterr().out
-    for code in ("RPR001", "RPR002", "RPR003", "RPR004"):
+    for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
         assert code in out
 
 
@@ -49,3 +51,71 @@ def test_strict_flag_reports_blanket_noqa(capsys):
     status = main(["--lint-only", "--strict", "--root", str(FIXTURES)])
     assert status == EXIT_LINT
     assert "RPR000" in capsys.readouterr().out
+
+
+def test_routing_proofs_excludes_other_modes(capsys):
+    status = main(["--routing-proofs", "--lint-only"])
+    assert status == EXIT_MODEL
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_routing_proofs_json_schema_round_trips(capsys):
+    status = main(["--routing-proofs", "--json"])
+    assert status == EXIT_OK
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == JSON_SCHEMA_VERSION
+    assert payload["lint"] == [] and payload["model"] == []
+    proofs = payload["proofs"]
+    assert len(proofs) == 11
+    # Every entry round-trips: from_payload(payload(x)) re-emits the
+    # identical JSON object, so the documented schema is faithful.
+    for entry in proofs:
+        assert ProofResult.from_payload(entry).payload() == entry
+    rejected = [p for p in proofs if not p["certified"]]
+    assert [p["spec"] for p in rejected] == ["torus-no-dateline"]
+    witness = rejected[0]["witness"]
+    assert witness is not None
+    assert CycleWitness.from_payload(witness).payload() == witness
+
+
+def test_model_finding_payload_round_trips():
+    witness = CycleWitness(channels=("a.E", "b.W"), destinations=(3, 7))
+    finding = ModelFinding("deadlock-freedom", "spec-x", "cycle", witness=witness)
+    restored = ModelFinding.from_payload(finding.payload())
+    assert restored.payload() == finding.payload()
+    assert restored.witness is not None
+    assert restored.witness.channels == ("a.E", "b.W")
+    # Destination tokens serialize as strings by design.
+    assert restored.witness.destinations == ("3", "7")
+
+    bare = ModelFinding("ring-wiring", "ring-2level", "gap")
+    assert ModelFinding.from_payload(bare.payload()) == bare
+
+
+def test_witness_artifacts_written_on_proof_failure(tmp_path, monkeypatch, capsys):
+    # Force one expectation break by patching the suite: claim the
+    # no-dateline torus should certify.
+    import repro.checkers.cli as cli_module
+
+    def broken_report():
+        from repro.checkers.model import routing_proof_report
+
+        results, findings = routing_proof_report()
+        finding = ModelFinding(
+            "routing-proof",
+            "torus-no-dateline",
+            "forced failure",
+            witness=CycleWitness(channels=("a",), destinations=("0",)),
+        )
+        return results, findings + [finding]
+
+    monkeypatch.setattr(cli_module, "routing_proof_report", broken_report)
+    witness_dir = tmp_path / "artifacts"
+    status = main(["--routing-proofs", "--witness-dir", str(witness_dir)])
+    assert status == EXIT_MODEL
+    artifact = witness_dir / "routing-proof-failures.json"
+    assert artifact.exists()
+    payload = json.loads(artifact.read_text())
+    assert payload["schema"] == JSON_SCHEMA_VERSION
+    assert payload["failures"][0]["subject"] == "torus-no-dateline"
+    assert payload["failures"][0]["witness"]["channels"] == ["a"]

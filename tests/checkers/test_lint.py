@@ -60,6 +60,18 @@ def test_rpr004_float_counter(fixture_findings):
     assert "flits_moved" in found[0].message
 
 
+def test_rpr005_unsorted_json_payload(fixture_findings):
+    found = fixture_findings["runtime/json_dump.py"]
+    assert [f.code for f in found] == ["RPR005"] * 4
+    # Dict literal, module-level dict name, dict() through the imported
+    # alias, and a *_payload() builder result; every compliant spelling
+    # (sort_keys=True, list payload, dynamic sort_keys, coded noqa) in
+    # the same file stays silent.
+    assert [f.line for f in found] == [10, 11, 12, 14]
+    assert all("sort_keys=True" in f.message for f in found)
+    assert any("json.dump()" in f.message for f in found)
+
+
 def test_scope_excludes_analysis_from_rpr001(fixture_findings):
     # analysis/ iterates a set but RPR001's scope does not cover it.
     assert "analysis/unscoped.py" not in fixture_findings
@@ -111,4 +123,4 @@ def test_docstring_noqa_does_not_suppress(tmp_path):
 def test_registry_exposes_the_documented_rules():
     codes = [r.code for r in all_rules()]
     assert codes == sorted(codes)
-    assert {"RPR001", "RPR002", "RPR003", "RPR004"} <= set(codes)
+    assert {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005"} <= set(codes)

@@ -1,0 +1,170 @@
+"""Spec-algebra and CDG-prover tests over the geometry-built specs.
+
+The paper-family ring/mesh verdicts are covered by
+``tests/checkers/test_model.py``; this file exercises the new fabric
+of the prover itself — the torus dateline argument (positive and
+negative), the adaptive escape discharge, the deflection livelock
+bound, and the witness machinery.
+"""
+
+from dataclasses import replace
+
+from repro.checkers.cdg import CycleWitness, prove, replay_witness
+from repro.checkers.specs import (
+    DELIVER,
+    RoutingSpec,
+    SpecChannel,
+    adaptive_mesh_spec,
+    ecube_mesh_spec,
+    mesh_legal_outputs,
+    ring_deflection_spec,
+    torus_spec,
+)
+from repro.mesh.routing import LOCAL
+from repro.mesh.topology import MeshShape, TorusShape
+
+
+# ----------------------------------------------------------------------
+# e-cube mesh
+# ----------------------------------------------------------------------
+def test_ecube_mesh_certified_acyclic():
+    proof = prove(ecube_mesh_spec(MeshShape(4)))
+    assert proof.certified
+    assert proof.method == "acyclic-cdg"
+    assert proof.witness is None
+    assert proof.states > 0 and proof.edges > 0
+
+
+def test_mesh_legal_outputs_is_singleton_dimension_order():
+    shape = MeshShape(3)
+    table = mesh_legal_outputs(shape)
+    assert set(table) == {
+        (n, d) for n in range(shape.processors) for d in range(shape.processors)
+    }
+    for (node, dest), legal in table.items():
+        assert len(legal) == 1
+        if node == dest:
+            assert legal == frozenset({LOCAL})
+        else:
+            assert legal <= {"N", "S", "E", "W"}
+
+
+# ----------------------------------------------------------------------
+# torus dateline argument
+# ----------------------------------------------------------------------
+def test_torus_with_dateline_certified():
+    proof = prove(torus_spec(TorusShape(4), dateline=True))
+    assert proof.certified
+    assert proof.method == "acyclic-cdg"
+
+
+def test_torus_without_dateline_rejected_with_minimal_witness():
+    spec = torus_spec(TorusShape(4), dateline=False)
+    proof = prove(spec)
+    assert not proof.certified
+    witness = proof.witness
+    assert witness is not None
+    # The shortest undischarged cycle is one full unidirectional ring.
+    assert len(witness) == 4
+    assert witness.format() in proof.detail
+    # The witness replays as a real reachable dependency chain.
+    assert replay_witness(spec, witness) is None
+
+
+def test_torus_witness_replay_rejects_tampering():
+    spec = torus_spec(TorusShape(4), dateline=False)
+    witness = prove(spec).witness
+    reversed_cycle = CycleWitness(
+        channels=witness.channels[::-1], destinations=witness.destinations
+    )
+    assert replay_witness(spec, reversed_cycle) is not None
+
+
+# ----------------------------------------------------------------------
+# adaptive escape discharge
+# ----------------------------------------------------------------------
+def test_adaptive_mesh_certified_via_escape_subnetwork():
+    proof = prove(adaptive_mesh_spec(MeshShape(3)))
+    assert proof.certified
+    assert proof.method == "escape-subnetwork"
+
+
+def test_adaptive_mesh_without_escape_channels_rejected():
+    spec = adaptive_mesh_spec(MeshShape(3))
+    stripped = replace(
+        spec,
+        channels=tuple(replace(c, escape=False) for c in spec.channels),
+    )
+    proof = prove(stripped)
+    assert not proof.certified
+    assert "no escape channels" in proof.detail
+    assert proof.witness is not None
+    assert replay_witness(stripped, proof.witness) is None
+
+
+# ----------------------------------------------------------------------
+# deflection livelock bound
+# ----------------------------------------------------------------------
+def test_ring_deflection_certified_by_livelock_bound():
+    proof = prove(ring_deflection_spec(8))
+    assert proof.certified
+    assert proof.method == "deflection-livelock-bound"
+
+
+def test_deflection_without_age_priority_rejected():
+    spec = replace(ring_deflection_spec(6), priority="fixed")
+    proof = prove(spec)
+    assert not proof.certified
+    assert "priority" in proof.detail
+    assert proof.witness is not None
+
+
+def test_deflection_without_productive_outputs_rejected():
+    spec = replace(ring_deflection_spec(5), productive={})
+    proof = prove(spec)
+    assert not proof.certified
+    assert "productive" in proof.detail
+
+
+# ----------------------------------------------------------------------
+# spec hygiene rejections
+# ----------------------------------------------------------------------
+def test_undeclared_start_channel_rejected():
+    spec = RoutingSpec(
+        name="bad-start",
+        kind="deterministic",
+        channels=(SpecChannel("a"),),
+        starts={0: frozenset({"ghost"})},
+        moves={},
+    )
+    proof = prove(spec)
+    assert not proof.certified
+    assert "not declared" in proof.detail
+
+
+def test_reachable_dead_end_rejected_as_non_total():
+    spec = RoutingSpec(
+        name="dead-end",
+        kind="deterministic",
+        channels=(SpecChannel("a"), SpecChannel("b")),
+        starts={0: frozenset({"a"})},
+        moves={("a", 0): frozenset({"b"})},
+    )
+    proof = prove(spec)
+    assert not proof.certified
+    assert "not total" in proof.detail
+
+
+def test_self_loop_is_a_length_one_witness():
+    spec = RoutingSpec(
+        name="self-loop",
+        kind="deterministic",
+        channels=(SpecChannel("a"),),
+        starts={0: frozenset({"a"})},
+        moves={("a", 0): frozenset({"a"})},
+    )
+    proof = prove(spec)
+    assert not proof.certified
+    assert proof.witness is not None
+    assert len(proof.witness) == 1
+    assert replay_witness(spec, proof.witness) is None
