@@ -1,0 +1,353 @@
+"""Closed-loop load generator for the async sweep service.
+
+Standalone script (like ``bench_kernel.py``): starts a
+:class:`repro.service.SweepService` in-process on an ephemeral port
+with a fresh disk cache and a dedicated in-memory LRU, then drives it
+over real HTTP with persistent per-client connections through three
+traffic cells:
+
+* ``cold`` — every request a unique point (pinned distinct seeds):
+  pays one simulation per request; measures the service's compute path
+  (queueing + shard dispatch + write-through to both cache tiers);
+* ``warm`` — the same points again, several rounds: every response
+  served from the in-memory tier; measures the pure serving path;
+* ``herd`` — a thundering herd of identical concurrent requests for a
+  point no tier has seen: single-flight dedup must collapse them onto
+  exactly ONE simulation.
+
+Each cell reports closed-loop request throughput and p50/p99 latency
+plus the tier breakdown.  Three contract gates are asserted, not just
+reported:
+
+1. the herd cell (>= 32 identical concurrent requests) executes
+   exactly 1 simulation and every response is byte-identical;
+2. warm p50 latency is >= ``WARM_SPEEDUP_FLOOR`` (50x) lower than cold
+   p50;
+3. a served response is byte-identical JSON to a direct
+   :func:`repro.runtime.run_point` of the same spec.
+
+Every run folds one entry into the report's ``history`` list, deduped
+per (git sha, mode) exactly like ``BENCH_kernel.json``.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.bench_service            # full
+    PYTHONPATH=src python -m benchmarks.bench_service --smoke    # CI
+    PYTHONPATH=src python -m benchmarks.bench_service -o BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from datetime import datetime, timezone
+
+from repro.core.config import RingSystemConfig, SimulationParams, WorkloadConfig
+from repro.runtime import MemCache, PointSpec, ResultCache, run_point
+from repro.runtime.serialization import canonical_json, result_payload
+from repro.service import AsyncServiceClient, SweepService
+
+from .bench_kernel import _git_sha, _merge_history, _prior_history
+
+#: Contract gate: warm-cache p50 must be at least this many times
+#: lower than cold p50.
+WARM_SPEEDUP_FLOOR = 50.0
+
+#: The swept system: fig07's smallest interesting two-level ring.
+SYSTEM = RingSystemConfig(topology="2:6", cache_line_bytes=32)
+WORKLOAD = WorkloadConfig(locality=1.0, miss_rate=0.04, outstanding=4)
+
+FULL = {
+    "params": SimulationParams(batch_cycles=2500, batches=3, seed=1),
+    "points": 24,
+    "clients": 8,
+    "warm_rounds": 20,
+    "herd": 64,
+    "shards": 2,
+    "workers_per_shard": 4,
+}
+SMOKE = {
+    "params": SimulationParams(batch_cycles=1000, batches=2, seed=1),
+    "points": 6,
+    "clients": 4,
+    "warm_rounds": 10,
+    "herd": 32,
+    "shards": 2,
+    "workers_per_shard": 2,
+}
+
+
+@dataclass
+class CellStats:
+    requests: int
+    elapsed: float
+    latencies: "list[float]"
+    sources: "dict[str, int]"
+
+    def payload(self) -> dict:
+        ordered = sorted(self.latencies)
+
+        def quantile(q: float) -> float:
+            return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+        hits = self.sources.get("mem", 0) + self.sources.get("disk", 0)
+        return {
+            "requests": self.requests,
+            "throughput_rps": round(self.requests / self.elapsed, 1),
+            "p50_ms": round(1e3 * quantile(0.50), 3),
+            "p99_ms": round(1e3 * quantile(0.99), 3),
+            "hit_rate": round(hits / self.requests, 4),
+            "sources": dict(sorted(self.sources.items())),
+        }
+
+    def p50(self) -> float:
+        return sorted(self.latencies)[len(self.latencies) // 2]
+
+
+def unique_points(params: SimulationParams, count: int) -> "list[dict]":
+    """*count* distinct payloads: same system/workload, pinned seeds."""
+    return [
+        PointSpec(
+            system=SYSTEM,
+            workload=WORKLOAD,
+            params=SimulationParams(
+                batch_cycles=params.batch_cycles,
+                batches=params.batches,
+                seed=1000 + index,
+            ),
+        ).payload()
+        for index in range(count)
+    ]
+
+
+async def closed_loop(
+    host: str, port: int, payloads: "list[dict]", clients: int
+) -> CellStats:
+    """Drive *payloads* through *clients* concurrent closed-loop users."""
+    pending = list(reversed(payloads))
+    latencies: "list[float]" = []
+    sources: "dict[str, int]" = {}
+
+    async def user() -> None:
+        client = AsyncServiceClient(host, port)
+        await client.connect()
+        try:
+            while pending:
+                payload = pending.pop()
+                start = time.perf_counter()
+                __, source = await client.run_point(payload)
+                latencies.append(time.perf_counter() - start)
+                sources[source] = sources.get(source, 0) + 1
+        finally:
+            await client.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(user() for __ in range(min(clients, len(payloads)))))
+    elapsed = time.perf_counter() - started
+    return CellStats(len(payloads), elapsed, latencies, sources)
+
+
+async def thundering_herd(
+    host: str, port: int, payload: dict, herd: int
+) -> "tuple[CellStats, set[str]]":
+    """*herd* identical requests, all in flight before any completes."""
+    clients = []
+    for __ in range(herd):
+        client = AsyncServiceClient(host, port)
+        await client.connect()
+        clients.append(client)
+    latencies: "list[float]" = []
+    sources: "dict[str, int]" = {}
+    texts: "set[str]" = set()
+
+    async def fire(client: AsyncServiceClient) -> None:
+        start = time.perf_counter()
+        text, source = await client.run_point(payload)
+        latencies.append(time.perf_counter() - start)
+        sources[source] = sources.get(source, 0) + 1
+        texts.add(text)
+
+    started = time.perf_counter()
+    await asyncio.gather(*(fire(client) for client in clients))
+    elapsed = time.perf_counter() - started
+    for client in clients:
+        await client.close()
+    return CellStats(herd, elapsed, latencies, sources), texts
+
+
+async def measure(config: dict) -> dict:
+    params: SimulationParams = config["params"]
+    report: dict = {
+        "system": str(SYSTEM.topology),
+        "batch_cycles": params.batch_cycles,
+        "batches": params.batches,
+        "clients": config["clients"],
+        "shards": config["shards"],
+        "workers_per_shard": config["workers_per_shard"],
+        "cells": {},
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        service = SweepService(
+            "127.0.0.1",
+            0,
+            shards=config["shards"],
+            workers_per_shard=config["workers_per_shard"],
+            cache=ResultCache(tmp),
+            mem=MemCache(),
+        )
+        await service.start()
+        await asyncio.get_running_loop().run_in_executor(
+            None, service.pools.warm_up
+        )
+        host, port = service.host, service.port
+        try:
+            payloads = unique_points(params, config["points"])
+
+            cold = await closed_loop(host, port, payloads, config["clients"])
+            assert cold.sources.get("computed", 0) == len(payloads), (
+                f"cold cell was not all computed: {cold.sources}"
+            )
+            report["cells"]["cold"] = cold.payload()
+
+            warm = await closed_loop(
+                host, port, payloads * config["warm_rounds"], config["clients"]
+            )
+            hits = warm.sources.get("mem", 0) + warm.sources.get("disk", 0)
+            assert hits == warm.requests, (
+                f"warm cell was not all cache hits: {warm.sources}"
+            )
+            report["cells"]["warm"] = warm.payload()
+
+            herd_payload = PointSpec(
+                system=SYSTEM,
+                workload=WORKLOAD,
+                params=SimulationParams(
+                    batch_cycles=params.batch_cycles,
+                    batches=params.batches,
+                    seed=999_983,
+                ),
+            ).payload()
+            herd, herd_texts = await thundering_herd(
+                host, port, herd_payload, config["herd"]
+            )
+            computed = herd.sources.get("computed", 0)
+            dedup_ratio = (herd.requests - computed) / herd.requests
+            report["cells"]["herd"] = {
+                **herd.payload(),
+                "computed": computed,
+                "dedup_ratio": round(dedup_ratio, 4),
+            }
+            assert computed == 1, (
+                f"thundering herd of {herd.requests} executed {computed} "
+                f"simulations, expected exactly 1 ({herd.sources})"
+            )
+            assert len(herd_texts) == 1, "herd responses were not byte-identical"
+
+            speedup = cold.p50() / warm.p50()
+            report["speedup_warm_vs_cold_p50"] = round(speedup, 1)
+            assert speedup >= WARM_SPEEDUP_FLOOR, (
+                f"warm p50 only {speedup:.1f}x lower than cold p50 "
+                f"(floor {WARM_SPEEDUP_FLOOR}x)"
+            )
+
+            # Byte-identity: served response vs a direct local run_point.
+            client = AsyncServiceClient(host, port)
+            await client.connect()
+            served, source = await client.run_point(payloads[0])
+            await client.close()
+            direct = run_point(PointSpec.from_payload(payloads[0]), cache=None)
+            expected = canonical_json(result_payload(direct))
+            assert served == expected, (
+                "service response is not byte-identical to direct run_point"
+            )
+            report["byte_identical_to_run_point"] = True
+            report["served_source_checked"] = source
+        finally:
+            await service.stop()
+            await service._shutdown()
+    return report
+
+
+def _history_entry(report: dict) -> dict:
+    cells = report["cells"]
+    return {
+        "sha": _git_sha(),
+        "date": datetime.now(timezone.utc).strftime("%Y-%m-%d"),
+        "mode": report["mode"],
+        "cells": {
+            name: {
+                "throughput_rps": cell["throughput_rps"],
+                "p50_ms": cell["p50_ms"],
+                "p99_ms": cell["p99_ms"],
+            }
+            for name, cell in cells.items()
+        },
+        "speedup_warm_vs_cold_p50": report["speedup_warm_vs_cold_p50"],
+        "herd_dedup_ratio": cells["herd"]["dedup_ratio"],
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short CI run (fewer points/clients, smaller simulations)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the report as JSON to this path (folds into its history)",
+    )
+    args = parser.parse_args(argv)
+
+    config = SMOKE if args.smoke else FULL
+    report = asyncio.run(measure(config))
+    report["mode"] = "smoke" if args.smoke else "full"
+
+    print(
+        f"service bench, ring {report['system']} "
+        f"({report['batch_cycles']}x{report['batches']} cycles, "
+        f"{report['clients']} clients, {report['shards']}x"
+        f"{report['workers_per_shard']} workers):"
+    )
+    for name in ("cold", "warm", "herd"):
+        cell = report["cells"][name]
+        line = (
+            f"  {name:<5} {cell['requests']:>5} req"
+            f"  {cell['throughput_rps']:>8.1f} req/s"
+            f"  p50 {cell['p50_ms']:>8.3f} ms"
+            f"  p99 {cell['p99_ms']:>8.3f} ms"
+            f"  hit rate {cell['hit_rate']:.2f}"
+        )
+        if name == "herd":
+            line += (
+                f"  simulations {cell['computed']}"
+                f"  dedup {cell['dedup_ratio']:.3f}"
+            )
+        print(line)
+    print(
+        f"  warm p50 is {report['speedup_warm_vs_cold_p50']}x lower than cold "
+        f"(floor {WARM_SPEEDUP_FLOOR:.0f}x); responses byte-identical to "
+        f"run_point: {report['byte_identical_to_run_point']}"
+    )
+
+    if args.output:
+        history = _merge_history(_prior_history(args.output), _history_entry(report))
+        report["history"] = history
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output} ({len(history)} history entr"
+              f"{'y' if len(history) == 1 else 'ies'})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

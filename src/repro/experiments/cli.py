@@ -83,6 +83,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="delete the on-disk result cache (then run any given experiments)",
     )
     parser.add_argument(
+        "--cache-prune",
+        metavar="BYTES",
+        default=None,
+        help="evict least-recently-used cache entries (any salt "
+        "generation) until the cache is at most this many bytes; "
+        "accepts K/M/G suffixes (then run any given experiments)",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print cache statistics (entry count, total bytes, salt "
+        "generations present) before running",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="evaluate the paper-shape checks and report pass/fail",
@@ -139,6 +153,14 @@ def _build_cache(args) -> ResultCache | None:
     return ResultCache(root)
 
 
+def _parse_bytes(text: str) -> int:
+    """``"500M"``-style byte sizes with K/M/G suffixes."""
+    scale = {"K": 1024, "M": 1024**2, "G": 1024**3}.get(text[-1:].upper())
+    if scale is not None:
+        return int(float(text[:-1]) * scale)
+    return int(text)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -156,6 +178,27 @@ def main(argv: list[str] | None = None) -> int:
         cache = _build_cache(args) or ResultCache(args.cache_dir)
         removed = cache.clear()
         print(f"cleared result cache at {cache.root} ({removed} entries)")
+        if not args.experiments:
+            return 0
+
+    if args.cache_prune is not None:
+        try:
+            max_bytes = _parse_bytes(args.cache_prune)
+        except ValueError:
+            parser.error(f"--cache-prune: not a byte size: {args.cache_prune!r}")
+        cache = _build_cache(args) or ResultCache(args.cache_dir)
+        report = cache.prune(max_bytes)
+        print(
+            f"pruned result cache at {cache.root}: removed "
+            f"{report.removed_entries} entries ({report.removed_bytes} bytes), "
+            f"kept {report.kept_entries} entries ({report.kept_bytes} bytes)"
+        )
+        if not args.experiments and not args.cache_stats:
+            return 0
+
+    if args.cache_stats:
+        cache = _build_cache(args) or ResultCache(args.cache_dir)
+        print(f"result cache at {cache.root}: {cache.stats().describe()}")
         if not args.experiments:
             return 0
 

@@ -6,10 +6,15 @@ The substrate under every figure sweep:
   ``simulate()`` call with a deterministically derived per-point seed;
 * :class:`ResultCache` — content-addressed on-disk results under
   ``results/.cache/<code-salt>/``, invalidated implicitly whenever the
-  simulator source changes;
+  simulator source changes, with :meth:`~ResultCache.prune` (LRU
+  eviction to a byte budget) and :meth:`~ResultCache.stats`;
+* :class:`MemCache` — a process-wide in-memory LRU tier in front of the
+  disk cache (bounded by entries and bytes), shared by the CLI runner
+  and the :mod:`repro.service` sweep server;
 * :func:`run_points` — ordered fan-out of independent points across
-  worker processes (``--jobs`` / ``REPRO_JOBS``), cache-aware, with a
-  per-point progress hook;
+  worker processes (``--jobs`` / ``REPRO_JOBS``), cache-aware (both
+  tiers), single-flight deduplicated within a batch, with a per-point
+  progress hook;
 * :func:`runtime_context` — ambient defaults so the experiments CLI can
   configure jobs/cache once for all nested sweeps.
 
@@ -18,20 +23,43 @@ serial behavior; with N jobs it produces identical results in
 identical order, just faster.
 """
 
-from .cache import DEFAULT_CACHE_DIR, ResultCache, code_version_salt
-from .runner import resolve_jobs, run_point, run_points, runtime_context
+from .cache import (
+    DEFAULT_CACHE_DIR,
+    CacheStats,
+    PruneReport,
+    ResultCache,
+    code_version_salt,
+    prime_code_version_salt,
+)
+from .memcache import GLOBAL_MEMCACHE, MemCache, MemCacheStats
+from .runner import (
+    cache_lookup,
+    cache_store,
+    resolve_jobs,
+    run_point,
+    run_points,
+    runtime_context,
+)
 from .spec import PointSpec, derive_point_seed
 from .telemetry import Progress, ProgressHook, ProgressPrinter
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
+    "GLOBAL_MEMCACHE",
+    "CacheStats",
+    "MemCache",
+    "MemCacheStats",
     "PointSpec",
     "Progress",
     "ProgressHook",
     "ProgressPrinter",
+    "PruneReport",
     "ResultCache",
+    "cache_lookup",
+    "cache_store",
     "code_version_salt",
     "derive_point_seed",
+    "prime_code_version_salt",
     "resolve_jobs",
     "run_point",
     "run_points",

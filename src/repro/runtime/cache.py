@@ -22,20 +22,48 @@ import json
 import os
 import pathlib
 import shutil
+from dataclasses import dataclass, field
 from functools import lru_cache
 
 from ..core.simulation import SimulationResult
-from .serialization import result_from_payload, result_payload
+from .serialization import canonical_json, result_from_payload, result_payload
 from .spec import PointSpec
 
 #: Default cache root, relative to the working directory; override with
 #: the ``REPRO_CACHE_DIR`` environment variable or ``--cache-dir``.
 DEFAULT_CACHE_DIR = pathlib.Path("results") / ".cache"
 
+#: Salt injected by :func:`prime_code_version_salt`; worker processes
+#: receive the parent's salt through the pool initializer instead of
+#: re-hashing the whole package on first cache touch.
+_primed_salt: str | None = None
+
+
+def prime_code_version_salt(salt: str) -> None:
+    """Install a precomputed salt for this process.
+
+    Used as a ``ProcessPoolExecutor`` initializer (with the parent's
+    salt as initarg) so pool workers never pay the package re-hash of
+    :func:`code_version_salt`.
+    """
+    global _primed_salt
+    _primed_salt = salt
+
+
+def code_version_salt() -> str:
+    """Hash of the installed ``repro`` package's Python sources.
+
+    A salt installed by :func:`prime_code_version_salt` (worker
+    processes) takes precedence; otherwise the package sources are
+    hashed once per process and memoized.
+    """
+    if _primed_salt is not None:
+        return _primed_salt
+    return _computed_code_version_salt()
+
 
 @lru_cache(maxsize=1)
-def code_version_salt() -> str:
-    """Hash of the installed ``repro`` package's Python sources."""
+def _computed_code_version_salt() -> str:
     root = pathlib.Path(__file__).resolve().parent.parent
     digest = hashlib.sha256()
     for path in sorted(root.rglob("*.py")):
@@ -44,6 +72,32 @@ def code_version_salt() -> str:
         digest.update(path.read_bytes())
         digest.update(b"\0")
     return digest.hexdigest()[:16]
+
+
+@dataclass
+class CacheStats:
+    """Disk-cache population snapshot across every salt generation."""
+
+    entries: int = 0
+    total_bytes: int = 0
+    salts: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        salts = ", ".join(self.salts) if self.salts else "none"
+        return (
+            f"{self.entries} entries, {self.total_bytes} bytes, "
+            f"salt generations: {salts}"
+        )
+
+
+@dataclass
+class PruneReport:
+    """What :meth:`ResultCache.prune` removed and what survived."""
+
+    removed_entries: int = 0
+    removed_bytes: int = 0
+    kept_entries: int = 0
+    kept_bytes: int = 0
 
 
 class ResultCache:
@@ -67,6 +121,23 @@ class ResultCache:
         except (OSError, ValueError, KeyError, TypeError):
             return None
 
+    def get_entry(self, spec: PointSpec) -> "tuple[str, SimulationResult] | None":
+        """Hit as ``(canonical_text, result)``; corrupt entries miss.
+
+        The text is the *re-canonicalized* result payload
+        (:func:`~repro.runtime.serialization.canonical_json`), not the
+        raw file bytes, so callers that serve cached results over the
+        wire hand out exactly the bytes a fresh ``run_point`` of the
+        same spec would serialize to.
+        """
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+            result = result_from_payload(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        return canonical_json(result_payload(result)), result
+
     def put(self, spec: PointSpec, result: SimulationResult) -> None:
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -86,3 +157,63 @@ class ResultCache:
         if not salted.exists():
             return 0
         return sum(1 for __ in salted.rglob("*.json"))
+
+    def _entries(self) -> "list[tuple[float, int, pathlib.Path]]":
+        """Every entry across all salts as ``(mtime, bytes, path)``."""
+        entries: list[tuple[float, int, pathlib.Path]] = []
+        if not self.root.exists():
+            return entries
+        for path in self.root.rglob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def stats(self) -> CacheStats:
+        """Entry count, total bytes, and salt generations present."""
+        stats = CacheStats()
+        salts: set[str] = set()
+        for __, size, path in self._entries():
+            stats.entries += 1
+            stats.total_bytes += size
+            salts.add(path.relative_to(self.root).parts[0])
+        stats.salts = sorted(salts)
+        return stats
+
+    def prune(self, max_bytes: int) -> PruneReport:
+        """Evict least-recently-used entries until <= *max_bytes* total.
+
+        Recency is file mtime — reads never bump it, so this is
+        least-recently-*written* eviction across every salt generation
+        (stale-salt entries age out first since nothing rewrites them).
+        Emptied ``<salt>/<prefix>`` directories are removed with the
+        entries.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = sorted(self._entries())
+        report = PruneReport(
+            kept_entries=len(entries),
+            kept_bytes=sum(size for __, size, __path in entries),
+        )
+        for __, size, path in entries:
+            if report.kept_bytes <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            report.removed_entries += 1
+            report.removed_bytes += size
+            report.kept_entries -= 1
+            report.kept_bytes -= size
+            parent = path.parent
+            while parent != self.root:
+                try:
+                    parent.rmdir()
+                except OSError:
+                    break
+                parent = parent.parent
+        return report

@@ -28,7 +28,9 @@ from typing import Final, Iterable, Iterator, Sequence, cast
 
 from ..core.errors import ConfigurationError
 from ..core.simulation import SimulationResult, simulate, simulate_batch
-from .cache import ResultCache
+from .cache import ResultCache, prime_code_version_salt
+from .memcache import GLOBAL_MEMCACHE, MemCache, entry_key
+from .serialization import canonical_json, result_payload
 from .spec import PointSpec
 from .telemetry import Progress, ProgressHook
 
@@ -104,6 +106,75 @@ def _resolve_cache(cache: ResultCache | None | _UnsetType) -> ResultCache | None
     return ResultCache(env) if env else None
 
 
+def _tier_key(cache: ResultCache, spec_key: str) -> str:
+    return entry_key(str(cache.root), cache.salt, spec_key)
+
+
+def cache_lookup(
+    cache: ResultCache,
+    spec: PointSpec,
+    spec_key: str | None = None,
+    *,
+    mem: MemCache | None = None,
+) -> "tuple[str, SimulationResult, str] | None":
+    """Two-tier lookup: memory first, then disk (promoting to memory).
+
+    Returns ``(canonical_text, result, tier)`` with ``tier`` either
+    ``"mem"`` or ``"disk"``, or ``None`` on a full miss.  The text is
+    byte-identical to what a fresh ``run_point`` of the same spec would
+    canonically serialize to, so services can return it verbatim.
+    ``mem`` selects the memory tier (default: the process-wide LRU).
+    """
+    tier = mem if mem is not None else GLOBAL_MEMCACHE
+    key = _tier_key(cache, spec_key if spec_key is not None else spec.key())
+    if tier.enabled:
+        hit = tier.get(key)
+        if hit is not None:
+            return hit[0], hit[1], "mem"
+    entry = cache.get_entry(spec)
+    if entry is None:
+        return None
+    text, result = entry
+    tier.put(key, text, result)
+    return text, result, "disk"
+
+
+def cache_store(
+    cache: ResultCache,
+    spec: PointSpec,
+    result: SimulationResult,
+    spec_key: str | None = None,
+    *,
+    mem: MemCache | None = None,
+) -> str:
+    """Write *result* through both tiers; returns its canonical text."""
+    tier = mem if mem is not None else GLOBAL_MEMCACHE
+    text = canonical_json(result_payload(result))
+    cache.put(spec, result)
+    key = _tier_key(cache, spec_key if spec_key is not None else spec.key())
+    tier.put(key, text, result)
+    return text
+
+
+def _pool(workers: int, cache: ResultCache | None) -> ProcessPoolExecutor:
+    """A worker pool whose workers inherit the parent's code salt.
+
+    ``code_version_salt()`` is memoized *per process*, so without
+    priming every worker would re-read the whole package's ``.py``
+    files on its first cache touch; the initializer threads the salt
+    the parent already computed (or the active cache's pinned salt)
+    into each worker before it runs anything.
+    """
+    salt = cache.salt if cache is not None else None
+    if salt is None:
+        return ProcessPoolExecutor(max_workers=workers)
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=prime_code_version_salt,
+        initargs=(salt,),
+    )
+
+
 def _execute(spec: PointSpec) -> SimulationResult:
     """Worker entry point: run one fully-resolved simulation point."""
     return simulate(spec.system, spec.workload, spec.params)
@@ -168,11 +239,13 @@ def run_replica_batch(
     missing: list[int] = []
     for seed in unique_seeds:
         replica_spec = _replica_spec(spec, seed)
-        hit = active_cache.get(replica_spec) if active_cache is not None else None
+        hit = cache_lookup(active_cache, replica_spec) if active_cache is not None else None
         if hit is not None:
-            by_seed[seed] = hit
+            by_seed[seed] = hit[1]
             tracker.done += 1
             tracker.cache_hits += 1
+            if hit[2] == "mem":
+                tracker.memcache_hits += 1
             if hook:
                 hook(tracker)
         else:
@@ -183,7 +256,7 @@ def run_replica_batch(
             seed = result.params.seed
             by_seed[seed] = result
             if active_cache is not None:
-                active_cache.put(_replica_spec(spec, seed), result)
+                cache_store(active_cache, _replica_spec(spec, seed), result)
             tracker.done += 1
             if hook:
                 hook(tracker)
@@ -198,7 +271,7 @@ def run_replica_batch(
             tuple(missing[start : start + bound])
             for start in range(0, len(missing), bound)
         ]
-        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+        with _pool(len(chunks), active_cache) as pool:
             futures = [pool.submit(_execute_batch, spec, chunk) for chunk in chunks]
             for future in as_completed(futures):
                 _record(future.result())
@@ -228,31 +301,55 @@ def run_points(
 
     tracker = Progress(total=len(specs))
     results: list[SimulationResult | None] = [None] * len(specs)
+    # Single-flight within the batch: repeated identical specs coalesce
+    # onto one representative computation (points are deterministic, so
+    # duplicates would reproduce the same result bit for bit anyway).
     pending: list[int] = []
+    followers: dict[int, list[int]] = {}
+    rep_by_key: dict[str, int] = {}
     for index, spec in enumerate(specs):
-        hit = active_cache.get(spec) if active_cache is not None else None
+        spec_key = spec.key()
+        hit = (
+            cache_lookup(active_cache, spec, spec_key)
+            if active_cache is not None
+            else None
+        )
         if hit is not None:
-            results[index] = hit
+            results[index] = hit[1]
             tracker.done += 1
             tracker.cache_hits += 1
+            if hit[2] == "mem":
+                tracker.memcache_hits += 1
             if hook:
                 hook(tracker)
-        else:
+            continue
+        rep = rep_by_key.get(spec_key)
+        if rep is None:
+            rep_by_key[spec_key] = index
+            followers[index] = []
             pending.append(index)
+        else:
+            followers[rep].append(index)
 
     def _record(index: int, result: SimulationResult) -> None:
         results[index] = result
         if active_cache is not None:
-            active_cache.put(specs[index], result)
+            cache_store(active_cache, specs[index], result)
         tracker.done += 1
         if hook:
             hook(tracker)
+        for dup_index in followers[index]:
+            results[dup_index] = result
+            tracker.done += 1
+            tracker.dedup_hits += 1
+            if hook:
+                hook(tracker)
 
     if pending and jobs == 1:
         for index in pending:
             _record(index, _execute(specs[index]))
     elif pending:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+        with _pool(min(jobs, len(pending)), active_cache) as pool:
             futures = {pool.submit(_execute, specs[i]): i for i in pending}
             for future in as_completed(futures):
                 _record(futures[future], future.result())

@@ -25,8 +25,11 @@ from ..core.config import SimulationParams, WorkloadConfig
 from .serialization import (
     SystemConfig,
     canonical_json,
+    params_from_payload,
     params_payload,
+    system_from_payload,
     system_payload,
+    workload_from_payload,
     workload_payload,
 )
 
@@ -67,6 +70,25 @@ class PointSpec:
         """
         seed = derive_point_seed(system, workload, params.seed)
         return cls(system=system, workload=workload, params=replace(params, seed=seed))
+
+    @classmethod
+    def from_payload(
+        cls, payload: dict[str, Any], *, derive_seed: bool = False
+    ) -> "PointSpec":
+        """Rebuild a spec from its :meth:`payload` dictionary.
+
+        The inverse used by the sweep service to parse submitted JSON
+        jobs.  With ``derive_seed=True`` the payload's ``params.seed``
+        is treated as the sweep's *base* seed and replaced by
+        :func:`derive_point_seed` (i.e. :meth:`PointSpec.of` semantics);
+        the default pins the seed exactly as submitted.
+        """
+        system = system_from_payload(payload["system"])
+        workload = workload_from_payload(payload["workload"])
+        params = params_from_payload(payload["params"])
+        if derive_seed:
+            return cls.of(system, workload, params)
+        return cls(system=system, workload=workload, params=params)
 
     def payload(self) -> dict[str, Any]:
         return {

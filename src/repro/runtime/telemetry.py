@@ -23,11 +23,23 @@ class Progress:
     total: int
     done: int = 0
     cache_hits: int = 0
+    #: Of :attr:`cache_hits`, how many were served by the in-memory
+    #: tier (the rest came off disk).
+    memcache_hits: int = 0
+    #: Duplicate points coalesced onto another point's computation
+    #: (single-flight dedup); these count toward ``done`` but neither
+    #: toward ``cache_hits`` nor ``computed``.
+    dedup_hits: int = 0
     started: float = field(default_factory=time.monotonic)
 
     @property
     def computed(self) -> int:
-        """Points actually simulated (not served from cache)."""
+        """Points actually simulated (not cached, not deduplicated)."""
+        return self.done - self.cache_hits - self.dedup_hits
+
+    @property
+    def misses(self) -> int:
+        """Points that had to leave the cache tiers (computed + dedup)."""
         return self.done - self.cache_hits
 
     @property
@@ -62,6 +74,8 @@ class ProgressPrinter:
         self.live = live
         self.points = 0
         self.cache_hits = 0
+        self.memcache_hits = 0
+        self.dedup_hits = 0
         self._line_open = False
 
     def update(self, progress: Progress) -> None:
@@ -79,6 +93,8 @@ class ProgressPrinter:
         if progress.done == progress.total:
             self.points += progress.total
             self.cache_hits += progress.cache_hits
+            self.memcache_hits += progress.memcache_hits
+            self.dedup_hits += progress.dedup_hits
             self.finish_line()
 
     def finish_line(self) -> None:
@@ -92,9 +108,17 @@ class ProgressPrinter:
         if self.points == 0:
             return "0 points"
         percent = 100.0 * self.cache_hits / self.points
-        return f"{self.points} points, {self.cache_hits} cache hits ({percent:.0f}%)"
+        line = f"{self.points} points, {self.cache_hits} cache hits ({percent:.0f}%)"
+        if self.memcache_hits:
+            disk_hits = self.cache_hits - self.memcache_hits
+            line += f", {self.memcache_hits} mem / {disk_hits} disk"
+        if self.dedup_hits:
+            line += f", {self.dedup_hits} deduplicated"
+        return line
 
     def reset(self) -> None:
         self.finish_line()
         self.points = 0
         self.cache_hits = 0
+        self.memcache_hits = 0
+        self.dedup_hits = 0

@@ -1,0 +1,44 @@
+"""repro.service — async simulation-as-a-service over ``repro.runtime``.
+
+The production-serving layer of the reproduction: a long-running
+asyncio HTTP/JSON server (:class:`SweepService`) with
+
+* a priority job queue (:mod:`repro.service.queue`) and per-job
+  progress event streams (:mod:`repro.service.events`);
+* sharded persistent process pools (:mod:`repro.service.shards`) —
+  shard chosen by point content hash, workers primed with the parent's
+  code-version salt;
+* a two-tier cache with single-flight deduplication
+  (:mod:`repro.service.tiers`): process-wide in-memory LRU in front of
+  the salted disk cache, identical concurrent requests coalesced onto
+  one in-flight simulation.
+
+Served results are byte-identical to a direct
+:func:`repro.runtime.run_point` of the same spec.  Start it with
+``python -m repro.service``; drive it with
+:class:`~repro.service.client.ServiceClient`; measure it with
+``python -m benchmarks.bench_service``.
+"""
+
+from .app import DEFAULT_HOST, DEFAULT_PORT, ServiceHandle, SweepService, start_in_thread
+from .client import AsyncServiceClient, ServiceClient, ServiceError
+from .events import EventLog
+from .queue import Job, JobQueue
+from .shards import ShardedPools
+from .tiers import TieredCache
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "AsyncServiceClient",
+    "EventLog",
+    "Job",
+    "JobQueue",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHandle",
+    "ShardedPools",
+    "SweepService",
+    "TieredCache",
+    "start_in_thread",
+]

@@ -1,0 +1,55 @@
+"""Per-job progress event streams.
+
+An :class:`EventLog` is an append-only list of JSON-serializable event
+dicts plus an :class:`asyncio.Condition`; any number of subscribers can
+:meth:`stream` it concurrently, each getting every event exactly once
+from its chosen start index, ending after the terminal event (one with
+``"final": True``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, AsyncIterator
+
+
+class EventLog:
+    """Append-only event list with async fan-out to live subscribers."""
+
+    def __init__(self) -> None:
+        self._events: list[dict[str, Any]] = []
+        self._cond = asyncio.Condition()
+        self._closed = False
+
+    @property
+    def events(self) -> "list[dict[str, Any]]":
+        return list(self._events)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def append(self, event: "dict[str, Any]") -> None:
+        """Append one event; ``final=True`` closes the log."""
+        async with self._cond:
+            if self._closed:
+                raise RuntimeError("event log already closed")
+            self._events.append(event)
+            if event.get("final"):
+                self._closed = True
+            self._cond.notify_all()
+
+    async def stream(self, start: int = 0) -> "AsyncIterator[dict[str, Any]]":
+        """Yield events from *start* until the log closes."""
+        index = start
+        while True:
+            async with self._cond:
+                while index >= len(self._events) and not self._closed:
+                    await self._cond.wait()
+                batch = self._events[index:]
+                index = len(self._events)
+                closed = self._closed
+            for event in batch:
+                yield event
+            if closed:
+                return

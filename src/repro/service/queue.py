@@ -1,0 +1,106 @@
+"""Sweep jobs and the priority queue feeding the job runners.
+
+A :class:`Job` is one submitted sweep: an ordered list of fully
+resolved :class:`PointSpec`\\ s plus a priority.  Jobs wait in a
+:class:`JobQueue` (max-priority, FIFO within a priority) until one of
+the service's job-runner tasks claims them; each finished point's
+canonical result text is stored in submission order, and every state
+change appends to the job's :class:`~repro.service.events.EventLog`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..runtime import PointSpec
+from .events import EventLog
+
+#: Job lifecycle states.
+STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class Job:
+    """One submitted sweep job."""
+
+    job_id: str
+    specs: "list[PointSpec]"
+    priority: int = 0
+    state: str = "queued"
+    #: Canonical result text per point, in submission order.
+    results: "list[str | None]" = field(default_factory=list)
+    #: Response source per point ("mem"/"disk"/"dedup"/"computed").
+    sources: "list[str | None]" = field(default_factory=list)
+    error: str | None = None
+    events: EventLog = field(default_factory=EventLog)
+    # Host wall-clock is telemetry only, never simulated behaviour.
+    submitted_at: float = field(default_factory=time.monotonic)  # repro: noqa[RPR002]
+
+    def __post_init__(self) -> None:
+        if not self.results:
+            self.results = [None] * len(self.specs)
+        if not self.sources:
+            self.sources = [None] * len(self.specs)
+
+    @property
+    def total(self) -> int:
+        return len(self.specs)
+
+    @property
+    def done(self) -> int:
+        return sum(1 for text in self.results if text is not None)
+
+    def status_payload(self) -> "dict[str, Any]":
+        counts: dict[str, int] = {}
+        for source in self.sources:
+            if source is not None:
+                counts[source] = counts.get(source, 0) + 1
+        return {
+            "job": self.job_id,
+            "state": self.state,
+            "priority": self.priority,
+            "total": self.total,
+            "done": self.done,
+            "sources": counts,
+            "error": self.error,
+        }
+
+
+class JobQueue:
+    """Priority queue of jobs: highest priority first, then FIFO."""
+
+    def __init__(self) -> None:
+        self._heap: "list[tuple[int, int, Job]]" = []
+        self._counter = itertools.count()
+        self._cond = asyncio.Condition()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    async def push(self, job: Job) -> None:
+        async with self._cond:
+            if self._closed:
+                raise RuntimeError("job queue is closed")
+            heapq.heappush(self._heap, (-job.priority, next(self._counter), job))
+            self._cond.notify()
+
+    async def pop(self) -> "Job | None":
+        """Next job by priority; ``None`` once closed and drained."""
+        async with self._cond:
+            while not self._heap and not self._closed:
+                await self._cond.wait()
+            if not self._heap:
+                return None
+            return heapq.heappop(self._heap)[2]
+
+    async def close(self) -> None:
+        """Stop accepting jobs and wake every blocked ``pop``."""
+        async with self._cond:
+            self._closed = True
+            self._cond.notify_all()

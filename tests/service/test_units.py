@@ -1,0 +1,217 @@
+"""Unit tests for the service building blocks (no HTTP, no threads)."""
+
+import asyncio
+
+import pytest
+
+from repro.core.config import RingSystemConfig, SimulationParams, WorkloadConfig
+from repro.core.simulation import simulate
+from repro.runtime import MemCache, PointSpec, ResultCache
+from repro.runtime.serialization import canonical_json, result_payload
+from repro.service import EventLog, Job, JobQueue, TieredCache
+
+WORKLOAD = WorkloadConfig(locality=1.0, miss_rate=0.1, outstanding=4)
+PARAMS = SimulationParams(batch_cycles=100, batches=2, seed=7)
+
+
+def _spec(n=4):
+    return PointSpec.of(RingSystemConfig(topology=(n,)), WORKLOAD, PARAMS)
+
+
+@pytest.fixture(scope="module")
+def sample():
+    spec = _spec()
+    return spec, simulate(spec.system, spec.workload, spec.params)
+
+
+class TestJobQueue:
+    def test_priority_order_fifo_within_priority(self):
+        async def run():
+            queue = JobQueue()
+            for index, priority in enumerate([0, 5, 5, 1]):
+                await queue.push(Job(job_id=f"j{index}", specs=[], priority=priority))
+            assert len(queue) == 4
+            return [(await queue.pop()).job_id for __ in range(4)]
+
+        assert asyncio.run(run()) == ["j1", "j2", "j3", "j0"]
+
+    def test_close_drains_then_returns_none(self):
+        async def run():
+            queue = JobQueue()
+            await queue.push(Job(job_id="j1", specs=[]))
+            await queue.close()
+            drained = await queue.pop()
+            assert drained is not None and drained.job_id == "j1"
+            assert await queue.pop() is None
+            with pytest.raises(RuntimeError):
+                await queue.push(Job(job_id="j2", specs=[]))
+
+        asyncio.run(run())
+
+    def test_close_wakes_blocked_pop(self):
+        async def run():
+            queue = JobQueue()
+            waiter = asyncio.create_task(queue.pop())
+            await asyncio.sleep(0)
+            await queue.close()
+            return await asyncio.wait_for(waiter, timeout=5)
+
+        assert asyncio.run(run()) is None
+
+    def test_job_status_payload(self, sample):
+        spec, __ = sample
+        job = Job(job_id="j1", specs=[spec, spec])
+        assert job.total == 2 and job.done == 0
+        job.results[0] = "{}"
+        job.sources[0] = "mem"
+        status = job.status_payload()
+        assert status["done"] == 1
+        assert status["sources"] == {"mem": 1}
+        assert status["state"] == "queued"
+
+
+class TestEventLog:
+    def test_subscriber_sees_history_and_live_events(self):
+        async def run():
+            log = EventLog()
+            await log.append({"event": "a"})
+
+            async def subscribe():
+                return [event["event"] async for event in log.stream()]
+
+            task = asyncio.create_task(subscribe())
+            await asyncio.sleep(0)
+            await log.append({"event": "b"})
+            await log.append({"event": "c", "final": True})
+            return await asyncio.wait_for(task, timeout=5)
+
+        assert asyncio.run(run()) == ["a", "b", "c"]
+
+    def test_multiple_subscribers_each_get_every_event(self):
+        async def run():
+            log = EventLog()
+
+            async def subscribe():
+                return [event["event"] async for event in log.stream()]
+
+            tasks = [asyncio.create_task(subscribe()) for __ in range(3)]
+            await asyncio.sleep(0)
+            await log.append({"event": "x"})
+            await log.append({"event": "y", "final": True})
+            return await asyncio.gather(*tasks)
+
+        assert asyncio.run(run()) == [["x", "y"]] * 3
+
+    def test_append_after_close_raises(self):
+        async def run():
+            log = EventLog()
+            await log.append({"event": "end", "final": True})
+            assert log.closed
+            with pytest.raises(RuntimeError):
+                await log.append({"event": "late"})
+
+        asyncio.run(run())
+
+
+class TestTieredCache:
+    def test_compute_then_memory_hit(self, sample):
+        spec, result = sample
+
+        async def run():
+            tiers = TieredCache(None, MemCache())
+
+            async def compute():
+                return result
+
+            first = await tiers.fetch(spec, compute)
+            second = await tiers.fetch(spec, compute)
+            return first, second, dict(tiers.counters)
+
+        first, second, counters = asyncio.run(run())
+        expected = canonical_json(result_payload(result))
+        assert first == (expected, "computed")
+        assert second == (expected, "mem")
+        assert counters["computed"] == 1 and counters["mem"] == 1
+
+    def test_disk_tier_promotes_and_serves(self, sample, tmp_path):
+        spec, result = sample
+
+        async def run():
+            tiers = TieredCache(ResultCache(tmp_path), MemCache())
+
+            async def compute():
+                return result
+
+            await tiers.fetch(spec, compute)
+            tiers.mem.clear()  # forget memory; disk must serve
+            __, source = await tiers.fetch(spec, compute)
+            assert source == "disk"
+            __, source = await tiers.fetch(spec, compute)
+            return source
+
+        assert asyncio.run(run()) == "mem"  # the disk hit was promoted
+
+    def test_single_flight_coalesces_concurrent_fetches(self, sample):
+        spec, result = sample
+
+        async def run():
+            tiers = TieredCache(None, MemCache())
+            release = asyncio.Event()
+            calls = 0
+
+            async def compute():
+                nonlocal calls
+                calls += 1
+                await release.wait()
+                return result
+
+            leader = asyncio.create_task(tiers.fetch(spec, compute))
+            await asyncio.sleep(0)  # leader registers in the inflight map
+            assert tiers.inflight == 1
+            waiters = [
+                asyncio.create_task(tiers.fetch(spec, compute)) for __ in range(5)
+            ]
+            await asyncio.sleep(0)
+            release.set()
+            outcomes = await asyncio.gather(leader, *waiters)
+            return calls, outcomes, dict(tiers.counters), tiers.inflight
+
+        calls, outcomes, counters, inflight = asyncio.run(run())
+        assert calls == 1
+        assert {text for text, __ in outcomes} == {
+            canonical_json(result_payload(sample[1]))
+        }
+        assert [source for __, source in outcomes] == ["computed"] + ["dedup"] * 5
+        assert counters == {"mem": 0, "disk": 0, "dedup": 5, "computed": 1}
+        assert inflight == 0
+
+    def test_compute_failure_propagates_to_waiters_then_clears(self, sample):
+        spec, result = sample
+
+        async def run():
+            tiers = TieredCache(None, MemCache())
+            release = asyncio.Event()
+
+            async def explode():
+                await release.wait()
+                raise RuntimeError("boom")
+
+            leader = asyncio.create_task(tiers.fetch(spec, explode))
+            await asyncio.sleep(0)
+            waiter = asyncio.create_task(tiers.fetch(spec, explode))
+            await asyncio.sleep(0)
+            release.set()
+            with pytest.raises(RuntimeError):
+                await leader
+            with pytest.raises(RuntimeError):
+                await waiter
+            assert tiers.inflight == 0
+
+            async def recover():
+                return result
+
+            return await tiers.fetch(spec, recover)
+
+        text, source = asyncio.run(run())
+        assert source == "computed"
+        assert text == canonical_json(result_payload(sample[1]))
