@@ -56,8 +56,10 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import os
+import platform
 import subprocess
 import sys
 import time
@@ -230,6 +232,24 @@ def measure(params: SimulationParams, repeats: int) -> dict:
     return report
 
 
+def _host_fingerprint() -> str:
+    """Short stable id of the measuring host.
+
+    Wall-clock benchmark numbers are only comparable on the same
+    hardware; rows record this fingerprint so ``--bench-compare`` can
+    skip cross-host diffs instead of reporting phantom regressions.
+    """
+    raw = "|".join(
+        (
+            platform.node(),
+            platform.machine(),
+            platform.processor() or "",
+            str(os.cpu_count() or 0),
+        )
+    )
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:12]
+
+
 def _git_sha() -> str:
     try:
         out = subprocess.run(
@@ -248,6 +268,7 @@ def _history_entry(report: dict) -> dict:
     return {
         "sha": _git_sha(),
         "date": datetime.now(timezone.utc).strftime("%Y-%m-%d"),
+        "host": _host_fingerprint(),
         "mode": report["mode"],
         "points": {
             label: {
@@ -294,14 +315,18 @@ def _merge_history(history: list, entry: dict) -> list:
     return history
 
 
-def compare_to_history(entry: dict, history: list) -> "list[str]":
+def compare_to_history(entry: dict, history: list) -> "tuple[list[str], str | None]":
     """Per-cell regressions of *entry* against the last same-mode row.
 
     Compares each (load, scheduler) cycles/sec of the fresh *entry*
     against the most recent history row of the same mode (the row the
-    current run will replace or follow).  Returns one description per
-    cell that slowed down by more than :data:`REGRESSION_TOLERANCE`;
-    empty when there is no prior row to compare against.
+    current run will replace or follow).  Returns ``(regressions,
+    skip_notice)``: one description per cell that slowed down by more
+    than :data:`REGRESSION_TOLERANCE`, or a notice (and no
+    regressions) when the prior row was measured on different hardware
+    — cross-host wall-clock timing is not comparable, so the diff is
+    skipped rather than reported as a phantom regression.  Both empty
+    when there is no prior row at all.
     """
     prior = None
     for row in reversed(history):
@@ -309,7 +334,15 @@ def compare_to_history(entry: dict, history: list) -> "list[str]":
             prior = row
             break
     if prior is None:
-        return []
+        return [], None
+    prior_host = prior.get("host")
+    entry_host = entry.get("host")
+    if prior_host != entry_host:
+        return [], (
+            f"prior row {prior.get('sha', '?')} was measured on host "
+            f"{prior_host or 'unknown'}, this run on {entry_host or 'unknown'}; "
+            "cross-host timing is not comparable"
+        )
     regressions = []
     for label, cells in entry.get("points", {}).items():
         old_cells = prior.get("points", {}).get(label, {})
@@ -324,7 +357,7 @@ def compare_to_history(entry: dict, history: list) -> "list[str]":
                     f"cyc/s ({drop:.0%} slower than {prior.get('sha', '?')}, "
                     f"tolerance {REGRESSION_TOLERANCE:.0%})"
                 )
-    return regressions
+    return regressions, None
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -379,11 +412,12 @@ def main(argv: "list[str] | None" = None) -> int:
         )
 
     regressions: "list[str]" = []
+    skip_notice: "str | None" = None
     if args.output:
         prior = _prior_history(args.output)
         entry = _history_entry(report)
         if args.bench_compare:
-            regressions = compare_to_history(entry, prior)
+            regressions, skip_notice = compare_to_history(entry, prior)
         history = _merge_history(prior, entry)
         report["history"] = history
         with open(args.output, "w") as handle:
@@ -397,8 +431,11 @@ def main(argv: "list[str] | None" = None) -> int:
             for line in regressions:
                 print(f"  {line}")
             return 1
-        print("bench-compare: no per-cell regression beyond "
-              f"{REGRESSION_TOLERANCE:.0%}")
+        if skip_notice is not None:
+            print(f"bench-compare: SKIPPED — {skip_notice}")
+        else:
+            print("bench-compare: no per-cell regression beyond "
+                  f"{REGRESSION_TOLERANCE:.0%}")
     return 0
 
 

@@ -52,7 +52,7 @@ from repro.runtime import MemCache, PointSpec, ResultCache, run_point
 from repro.runtime.serialization import canonical_json, result_payload
 from repro.service import AsyncServiceClient, SweepService
 
-from .bench_kernel import _git_sha, _merge_history, _prior_history
+from .bench_kernel import _git_sha, _host_fingerprint, _merge_history, _prior_history
 
 #: Contract gate: warm-cache p50 must be at least this many times
 #: lower than cold p50.
@@ -278,6 +278,7 @@ def _history_entry(report: dict) -> dict:
     return {
         "sha": _git_sha(),
         "date": datetime.now(timezone.utc).strftime("%Y-%m-%d"),
+        "host": _host_fingerprint(),
         "mode": report["mode"],
         "cells": {
             name: {

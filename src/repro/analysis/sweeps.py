@@ -85,6 +85,39 @@ class Series:
                 return False
         return True
 
+    def first_saturated_x(self) -> float | None:
+        """Smallest sampled x flagged ``saturated`` in the point meta.
+
+        The CI-width convergence verdict: the lowest offered rate at
+        which the simulation's latency interval stopped converging.
+        ``None`` when no sampled point saturated.  Noisy on short
+        (quick-scale) runs — prefer :meth:`knee_onset` for qualitative
+        ordering claims.
+        """
+        candidates = [
+            x for x, meta in zip(self.xs, self.meta) if meta.get("saturated")
+        ]
+        return min(candidates, default=None)
+
+    def knee_onset(self, factor: float = 1.5) -> float | None:
+        """First sampled x whose y exceeds *factor* times the low-x y.
+
+        The classic NoC latency-knee saturation estimate: the curve's
+        lowest-x point approximates zero-load latency, and the knee is
+        wherever latency first blows past ``factor`` times it.  Stable
+        where the CI-width flag (:meth:`first_saturated_x`) is noise on
+        short runs.  ``None`` for empty/single-point series or curves
+        that never cross the threshold.
+        """
+        if len(self.xs) < 2:
+            return None
+        order = sorted(range(len(self.xs)), key=lambda i: self.xs[i])
+        base = self.ys[order[0]]
+        for index in order[1:]:
+            if self.ys[index] > factor * base:
+                return self.xs[index]
+        return None
+
 
 @dataclass
 class SweepResult:
@@ -117,6 +150,13 @@ class SweepResult:
                 if meta.get("saturated"):
                     problems.append(f"series {name!r} at {self.x_label}={x:g}")
         return problems
+
+    def saturation_onsets(self, knee_factor: float = 1.5) -> dict[str, float | None]:
+        """Per-series latency-knee saturation onset (:meth:`Series.knee_onset`)."""
+        return {
+            name: series.knee_onset(knee_factor)
+            for name, series in self.series.items()
+        }
 
     def format_table(self) -> str:
         """Render all series as one aligned text table (union of xs)."""

@@ -117,6 +117,15 @@ class ColumnarEngine:
                 "the columnar scheduler does not support slotted switching; "
                 "use scheduler='compiled'"
             )
+        if workload.bursty:
+            # The columnar miss model pre-draws geometric inter-miss
+            # gaps per (replica, pm) column; a Markov-modulated rate
+            # has no geometric-gap formulation, so bursty workloads run
+            # on the bit-exact schedulers only.
+            raise ConfigurationError(
+                "the columnar scheduler does not support bursty "
+                "(burst_on/burst_off) injection; use scheduler='compiled'"
+            )
         if not seeds:
             raise ConfigurationError("ColumnarEngine needs at least one seed")
         self.system = system
@@ -216,20 +225,20 @@ class ColumnarEngine:
         self._t_out_req = np.asarray(
             [index[id(pm.out_req)] for pm in network.pms], dtype=np.int64
         )
-        # Same locality regions the object networks build (mmrp module);
-        # a miss target is a uniform draw from the issuing PM's region.
-        from ..workload.mmrp import RegionTargetSelector
+        # Same per-PM target pools the object networks build (patterns
+        # module; plain locality regions for M-MRP, weighted pools with
+        # multiplicity-as-weight otherwise).  A miss target is a
+        # uniform draw from the issuing PM's pool, so integer-weighted
+        # patterns (hotspot) are exact, not approximated.
+        from ..workload.patterns import TargetSpace, pattern_pools
 
         if isinstance(self.system, MeshSystemConfig):
-            selector = RegionTargetSelector.for_mesh(
-                self.system.side, self.workload.locality
-            )
+            space = TargetSpace.mesh(self.system.side)
         else:
-            selector = RegionTargetSelector.for_ring(
-                self.processors, self.workload.locality
-            )
+            space = TargetSpace.ring(self.processors)
         self._region_arrays: list[I64] = [
-            np.asarray(region, dtype=np.int64) for region in selector.regions
+            np.asarray(pool, dtype=np.int64)
+            for pool in pattern_pools(self.workload, space)
         ]
         self._mem_lat = int(network.pms[0].memory.latency)
 

@@ -27,6 +27,19 @@ CACHE_LINE_SIZES: tuple[int, ...] = (16, 32, 64, 128)
 #: statistically equivalent (see the class docstring).
 SCHEDULERS: tuple[str, ...] = ("compiled", "active", "naive", "batched", "columnar")
 
+#: Traffic patterns accepted by :class:`WorkloadConfig`.  ``"mmrp"`` is
+#: the paper's locality workload; the rest are the standard NoC spatial
+#: patterns built in :mod:`repro.workload.patterns`.
+TRAFFIC_PATTERNS: tuple[str, ...] = (
+    "mmrp",
+    "uniform",
+    "tornado",
+    "transpose",
+    "shuffle",
+    "bitrev",
+    "hotspot",
+)
+
 RING_FLIT_BYTES = 16  # 128-bit ring data path
 RING_HEADER_FLITS = 1
 MESH_FLIT_BYTES = 4  # 32-bit mesh channels
@@ -256,18 +269,52 @@ class MeshSystemConfig:
 
 @dataclass(frozen=True)
 class WorkloadConfig:
-    """The paper's M-MRP synthetic workload (Section 2.4).
+    """The synthetic workload driving every processor.
 
-    ``locality`` is the paper's ``R`` (memory region fraction),
-    ``miss_rate`` is ``C`` (per-cycle cache miss probability), and
-    ``outstanding`` is ``T`` (transactions in flight before the
-    processor blocks).
+    The default is the paper's M-MRP (Section 2.4): ``locality`` is the
+    paper's ``R`` (memory region fraction), ``miss_rate`` is ``C``
+    (per-cycle cache miss probability), and ``outstanding`` is ``T``
+    (transactions in flight before the processor blocks).
+
+    ``pattern`` swaps the *spatial* target distribution for one of the
+    standard NoC patterns (:data:`TRAFFIC_PATTERNS`, built in
+    :mod:`repro.workload.patterns`).  Non-M-MRP patterns define their
+    own target distribution, so they require the locality knob left at
+    its neutral ``R = 1.0`` — one spelling per workload keeps the
+    cache/spec identity unambiguous.  ``hotspot_count`` /
+    ``hotspot_weight`` shape the ``"hotspot"`` pattern only: K evenly
+    spaced hot memory modules drawn W times more often than the rest
+    (integer W, so the weighted draw is an exact finite pool).
+
+    ``burst_on`` / ``burst_off`` (mean cycles in the ON / OFF state)
+    enable *temporal* burstiness on top of any spatial pattern: an
+    on/off Markov-modulated source that only injects while ON, with the
+    ON-state miss rate scaled so the long-run average rate stays
+    ``miss_rate``.  Both zero (the default) is plain Bernoulli
+    injection.
     """
 
     locality: float = 1.0
     miss_rate: float = 0.04
     outstanding: int = 4
     read_fraction: float = 0.7
+    pattern: str = "mmrp"
+    hotspot_count: int = 2
+    hotspot_weight: int = 8
+    burst_on: float = 0.0
+    burst_off: float = 0.0
+
+    @property
+    def bursty(self) -> bool:
+        return self.burst_on > 0.0
+
+    @property
+    def burst_on_rate(self) -> float:
+        """ON-state miss rate preserving ``miss_rate`` as the average."""
+        if not self.bursty:
+            return self.miss_rate
+        duty = self.burst_on / (self.burst_on + self.burst_off)
+        return self.miss_rate / duty
 
     def validate(self) -> "WorkloadConfig":
         if not 0.0 < self.locality <= 1.0:
@@ -280,6 +327,40 @@ class WorkloadConfig:
             raise ConfigurationError(
                 f"read_fraction must be in [0, 1], got {self.read_fraction}"
             )
+        if self.pattern not in TRAFFIC_PATTERNS:
+            raise ConfigurationError(
+                f"pattern must be one of {TRAFFIC_PATTERNS}, got {self.pattern!r}"
+            )
+        if self.pattern != "mmrp" and self.locality != 1.0:
+            raise ConfigurationError(
+                f"pattern {self.pattern!r} defines its own target "
+                f"distribution; locality must stay 1.0, got {self.locality}"
+            )
+        if self.hotspot_count < 1:
+            raise ConfigurationError(
+                f"hotspot_count must be >= 1, got {self.hotspot_count}"
+            )
+        if self.hotspot_weight < 2:
+            raise ConfigurationError(
+                f"hotspot_weight must be an integer >= 2 (1 would just be "
+                f"'uniform' under another name), got {self.hotspot_weight}"
+            )
+        if (self.burst_on > 0.0) != (self.burst_off > 0.0):
+            raise ConfigurationError(
+                "burst_on and burst_off must be both zero (no burstiness) "
+                f"or both positive, got {self.burst_on}/{self.burst_off}"
+            )
+        if self.bursty:
+            if self.burst_on < 1.0 or self.burst_off < 1.0:
+                raise ConfigurationError(
+                    "burst_on/burst_off are mean state durations in cycles "
+                    f"and must be >= 1, got {self.burst_on}/{self.burst_off}"
+                )
+            if self.burst_on_rate > 1.0:
+                raise ConfigurationError(
+                    f"bursty workload needs miss_rate * (on+off)/on <= 1 "
+                    f"(the ON-state rate), got {self.burst_on_rate:.4f}"
+                )
         return self
 
 

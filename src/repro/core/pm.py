@@ -36,7 +36,7 @@ from .engine import Component, Engine
 from .errors import SimulationError
 from .memory import MemoryModel
 from .packet import Packet, PacketType
-from .processor import MissGenerator, MissSource, TargetSelector
+from .processor import MissGenerator, MissSource, TargetSelector, make_miss_generator
 from .statistics import LatencyStats
 
 
@@ -96,7 +96,7 @@ class ProcessingModule(Component):
         self.generator: MissSource = (
             miss_source
             if miss_source is not None
-            else MissGenerator(pm_id, workload, select_target, rng)
+            else make_miss_generator(pm_id, workload, select_target, rng)
         )
 
         queue_depth = geometry.cl_packet_flits

@@ -190,3 +190,86 @@ class MissGenerator:
     @staticmethod
     def request_type(miss: Miss) -> PacketType:
         return PacketType.READ_REQUEST if miss.is_read else PacketType.WRITE_REQUEST
+
+
+class BurstyMissGenerator(MissGenerator):
+    """On/off Markov-modulated Bernoulli miss source.
+
+    Each *drawn* cycle consumes one uniform for the two-state Markov
+    transition (``P[leave ON] = 1/burst_on``, ``P[leave OFF] =
+    1/burst_off``, evaluated before the cycle's injection decision, so
+    a cycle that just turned ON may inject) and then — only while ON —
+    the same miss/read/target draws as the base generator, at the
+    ON-state rate ``miss_rate * (on+off)/on`` so the long-run average
+    stays ``miss_rate``.  The initial state is one stationary
+    (duty-cycle) draw in ``__init__`` so PM phases decorrelate.
+
+    The chain only advances on cycles the base class would have drawn:
+    it freezes while a miss is parked blocked, exactly like the
+    Bernoulli stream, so lazy per-poll drawing and burst lookahead
+    consume the random stream identically and results stay
+    bit-identical across the naive/active/compiled/batched schedulers.
+    (The compiled fast path fuses only the exact ``MissGenerator`` type
+    — see ``ProcessingModule.compiled_update_handler`` — so this
+    subclass automatically runs on the generic, still-correct path.
+    The columnar scheduler pre-draws geometric gaps and rejects bursty
+    workloads outright.)
+    """
+
+    __slots__ = ("_on", "_p_exit_on", "_p_exit_off", "_on_rate")
+
+    def __init__(
+        self,
+        pm_id: int,
+        workload: WorkloadConfig,
+        select_target: TargetSelector,
+        rng: random.Random,
+    ):
+        super().__init__(pm_id, workload, select_target, rng)
+        self._p_exit_on = 1.0 / workload.burst_on
+        self._p_exit_off = 1.0 / workload.burst_off
+        self._on_rate = workload.burst_on_rate
+        duty = workload.burst_on / (workload.burst_on + workload.burst_off)
+        self._on = rng.random() < duty
+
+    def _advance_schedule(self, limit: int) -> None:
+        if self._scheduled is not None or self._pending is not None:
+            return
+        rng = self.rng
+        rng_random = rng.random
+        p_exit_on = self._p_exit_on
+        p_exit_off = self._p_exit_off
+        on_rate = self._on_rate
+        on = self._on
+        cycle = self._next_draw_cycle
+        while cycle <= limit:
+            if on:
+                if rng_random() < p_exit_on:
+                    on = False
+            elif rng_random() < p_exit_off:
+                on = True
+            if on and rng_random() < on_rate:
+                self._scheduled = Miss(
+                    is_read=rng_random() < self.workload.read_fraction,
+                    target=self._select(self.pm_id, rng),
+                    generated_cycle=cycle,
+                )
+                self._scheduled_cycle = cycle
+                self._next_draw_cycle = cycle + 1
+                self._on = on
+                return
+            cycle += 1
+        self._next_draw_cycle = cycle
+        self._on = on
+
+
+def make_miss_generator(
+    pm_id: int,
+    workload: WorkloadConfig,
+    select_target: TargetSelector,
+    rng: random.Random,
+) -> MissGenerator:
+    """The miss generator for one PM: bursty when the workload says so."""
+    if workload.bursty:
+        return BurstyMissGenerator(pm_id, workload, select_target, rng)
+    return MissGenerator(pm_id, workload, select_target, rng)

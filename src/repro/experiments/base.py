@@ -162,6 +162,7 @@ def _load_all() -> None:
         fig20_double_speed_utilization,
         fig21_double_speed_vs_mesh,
         ext_slotted,
+        ext_patterns,
     )
 
     _LOADED = True

@@ -21,7 +21,7 @@ from ..core.config import MeshSystemConfig, WorkloadConfig
 from ..core.engine import Engine
 from ..core.pm import MetricsHub, ProcessingModule
 from ..core.processor import MissSource
-from ..workload.mmrp import RegionTargetSelector
+from ..workload.patterns import TargetSpace, build_target_selector
 from .router import MeshRouter
 from .topology import MeshShape
 
@@ -45,7 +45,7 @@ class MeshNetwork:
         self.shape = MeshShape(config.side)
 
         geometry = config.geometry
-        selector = RegionTargetSelector.for_mesh(config.side, workload.locality)
+        selector = build_target_selector(workload, TargetSpace.mesh(config.side))
 
         self.pms: list[ProcessingModule] = [
             ProcessingModule(

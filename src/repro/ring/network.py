@@ -29,7 +29,7 @@ from ..core.engine import Engine
 from ..core.errors import ConfigurationError
 from ..core.pm import MetricsHub, ProcessingModule
 from ..core.processor import MissSource
-from ..workload.mmrp import RegionTargetSelector
+from ..workload.patterns import TargetSpace, build_target_selector
 from .iri import InterRingInterface
 from .nic import RingNIC
 from .port import RingPort
@@ -71,7 +71,7 @@ class HierarchicalRingNetwork:
         buffer_flits = config.ring_buffer_flits
         geometry = config.geometry
         processors = self.spec.processors
-        selector = RegionTargetSelector.for_ring(processors, workload.locality)
+        selector = build_target_selector(workload, TargetSpace.ring(processors))
 
         self.pms: list[ProcessingModule] = [
             ProcessingModule(

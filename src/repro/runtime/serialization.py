@@ -89,12 +89,29 @@ def system_from_payload(payload: dict[str, Any]) -> SystemConfig:
 
 
 def workload_payload(workload: WorkloadConfig) -> dict[str, Any]:
-    return {
+    # Pattern and burst keys appear only when they shape behavior:
+    # plain M-MRP payloads are byte-identical to the pre-pattern schema,
+    # so existing cached results stay valid, while any non-default
+    # pattern (or burstiness) changes the canonical payload — and with
+    # it the cache/spec hash and the derived per-point seed — so cached
+    # M-MRP results can never cross-serve a pattern run (and vice
+    # versa).  Hotspot shape knobs join only for "hotspot", where they
+    # actually change the draw distribution.
+    payload: dict[str, Any] = {
         "locality": workload.locality,
         "miss_rate": workload.miss_rate,
         "outstanding": workload.outstanding,
         "read_fraction": workload.read_fraction,
     }
+    if workload.pattern != "mmrp":
+        payload["pattern"] = workload.pattern
+        if workload.pattern == "hotspot":
+            payload["hotspot_count"] = workload.hotspot_count
+            payload["hotspot_weight"] = workload.hotspot_weight
+    if workload.bursty:
+        payload["burst_on"] = workload.burst_on
+        payload["burst_off"] = workload.burst_off
+    return payload
 
 
 def workload_from_payload(payload: dict[str, Any]) -> WorkloadConfig:

@@ -25,7 +25,10 @@ Endpoints (all JSON):
                              first
 ``GET  /jobs/<id>``          job status; ``?results=1`` splices each
                              point's canonical result text into a
-                             ``results`` array (byte-exact)
+                             ``results`` array (byte-exact); 410 for
+                             ids evicted by finished-job retention
+                             (TTL + cap, oldest completion first),
+                             400 for ids never issued
 ``GET  /jobs/<id>/events``   NDJSON progress event stream (chunked)
                              until the job reaches a terminal state
 ``POST /shutdown``           graceful stop: drain, close pools, exit
@@ -63,6 +66,17 @@ class BadRequest(Exception):
     """Client error carried to an HTTP 400 response."""
 
 
+class Gone(Exception):
+    """A job id that existed but was evicted by retention — HTTP 410."""
+
+
+#: Default retention for terminal (done/failed) jobs: evicted once
+#: older than the TTL or once more than the cap are tracked, oldest
+#: completion first.  Queued/running jobs are never evicted.
+DEFAULT_JOB_TTL_SEC = 3600.0
+DEFAULT_MAX_FINISHED_JOBS = 512
+
+
 def _json_bytes(payload: "dict[str, Any]") -> bytes:
     return json.dumps(payload, sort_keys=True).encode("utf-8")
 
@@ -80,9 +94,19 @@ class SweepService:
         cache: "ResultCache | None" = None,
         mem: "MemCache | None" = None,
         job_workers: int = 2,
+        job_ttl_sec: "float | None" = DEFAULT_JOB_TTL_SEC,
+        max_finished_jobs: int = DEFAULT_MAX_FINISHED_JOBS,
     ) -> None:
         if job_workers < 1:
             raise ConfigurationError(f"job_workers must be >= 1, got {job_workers}")
+        if job_ttl_sec is not None and job_ttl_sec <= 0:
+            raise ConfigurationError(
+                f"job_ttl_sec must be positive or None (no TTL), got {job_ttl_sec}"
+            )
+        if max_finished_jobs < 1:
+            raise ConfigurationError(
+                f"max_finished_jobs must be >= 1, got {max_finished_jobs}"
+            )
         self.host = host
         self.port = port
         # The salt is computed once here, in the parent; every pool
@@ -94,9 +118,12 @@ class SweepService:
         self.queue = JobQueue()
         self.jobs: "dict[str, Job]" = {}
         self.job_workers = job_workers
+        self.job_ttl_sec = job_ttl_sec
+        self.max_finished_jobs = max_finished_jobs
         self.requests: "dict[str, int]" = {}
         self.jobs_done = 0
         self.jobs_failed = 0
+        self.jobs_evicted = 0
         self._job_seq = 0
         # Bounds how many executor submissions one job fans out at once.
         self._point_slots = asyncio.Semaphore(self.pools.total_workers * 4)
@@ -164,6 +191,10 @@ class SweepService:
                     await self._respond_json(
                         writer, 400, {"error": str(exc)}, keep_alive
                     )
+                except Gone as exc:
+                    await self._respond_json(
+                        writer, 410, {"error": str(exc)}, keep_alive
+                    )
                 except Exception as exc:  # surface, don't kill the server
                     await self._respond_json(
                         writer,
@@ -217,7 +248,7 @@ class SweepService:
     ) -> None:
         reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
                   404: "Not Found", 405: "Method Not Allowed",
-                  500: "Internal Server Error"}.get(status, "OK")
+                  410: "Gone", 500: "Internal Server Error"}.get(status, "OK")
         head = [
             f"HTTP/1.1 {status} {reason}",
             f"Content-Type: {content_type}",
@@ -350,11 +381,60 @@ class SweepService:
             writer, 202, {"job": job.job_id, "total": job.total}, keep_alive
         )
 
+    def _retire_finished(self) -> None:
+        """Evict terminal jobs past the TTL or beyond the tracked cap.
+
+        Eviction order is completion time, oldest first; queued and
+        running jobs are never touched.  Keeps ``self.jobs`` bounded no
+        matter how long the service runs.
+        """
+        finished = sorted(
+            (
+                (job.finished_at, job_id)
+                for job_id, job in self.jobs.items()
+                if job.finished_at is not None
+            ),
+        )
+        # Host wall-clock drives retention telemetry only, never results.
+        now = time.monotonic()  # repro: noqa[RPR002]
+        evict: "list[str]" = []
+        keep = len(finished)
+        for finished_at, job_id in finished:
+            assert finished_at is not None
+            expired = (
+                self.job_ttl_sec is not None
+                and now - finished_at > self.job_ttl_sec
+            )
+            if expired or keep > self.max_finished_jobs:
+                evict.append(job_id)
+                keep -= 1
+        for job_id in evict:
+            del self.jobs[job_id]
+            self.jobs_evicted += 1
+
+    def _was_issued(self, job_id: str) -> bool:
+        """Whether *job_id* is an id this service instance handed out.
+
+        Ids are sequential (``job-1 .. job-<seq>``) and every issued id
+        enters ``self.jobs``, so a well-formed id at or below the
+        sequence counter that is now missing must have been evicted —
+        an O(1) test with no tombstone bookkeeping.
+        """
+        prefix, __, number = job_id.partition("-")
+        if prefix != "job" or not number.isdigit():
+            return False
+        return 1 <= int(number) <= self._job_seq
+
     def _job_or_bad_request(self, job_id: str) -> Job:
         job = self.jobs.get(job_id)
-        if job is None:
-            raise BadRequest(f"unknown job: {job_id}")
-        return job
+        if job is not None:
+            return job
+        if self._was_issued(job_id):
+            raise Gone(
+                f"job {job_id} was evicted after completion (retention: "
+                f"ttl={self.job_ttl_sec}s, max_finished={self.max_finished_jobs})"
+            )
+        raise BadRequest(f"unknown job: {job_id}")
 
     async def _handle_job_status(
         self,
@@ -434,11 +514,19 @@ class SweepService:
             {"event": "finished", "job": job.job_id, "state": job.state,
              "error": job.error, "final": True}
         )
+        # Terminal-state stamp (host clock, retention telemetry only),
+        # then sweep: completing a job is the only way the finished set
+        # grows, so retiring here keeps the dict bounded.
+        job.finished_at = time.monotonic()  # repro: noqa[RPR002]
+        self._retire_finished()
 
     # ------------------------------------------------------------------
     # stats
     # ------------------------------------------------------------------
     def stats_payload(self) -> "dict[str, Any]":
+        # TTL expiry between job completions becomes visible on the
+        # next stats read.
+        self._retire_finished()
         return {
             # repro: noqa[RPR002] — host uptime telemetry only
             "uptime_sec": round(time.monotonic() - self._started, 3),
@@ -450,6 +538,11 @@ class SweepService:
                 "tracked": len(self.jobs),
                 "done": self.jobs_done,
                 "failed": self.jobs_failed,
+                "evicted": self.jobs_evicted,
+                "retention": {
+                    "ttl_sec": self.job_ttl_sec,
+                    "max_finished": self.max_finished_jobs,
+                },
             },
         }
 

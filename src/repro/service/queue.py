@@ -40,6 +40,9 @@ class Job:
     events: EventLog = field(default_factory=EventLog)
     # Host wall-clock is telemetry only, never simulated behaviour.
     submitted_at: float = field(default_factory=time.monotonic)  # repro: noqa[RPR002]
+    #: Stamped (host clock) when the job reaches a terminal state;
+    #: drives the service's TTL/cap retention of finished jobs.
+    finished_at: float | None = None
 
     def __post_init__(self) -> None:
         if not self.results:

@@ -1,1 +1,3 @@
-"""Synthetic M-MRP workloads (paper Section 2.4)."""
+"""Synthetic workloads: M-MRP (paper Section 2.4) and the NoC traffic
+patterns of :mod:`repro.workload.patterns` (uniform, tornado, transpose,
+shuffle, bitrev, hotspot, plus bursty on/off injection)."""

@@ -81,9 +81,41 @@ class RegionTargetSelector:
         return cls([mesh_region(pm, side, locality) for pm in range(side * side)])
 
 
-def expected_remote_fraction(regions: Sequence[Sequence[int]]) -> float:
-    """Mean probability that a miss leaves its PM — a load sanity check."""
+def expected_remote_fraction(
+    regions: Sequence[Sequence[int]],
+    weights: "Sequence[Sequence[float]] | None" = None,
+) -> float:
+    """Mean probability that a miss leaves its PM — a load sanity check.
+
+    ``regions[pm]`` lists PM *pm*'s candidate targets.  Draws are
+    weighted: with ``weights`` given, ``weights[pm][i]`` is the draw
+    weight of ``regions[pm][i]``; without it every listed entry weighs
+    1, so a *pool* that repeats a target (the weighted-hotspot encoding
+    of :mod:`repro.workload.patterns`) contributes its multiplicity.
+    For plain locality regions — each target listed once, no weights —
+    this reduces exactly to the historical uniform formula
+    ``(len(region) - 1) / len(region)``.
+    """
     if not regions:
         return 0.0
-    total = sum((len(region) - 1) / len(region) for region in regions)
+    total = 0.0
+    for pm_id, region in enumerate(regions):
+        region_weights = weights[pm_id] if weights is not None else None
+        if region_weights is not None and len(region_weights) != len(region):
+            raise ValueError(
+                f"weights of PM {pm_id} must parallel its region: "
+                f"{len(region_weights)} weights for {len(region)} targets"
+            )
+        total_weight = 0.0
+        self_weight = 0.0
+        for index, target in enumerate(region):
+            weight = 1.0 if region_weights is None else float(region_weights[index])
+            if weight < 0.0:
+                raise ValueError(f"negative draw weight for PM {pm_id}: {weight}")
+            total_weight += weight
+            if target == pm_id:
+                self_weight += weight
+        if total_weight <= 0.0:
+            raise ValueError(f"PM {pm_id} has zero total draw weight")
+        total += (total_weight - self_weight) / total_weight
     return total / len(regions)

@@ -1,0 +1,232 @@
+"""Synthetic traffic patterns beyond the paper's M-MRP workload.
+
+The paper evaluates its networks only under the M-MRP locality workload
+(Section 2.4, :mod:`repro.workload.mmrp`).  Related NoC work — the
+pattern suites of the 3D-topology study and the HiRD / Ring-Mesh papers
+in PAPERS.md — characterizes fabrics by *per-pattern saturation
+throughput* instead, under a standard battery of spatial patterns:
+
+``uniform``
+    Every PM is an equally likely target (including the issuing PM, so
+    a ``1/P`` fraction of misses stay local — identical in shape to
+    M-MRP at ``R = 1.0``, but a distinct workload identity).
+``tornado``
+    Each PM sends to the PM "half the machine away": ``(i + P//2) mod
+    P`` on the ring line projection; on the mesh the half-shift is
+    applied per dimension, the 2D tornado.
+``transpose``
+    Mesh: node ``(x, y)`` sends to ``(y, x)``.  Ring: the line
+    projection has no coordinates, so the classic bit-level definition
+    is used — swap the high and low halves of the PM id's address bits
+    (requires ``P = 4^k``); on a square mesh both definitions coincide.
+``shuffle``
+    Perfect shuffle: rotate the PM id's address bits left by one
+    (requires a power-of-two PM count).
+``bitrev``
+    Bit reversal: reverse the PM id's address bits (power of two).
+``hotspot``
+    Uniform background traffic with ``hotspot_count`` evenly spaced hot
+    memory modules drawn ``hotspot_weight`` times more often than the
+    others — the weighted-draw pattern whose remote fraction the
+    weight-aware :func:`repro.workload.mmrp.expected_remote_fraction`
+    computes.
+
+Every pattern is expressed as a **per-PM draw pool**: a list of target
+PM ids in which a target's multiplicity is its (integer) draw weight.
+A miss target is a uniform draw from the issuing PM's pool, exactly the
+draw discipline of :class:`~repro.workload.mmrp.RegionTargetSelector` —
+one ``rng.randrange`` per miss — so every scheduler that shares the
+selector object consumes the PM's random stream identically.
+Permutation pools are singletons and consume no randomness at all.
+
+Bursty (on/off Markov-modulated) injection is *temporal*, not spatial:
+it composes with any of the above (and with M-MRP) and lives in
+:class:`repro.core.processor.BurstyMissGenerator`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from ..core.config import TRAFFIC_PATTERNS
+from ..core.errors import ConfigurationError
+from .mmrp import RegionTargetSelector, mesh_region, ring_region
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.config import WorkloadConfig
+
+
+@dataclass(frozen=True)
+class TargetSpace:
+    """The PM id space a pattern maps over.
+
+    Rings project PMs onto a line (ids in depth-first order); meshes
+    give each PM ``(x, y) = (id % side, id // side)`` coordinates.
+    Patterns with a coordinate definition (transpose, tornado) use the
+    mesh form when ``side`` is set and the line/bit form otherwise.
+    """
+
+    kind: str  # "ring" | "mesh"
+    processors: int
+    side: int = 0
+
+    @classmethod
+    def ring(cls, processors: int) -> "TargetSpace":
+        return cls(kind="ring", processors=processors)
+
+    @classmethod
+    def mesh(cls, side: int) -> "TargetSpace":
+        return cls(kind="mesh", processors=side * side, side=side)
+
+
+def _address_bits(space: TargetSpace, pattern: str) -> int:
+    """Bit width of a PM id; patterns using it need a power-of-two P."""
+    processors = space.processors
+    bits = max(1, (processors - 1).bit_length())
+    if 1 << bits != processors:
+        raise ConfigurationError(
+            f"pattern {pattern!r} permutes PM address bits and needs a "
+            f"power-of-two PM count, got {processors}"
+        )
+    return bits
+
+
+def tornado_target(pm_id: int, space: TargetSpace) -> int:
+    """Half-machine shift; per-dimension on the mesh, linear on the ring."""
+    if space.kind == "mesh":
+        side = space.side
+        x, y = pm_id % side, pm_id // side
+        return (y + side // 2) % side * side + (x + side // 2) % side
+    return (pm_id + space.processors // 2) % space.processors
+
+
+def transpose_target(pm_id: int, space: TargetSpace) -> int:
+    """Mesh ``(x, y) -> (y, x)``; ring swaps the id's bit halves."""
+    if space.kind == "mesh":
+        side = space.side
+        x, y = pm_id % side, pm_id // side
+        return x * side + y
+    bits = _address_bits(space, "transpose")
+    if bits % 2:
+        raise ConfigurationError(
+            f"ring transpose swaps the two halves of the PM address and "
+            f"needs P = 4^k, got {space.processors}"
+        )
+    half = bits // 2
+    low = pm_id & ((1 << half) - 1)
+    return (low << half) | (pm_id >> half)
+
+
+def shuffle_target(pm_id: int, space: TargetSpace) -> int:
+    """Perfect shuffle: rotate the address bits left by one."""
+    bits = _address_bits(space, "shuffle")
+    msb = pm_id >> (bits - 1)
+    return ((pm_id << 1) | msb) & ((1 << bits) - 1)
+
+
+def bitrev_target(pm_id: int, space: TargetSpace) -> int:
+    """Reverse the address bits."""
+    bits = _address_bits(space, "bitrev")
+    out = 0
+    for bit in range(bits):
+        out = (out << 1) | ((pm_id >> bit) & 1)
+    return out
+
+
+#: The permutation patterns: PM id -> single fixed target.
+PERMUTATIONS: dict[str, Callable[[int, TargetSpace], int]] = {
+    "tornado": tornado_target,
+    "transpose": transpose_target,
+    "shuffle": shuffle_target,
+    "bitrev": bitrev_target,
+}
+
+#: Pattern names accepted by ``WorkloadConfig.pattern`` beyond "mmrp"
+#: (the authoritative list lives in ``repro.core.config.TRAFFIC_PATTERNS``).
+PATTERN_NAMES: tuple[str, ...] = tuple(
+    name for name in TRAFFIC_PATTERNS if name != "mmrp"
+)
+
+
+def hotspot_modules(processors: int, count: int) -> list[int]:
+    """``count`` evenly spaced hot memory modules, starting at PM 0."""
+    if not 1 <= count <= processors:
+        raise ConfigurationError(
+            f"hotspot_count must be in [1, {processors}], got {count}"
+        )
+    return [(i * processors) // count for i in range(count)]
+
+
+def pattern_pools(workload: "WorkloadConfig", space: TargetSpace) -> list[list[int]]:
+    """Per-PM weighted draw pools for ``workload.pattern`` on *space*.
+
+    A target's multiplicity in the pool is its draw weight; a miss
+    target is one uniform draw from the issuing PM's pool.
+    """
+    pattern = workload.pattern
+    processors = space.processors
+    if pattern == "mmrp":
+        if space.kind == "mesh":
+            return [
+                mesh_region(pm, space.side, workload.locality)
+                for pm in range(processors)
+            ]
+        return [
+            ring_region(pm, processors, workload.locality)
+            for pm in range(processors)
+        ]
+    if pattern == "uniform":
+        everyone = list(range(processors))
+        return [list(everyone) for _ in range(processors)]
+    if pattern in PERMUTATIONS:
+        target_of = PERMUTATIONS[pattern]
+        return [[target_of(pm, space)] for pm in range(processors)]
+    if pattern == "hotspot":
+        hot = set(hotspot_modules(processors, workload.hotspot_count))
+        weight = workload.hotspot_weight
+        pool: list[int] = []
+        for target in range(processors):
+            pool.extend([target] * (weight if target in hot else 1))
+        return [list(pool) for _ in range(processors)]
+    raise ConfigurationError(f"unknown traffic pattern: {pattern!r}")
+
+
+class PatternTargetSelector:
+    """Uniform target draw from per-PM weighted pools.
+
+    The same draw discipline as
+    :class:`~repro.workload.mmrp.RegionTargetSelector` (one
+    ``randrange`` per miss) so bit-identity across schedulers carries
+    over; single-target pools (the permutations) short-circuit and
+    consume no randomness.
+    """
+
+    def __init__(self, pools: Sequence[Sequence[int]]):
+        self.pools = [list(pool) for pool in pools]
+        for pm_id, pool in enumerate(self.pools):
+            if not pool:
+                raise ConfigurationError(f"empty target pool for PM {pm_id}")
+
+    def __call__(self, pm_id: int, rng: random.Random) -> int:
+        pool = self.pools[pm_id]
+        if len(pool) == 1:
+            return pool[0]
+        return pool[rng.randrange(len(pool))]
+
+
+def build_target_selector(
+    workload: "WorkloadConfig", space: TargetSpace
+) -> "RegionTargetSelector | PatternTargetSelector":
+    """The target selector the object networks install in their PMs.
+
+    M-MRP keeps the original :class:`RegionTargetSelector` (unchanged
+    draw stream — cached M-MRP results stay byte-valid); every other
+    pattern gets a :class:`PatternTargetSelector` over its pools.
+    """
+    if workload.pattern == "mmrp":
+        if space.kind == "mesh":
+            return RegionTargetSelector.for_mesh(space.side, workload.locality)
+        return RegionTargetSelector.for_ring(space.processors, workload.locality)
+    return PatternTargetSelector(pattern_pools(workload, space))

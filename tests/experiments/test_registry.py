@@ -20,6 +20,8 @@ EXPECTED_IDS = {
     "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
     "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
     "ext-slotted",
+    "ext-patterns",
+    "ext-patterns-smoke",
 }
 
 

@@ -5,15 +5,35 @@ a duplicate ``(sha, mode)`` line to the report's history on every run,
 so a commit benchmarked twice looked like two commits.  The merge must
 replace the stale measurement in place — preserving its position in the
 log — and only append when the ``(sha, mode)`` pair is genuinely new.
+
+A second regression rode the same report: history rows carried no
+record of the measuring host, so ``--bench-compare`` diffed wall-clock
+numbers across machines and reported phantom regressions.  Rows now
+carry a host fingerprint and ``compare_to_history`` skips (with a
+notice) instead of comparing when it differs — including against
+pre-fingerprint rows, whose provenance is unknown.
 """
 
 import json
 
-from benchmarks.bench_kernel import _merge_history, _prior_history
+from benchmarks.bench_kernel import (
+    _merge_history,
+    _prior_history,
+    compare_to_history,
+)
 
 
 def entry(sha, mode, marker):
     return {"sha": sha, "mode": mode, "date": "2026-08-08", "points": marker}
+
+
+def timed_entry(sha, mode, host, cycles_per_sec):
+    return {
+        "sha": sha,
+        "mode": mode,
+        "host": host,
+        "points": {"light": {"compiled": cycles_per_sec}},
+    }
 
 
 def test_rerun_same_sha_replaces_in_place():
@@ -58,3 +78,43 @@ def test_prior_history_tolerates_missing_or_malformed_files(tmp_path):
     wrong_shape = tmp_path / "wrong.json"
     wrong_shape.write_text(json.dumps({"history": {"not": "a list"}}))
     assert _prior_history(str(wrong_shape)) == []
+
+
+class TestCompareHostPinning:
+    def test_no_history_no_regressions_no_notice(self):
+        assert compare_to_history(timed_entry("new", "quick", "h1", 100.0), []) == (
+            [],
+            None,
+        )
+
+    def test_same_host_reports_regressions(self):
+        prior = timed_entry("old", "quick", "h1", 200.0)
+        fresh = timed_entry("new", "quick", "h1", 100.0)  # 50% slower
+        regressions, notice = compare_to_history(fresh, [prior])
+        assert notice is None
+        assert len(regressions) == 1
+        assert "light/compiled" in regressions[0]
+
+    def test_cross_host_skips_instead_of_comparing(self):
+        prior = timed_entry("old", "quick", "laptop", 200.0)
+        fresh = timed_entry("new", "quick", "ci-runner", 100.0)
+        regressions, notice = compare_to_history(fresh, [prior])
+        assert regressions == []
+        assert notice is not None
+        assert "laptop" in notice and "ci-runner" in notice
+        assert "not comparable" in notice
+
+    def test_pre_fingerprint_rows_are_skipped(self):
+        """Committed history predates the host field: provenance is
+        unknown, so the diff must be skipped, not trusted."""
+        prior = timed_entry("old", "quick", None, 200.0)
+        del prior["host"]
+        fresh = timed_entry("new", "quick", "h1", 100.0)
+        regressions, notice = compare_to_history(fresh, [prior])
+        assert regressions == []
+        assert notice is not None and "unknown" in notice
+
+    def test_only_same_mode_rows_are_compared(self):
+        prior = timed_entry("old", "full", "other-host", 200.0)
+        fresh = timed_entry("new", "quick", "h1", 100.0)
+        assert compare_to_history(fresh, [prior]) == ([], None)

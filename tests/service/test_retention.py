@@ -1,0 +1,146 @@
+"""Regression tests for finished-job retention.
+
+``SweepService.jobs`` used to grow without bound: every submitted job
+stayed in the tracking dict forever, so a long-running service leaked
+one ``Job`` (specs, results, event log) per sweep ever submitted.
+Terminal jobs are now retired by a TTL and a max-tracked cap — oldest
+completion first, queued/running jobs never touched — and asking for an
+evicted id is ``410 Gone`` (the id *was* real), distinct from ``400``
+for an id this service never issued.
+"""
+
+import pytest
+
+from repro.core.config import RingSystemConfig, SimulationParams, WorkloadConfig
+from repro.core.errors import ConfigurationError
+from repro.runtime import MemCache, PointSpec, ResultCache
+from repro.service import Job, ServiceClient, ServiceError, SweepService, start_in_thread
+from repro.service.app import Gone
+
+WORKLOAD = WorkloadConfig(locality=1.0, miss_rate=0.1, outstanding=4)
+
+
+def _service(**kwargs):
+    return SweepService("127.0.0.1", 0, shards=1, workers_per_shard=1, **kwargs)
+
+
+def _finished_job(service, job_id_num, finished_at):
+    """Register a terminal job as ``_run_job`` would have left it."""
+    job = Job(job_id=f"job-{job_id_num}", specs=[], state="done")
+    job.finished_at = finished_at
+    service.jobs[job.job_id] = job
+    service._job_seq = max(service._job_seq, job_id_num)
+    return job
+
+
+class TestRetirement:
+    def test_cap_evicts_oldest_completion_first(self):
+        service = _service(job_ttl_sec=None, max_finished_jobs=2)
+        for num, finished_at in ((1, 30.0), (2, 10.0), (3, 20.0)):
+            _finished_job(service, num, finished_at)
+        service._retire_finished()
+        # job-2 finished earliest -> evicted; the cap keeps the rest.
+        assert sorted(service.jobs) == ["job-1", "job-3"]
+        assert service.jobs_evicted == 1
+
+    def test_ttl_evicts_expired_jobs(self, monkeypatch):
+        import repro.service.app as app
+
+        service = _service(job_ttl_sec=100.0, max_finished_jobs=64)
+        _finished_job(service, 1, 50.0)    # age 950 -> expired
+        _finished_job(service, 2, 980.0)   # age 20 -> kept
+        monkeypatch.setattr(app.time, "monotonic", lambda: 1000.0)
+        service._retire_finished()
+        assert sorted(service.jobs) == ["job-2"]
+        assert service.jobs_evicted == 1
+
+    def test_running_and_queued_jobs_never_evicted(self):
+        service = _service(job_ttl_sec=None, max_finished_jobs=1)
+        for num, state in ((1, "queued"), (2, "running")):
+            job = Job(job_id=f"job-{num}", specs=[], state=state)
+            service.jobs[job.job_id] = job
+            service._job_seq = num
+        _finished_job(service, 3, 1.0)
+        _finished_job(service, 4, 2.0)
+        service._retire_finished()
+        assert sorted(service.jobs) == ["job-1", "job-2", "job-4"]
+
+    def test_evicted_id_is_gone_unknown_id_is_bad_request(self):
+        from repro.service.app import BadRequest
+
+        service = _service(job_ttl_sec=None, max_finished_jobs=1)
+        _finished_job(service, 1, 1.0)
+        _finished_job(service, 2, 2.0)
+        service._retire_finished()
+        with pytest.raises(Gone):
+            service._job_or_bad_request("job-1")
+        assert service._job_or_bad_request("job-2").job_id == "job-2"
+        for bogus in ("job-3", "job-0", "job-x", "sweep-1"):
+            with pytest.raises(BadRequest):
+                service._job_or_bad_request(bogus)
+
+    def test_stats_report_retention(self):
+        service = _service(job_ttl_sec=None, max_finished_jobs=1)
+        _finished_job(service, 1, 1.0)
+        _finished_job(service, 2, 2.0)
+        stats = service.stats_payload()
+        jobs = stats["jobs"]
+        assert jobs["evicted"] == 1
+        assert jobs["retention"] == {"ttl_sec": None, "max_finished": 1}
+
+    def test_retention_knobs_validated(self):
+        with pytest.raises(ConfigurationError):
+            _service(job_ttl_sec=0.0)
+        with pytest.raises(ConfigurationError):
+            _service(job_ttl_sec=-5.0)
+        with pytest.raises(ConfigurationError):
+            _service(max_finished_jobs=0)
+
+
+class TestOverHttp:
+    """End to end: a capped service really answers 410 for evicted ids."""
+
+    @pytest.fixture()
+    def service(self, tmp_path):
+        svc = _service(
+            cache=ResultCache(tmp_path / "cache"),
+            mem=MemCache(),
+            job_workers=1,
+            job_ttl_sec=None,
+            max_finished_jobs=1,
+        )
+        handle = start_in_thread(svc)
+        client = ServiceClient("127.0.0.1", svc.port)
+        yield svc, client
+        client.shutdown()
+        handle.stop()
+
+    def _submit_and_wait(self, client, seed):
+        spec = PointSpec(
+            system=RingSystemConfig(topology="2:2"),
+            workload=WORKLOAD,
+            params=SimulationParams(batch_cycles=60, batches=2, seed=seed),
+        )
+        job_id = client.submit_job([spec.payload()])
+        status = client.wait_for_job(job_id)
+        assert status["state"] == "done"
+        return job_id
+
+    def test_second_job_evicts_first(self, service):
+        __, client = service
+        first = self._submit_and_wait(client, seed=1)
+        second = self._submit_and_wait(client, seed=2)
+
+        with pytest.raises(ServiceError) as gone:
+            client.job_status(first)
+        assert gone.value.status == 410
+        assert "evicted" in str(gone.value)
+
+        assert client.job_status(second)["state"] == "done"
+
+        with pytest.raises(ServiceError) as bad:
+            client.job_status("job-999")
+        assert bad.value.status == 400
+
+        stats = client.stats()
+        assert stats["jobs"]["evicted"] >= 1

@@ -100,6 +100,54 @@ class TestRegionTargetSelector:
         assert expected_remote_fraction([]) == 0.0
 
 
+class TestWeightedRemoteFraction:
+    """The weight-aware generalization must preserve the uniform pins."""
+
+    def test_uniform_weights_reduce_to_historical_formula(self):
+        regions = [[0, 1, 2, 3]] * 4
+        weights = [[1.0, 1.0, 1.0, 1.0]] * 4
+        assert expected_remote_fraction(regions, weights) == pytest.approx(0.75)
+
+    def test_repeated_targets_count_multiplicity(self):
+        # The pool encoding: PM 0's pool lists itself 3 times out of 4.
+        assert expected_remote_fraction([[0, 0, 0, 1]]) == pytest.approx(0.25)
+
+    def test_weighted_self_draw(self):
+        # PM 0 draws itself with weight 3 of 4 -> remote fraction 1/4.
+        assert expected_remote_fraction([[0, 1]], [[3.0, 1.0]]) == pytest.approx(0.25)
+
+    def test_zero_weight_targets_drop_out(self):
+        assert expected_remote_fraction(
+            [[0, 1, 2]], [[1.0, 1.0, 0.0]]
+        ) == pytest.approx(0.5)
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ValueError):
+            expected_remote_fraction([[0, 1]], [[1.0]])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            expected_remote_fraction([[0, 1]], [[1.0, -1.0]])
+
+    def test_zero_total_weight_rejected(self):
+        with pytest.raises(ValueError):
+            expected_remote_fraction([[0, 1]], [[0.0, 0.0]])
+
+    @given(
+        size=st.integers(2, 8),
+        scale=st.floats(0.1, 100.0),
+        raw=st.lists(st.floats(0.1, 10.0), min_size=2, max_size=8),
+    )
+    def test_scale_invariance(self, size, scale, raw):
+        """Multiplying every weight by a constant changes nothing."""
+        size = min(size, len(raw))
+        region = list(range(size))
+        weights = raw[:size]
+        base = expected_remote_fraction([region], [weights])
+        scaled = expected_remote_fraction([region], [[w * scale for w in weights]])
+        assert scaled == pytest.approx(base)
+
+
 @given(
     processors=st.integers(2, 64),
     pm=st.integers(0, 63),

@@ -1,0 +1,331 @@
+"""Unit and property tests for the synthetic traffic-pattern suite."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.core.config import TRAFFIC_PATTERNS, WorkloadConfig
+from repro.core.errors import ConfigurationError
+from repro.core.processor import BurstyMissGenerator, make_miss_generator
+from repro.workload.mmrp import RegionTargetSelector, expected_remote_fraction
+from repro.workload.patterns import (
+    PATTERN_NAMES,
+    PERMUTATIONS,
+    PatternTargetSelector,
+    TargetSpace,
+    bitrev_target,
+    build_target_selector,
+    hotspot_modules,
+    pattern_pools,
+    shuffle_target,
+    tornado_target,
+    transpose_target,
+)
+
+
+@st.composite
+def spaces_for(draw, pattern):
+    """A ring or mesh :class:`TargetSpace` on which *pattern* is valid."""
+    on_ring = draw(st.booleans())
+    if pattern == "tornado":  # valid everywhere
+        if on_ring:
+            return TargetSpace.ring(draw(st.integers(2, 64)))
+        return TargetSpace.mesh(draw(st.integers(2, 8)))
+    if pattern == "transpose":  # ring needs P = 4^k; mesh any side
+        if on_ring:
+            return TargetSpace.ring(draw(st.sampled_from([4, 16, 64])))
+        return TargetSpace.mesh(draw(st.integers(2, 8)))
+    # shuffle / bitrev permute address bits: power-of-two P.
+    if on_ring:
+        return TargetSpace.ring(draw(st.sampled_from([2, 4, 8, 16, 32, 64])))
+    return TargetSpace.mesh(draw(st.sampled_from([2, 4, 8])))
+
+
+class TestPermutations:
+    @pytest.mark.parametrize("pattern", sorted(PERMUTATIONS))
+    @given(data=st.data())
+    def test_bijection_on_pm_ids(self, pattern, data):
+        space = data.draw(spaces_for(pattern))
+        target_of = PERMUTATIONS[pattern]
+        targets = [target_of(pm, space) for pm in range(space.processors)]
+        assert sorted(targets) == list(range(space.processors))
+
+    def test_ring_tornado_is_half_machine_shift(self):
+        space = TargetSpace.ring(8)
+        assert [tornado_target(pm, space) for pm in range(8)] == [
+            4, 5, 6, 7, 0, 1, 2, 3,
+        ]
+
+    def test_mesh_tornado_shifts_both_dimensions(self):
+        space = TargetSpace.mesh(4)
+        # (x, y) = (1, 0) -> (3, 2): id 1 -> 2*4 + 3 = 11.
+        assert tornado_target(1, space) == 11
+
+    def test_mesh_transpose_swaps_coordinates(self):
+        space = TargetSpace.mesh(4)
+        # id 9 = (x=1, y=2) -> (x=2, y=1) = id 6; the diagonal is fixed.
+        assert transpose_target(9, space) == 6
+        for diag in range(4):
+            assert transpose_target(diag * 4 + diag, space) == diag * 4 + diag
+
+    def test_ring_transpose_swaps_bit_halves(self):
+        space = TargetSpace.ring(16)
+        # 0b0110 -> 0b1001: high half 01, low half 10 swapped.
+        assert transpose_target(0b0110, space) == 0b1001
+
+    def test_ring_and_mesh_transpose_coincide_on_squares(self):
+        # On a power-of-two square mesh the coordinate transpose IS the
+        # bit-half swap of the linearized id.
+        side = 4
+        mesh, ring = TargetSpace.mesh(side), TargetSpace.ring(side * side)
+        for pm in range(side * side):
+            assert transpose_target(pm, mesh) == transpose_target(pm, ring)
+
+    def test_shuffle_rotates_bits_left(self):
+        space = TargetSpace.ring(8)
+        assert shuffle_target(0b011, space) == 0b110
+        assert shuffle_target(0b100, space) == 0b001
+
+    def test_bitrev_reverses_bits(self):
+        space = TargetSpace.ring(8)
+        assert bitrev_target(0b001, space) == 0b100
+        assert bitrev_target(0b110, space) == 0b011
+
+    def test_bit_patterns_reject_non_power_of_two(self):
+        for fn in (shuffle_target, bitrev_target):
+            with pytest.raises(ConfigurationError):
+                fn(0, TargetSpace.ring(6))
+
+    def test_ring_transpose_rejects_non_square_power(self):
+        # P = 8 is a power of two but not 4^k: halves are unequal.
+        with pytest.raises(ConfigurationError):
+            transpose_target(0, TargetSpace.ring(8))
+
+
+class TestHotspot:
+    def test_modules_evenly_spaced(self):
+        assert hotspot_modules(16, 2) == [0, 8]
+        assert hotspot_modules(16, 4) == [0, 4, 8, 12]
+        assert hotspot_modules(9, 3) == [0, 3, 6]
+
+    def test_module_count_bounds(self):
+        with pytest.raises(ConfigurationError):
+            hotspot_modules(8, 0)
+        with pytest.raises(ConfigurationError):
+            hotspot_modules(8, 9)
+
+    @given(
+        processors=st.integers(2, 64),
+        count=st.integers(1, 4),
+        weight=st.integers(2, 16),
+    )
+    def test_pool_weights_normalize(self, processors, count, weight):
+        """Every PM's pool holds each target with exactly its weight."""
+        assume(count <= processors)
+        workload = WorkloadConfig(
+            miss_rate=0.04,
+            pattern="hotspot",
+            hotspot_count=count,
+            hotspot_weight=weight,
+        )
+        pools = pattern_pools(workload, TargetSpace.ring(processors))
+        hot = set(hotspot_modules(processors, count))
+        assert len(pools) == processors
+        for pool in pools:
+            counts = Counter(pool)
+            assert set(counts) == set(range(processors))
+            for target, multiplicity in counts.items():
+                assert multiplicity == (weight if target in hot else 1)
+
+    @given(
+        processors=st.integers(2, 32),
+        count=st.integers(1, 3),
+        weight=st.integers(2, 8),
+    )
+    def test_remote_fraction_matches_analytic(self, processors, count, weight):
+        assume(count <= processors)
+        workload = WorkloadConfig(
+            miss_rate=0.04,
+            pattern="hotspot",
+            hotspot_count=count,
+            hotspot_weight=weight,
+        )
+        pools = pattern_pools(workload, TargetSpace.ring(processors))
+        hot = set(hotspot_modules(processors, count))
+        total = processors + count * (weight - 1)
+        expected = sum(
+            (total - (weight if pm in hot else 1)) / total
+            for pm in range(processors)
+        ) / processors
+        assert expected_remote_fraction(pools) == pytest.approx(expected)
+
+
+class TestPools:
+    def test_uniform_pool_is_everyone_for_every_pm(self):
+        workload = WorkloadConfig(miss_rate=0.04, pattern="uniform")
+        pools = pattern_pools(workload, TargetSpace.mesh(3))
+        assert pools == [list(range(9))] * 9
+
+    def test_mmrp_pools_are_locality_regions(self):
+        workload = WorkloadConfig(locality=0.25, miss_rate=0.04)
+        pools = pattern_pools(workload, TargetSpace.ring(8))
+        assert pools[0] == [0, 1]  # matches ring_region truncation
+        assert pools[4] == [3, 4, 5]
+
+    def test_permutation_pools_are_singletons(self):
+        workload = WorkloadConfig(miss_rate=0.04, pattern="tornado")
+        pools = pattern_pools(workload, TargetSpace.ring(8))
+        assert all(len(pool) == 1 for pool in pools)
+
+    def test_pattern_names_track_config_registry(self):
+        assert set(PATTERN_NAMES) == set(TRAFFIC_PATTERNS) - {"mmrp"}
+        for name in PATTERN_NAMES:
+            workload = WorkloadConfig(miss_rate=0.04, pattern=name)
+            pools = pattern_pools(workload, TargetSpace.mesh(4))
+            assert len(pools) == 16 and all(pools)
+
+
+class TestSelectors:
+    def test_singleton_pool_consumes_no_randomness(self):
+        selector = PatternTargetSelector([[3], [0]])
+        rng = random.Random(1)
+        before = rng.getstate()
+        assert selector(0, rng) == 3
+        assert selector(1, rng) == 0
+        assert rng.getstate() == before
+
+    def test_multi_pool_draws_match_region_selector_discipline(self):
+        """Same pool, same seed -> the exact randrange draw sequence of
+        RegionTargetSelector, the bit-identity contract."""
+        pools = [[0, 1, 2, 3]] * 4
+        pattern = PatternTargetSelector(pools)
+        region = RegionTargetSelector(pools)
+        draws_a = [pattern(0, random.Random(7)) for _ in range(1)]
+        draws_b = [region(0, random.Random(7)) for _ in range(1)]
+        rng_a, rng_b = random.Random(7), random.Random(7)
+        assert [pattern(2, rng_a) for _ in range(50)] == [
+            region(2, rng_b) for _ in range(50)
+        ]
+        assert draws_a == draws_b
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PatternTargetSelector([[0], []])
+
+    def test_build_keeps_region_selector_for_mmrp(self):
+        workload = WorkloadConfig(locality=0.5, miss_rate=0.04)
+        selector = build_target_selector(workload, TargetSpace.ring(8))
+        assert isinstance(selector, RegionTargetSelector)
+
+    def test_build_uses_pattern_selector_otherwise(self):
+        workload = WorkloadConfig(miss_rate=0.04, pattern="uniform")
+        selector = build_target_selector(workload, TargetSpace.mesh(3))
+        assert isinstance(selector, PatternTargetSelector)
+
+
+class TestWorkloadValidation:
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(miss_rate=0.04, pattern="zipf").validate()
+
+    def test_patterns_require_full_locality(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(locality=0.5, miss_rate=0.04, pattern="uniform").validate()
+
+    def test_hotspot_weight_floor(self):
+        # Weight 1 would be uniform under another name.
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(
+                miss_rate=0.04, pattern="hotspot", hotspot_weight=1
+            ).validate()
+
+    def test_burst_knobs_come_in_pairs(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(miss_rate=0.04, burst_on=25.0).validate()
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(miss_rate=0.04, burst_off=75.0).validate()
+
+    def test_on_state_rate_must_stay_a_probability(self):
+        # duty = 0.1 -> on-rate would be 10 * miss_rate > 1.
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(miss_rate=0.2, burst_on=10.0, burst_off=90.0).validate()
+
+    def test_bursty_properties(self):
+        workload = WorkloadConfig(miss_rate=0.04, burst_on=25.0, burst_off=75.0)
+        assert workload.bursty
+        assert workload.burst_on_rate == pytest.approx(0.16)
+        assert not WorkloadConfig(miss_rate=0.04).bursty
+
+
+def _drain(generator, cycles):
+    """Issue every miss up to *cycles* with always-free slots."""
+    misses = []
+    cycle = 0
+    while cycle < cycles:
+        wake = generator.next_issue_cycle(cycle)
+        if wake is None or wake >= cycles:
+            break
+        cycle = max(cycle, wake)
+        miss = generator.poll(cycle, lambda: True)
+        if miss is not None:
+            misses.append(miss)
+        cycle += 1
+    return misses
+
+
+class TestBurstyGenerator:
+    WORKLOAD = WorkloadConfig(miss_rate=0.04, burst_on=25.0, burst_off=75.0)
+
+    def test_factory_picks_bursty(self):
+        gen = make_miss_generator(0, self.WORKLOAD, lambda pm, rng: 0, random.Random(3))
+        assert isinstance(gen, BurstyMissGenerator)
+        plain = make_miss_generator(
+            0, WorkloadConfig(miss_rate=0.04), lambda pm, rng: 0, random.Random(3)
+        )
+        assert type(plain).__name__ == "MissGenerator"
+
+    def test_lazy_and_lookahead_streams_identical(self):
+        """One-draw-per-poll and burst lookahead must consume the PM's
+        random stream identically — the scheduler bit-identity contract."""
+        select = PatternTargetSelector([[0, 1, 2, 3]])
+
+        lazy = BurstyMissGenerator(0, self.WORKLOAD, select, random.Random(11))
+        lazy_misses = []
+        for cycle in range(4000):
+            miss = lazy.poll(cycle, lambda: True)
+            if miss is not None:
+                lazy_misses.append(miss)
+
+        eager = BurstyMissGenerator(0, self.WORKLOAD, select, random.Random(11))
+        eager_misses = _drain(eager, 4000)
+        assert lazy_misses == eager_misses
+        assert lazy_misses  # the run actually generated load
+
+    def test_long_run_rate_approaches_miss_rate(self):
+        select = PatternTargetSelector([[1]])
+        gen = BurstyMissGenerator(0, self.WORKLOAD, select, random.Random(5))
+        cycles = 200_000
+        misses = _drain(gen, cycles)
+        rate = len(misses) / cycles
+        # Mean 0.04 with on/off modulation: generous 20% tolerance.
+        assert rate == pytest.approx(self.WORKLOAD.miss_rate, rel=0.2)
+
+    def test_misses_cluster_into_bursts(self):
+        """On/off modulation must visibly clump arrivals: the variance
+        of per-window counts far exceeds a Poisson stream's."""
+        select = PatternTargetSelector([[1]])
+        gen = BurstyMissGenerator(0, self.WORKLOAD, select, random.Random(9))
+        misses = _drain(gen, 100_000)
+        window = 100  # matches the on+off period
+        counts = Counter(miss.generated_cycle // window for miss in misses)
+        total_windows = 100_000 // window
+        mean = len(misses) / total_windows
+        var = (
+            sum((counts.get(w, 0) - mean) ** 2 for w in range(total_windows))
+            / total_windows
+        )
+        # Poisson would give var ~= mean; Markov-modulated is far burstier.
+        assert var > 2.0 * mean
